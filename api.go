@@ -1,0 +1,215 @@
+package hypercube
+
+import (
+	"hypercube/internal/collective"
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/group"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+	"hypercube/internal/trace"
+	"hypercube/internal/workload"
+	"hypercube/internal/wormhole"
+)
+
+// Re-exported fundamental types. See the internal package docs for full
+// reference; the aliases make the whole system usable through this single
+// import.
+type (
+	// NodeID is an n-bit hypercube node address.
+	NodeID = topology.NodeID
+	// Cube is an n-dimensional wormhole-routed hypercube.
+	Cube = topology.Cube
+	// Resolution is the E-cube bit-resolution order.
+	Resolution = topology.Resolution
+	// Subcube is the paper's Definition 2 subcube.
+	Subcube = topology.Subcube
+	// Algorithm selects a multicast tree construction algorithm.
+	Algorithm = core.Algorithm
+	// PortModel selects the node/router interface (one-port or all-port).
+	PortModel = core.PortModel
+	// Tree is a multicast implementation: a tree of constituent unicasts.
+	Tree = core.Tree
+	// StepSchedule is a stepwise execution of a multicast tree.
+	StepSchedule = core.Schedule
+	// Contention is a violation of the paper's Definition 4.
+	Contention = core.Contention
+	// MachineParams configures the simulated machine (ncube.Params).
+	MachineParams = ncube.Params
+	// MachineResult is a simulated multicast execution (ncube.Result).
+	MachineResult = ncube.Result
+	// Time is simulated time in nanoseconds.
+	Time = event.Time
+	// Delivery describes one completed unicast on the simulated network.
+	Delivery = wormhole.Delivery
+)
+
+// Resolution orders.
+const (
+	// HighToLow resolves the highest-order address bit first (the
+	// paper's convention).
+	HighToLow = topology.HighToLow
+	// LowToHigh resolves the lowest-order bit first (the nCUBE-2's
+	// convention).
+	LowToHigh = topology.LowToHigh
+)
+
+// Algorithms.
+const (
+	// SeparateAddressing unicasts to each destination individually.
+	SeparateAddressing = core.SeparateAddressing
+	// SFBinomial is the store-and-forward recursive-doubling baseline.
+	SFBinomial = core.SFBinomial
+	// UCube is the one-port-optimal baseline of McKinley et al.
+	UCube = core.UCube
+	// Maxport transmits on as many ports as the destination set allows.
+	Maxport = core.Maxport
+	// Combine balances port usage against subtree weight.
+	Combine = core.Combine
+	// WSort is weighted_sort followed by Maxport — the paper's best.
+	WSort = core.WSort
+)
+
+// Port models.
+const (
+	// OnePort nodes send and receive one message at a time.
+	OnePort = core.OnePort
+	// AllPort nodes use all dimensions simultaneously.
+	AllPort = core.AllPort
+)
+
+// New constructs an n-dimensional hypercube with the given resolution
+// order. It panics for n outside [1, 20].
+func New(n int, res Resolution) Cube { return topology.New(n, res) }
+
+// Multicast builds the multicast tree for the algorithm from src to dests.
+// Duplicate destinations and src itself are ignored.
+func Multicast(c Cube, a Algorithm, src NodeID, dests []NodeID) *Tree {
+	return core.Build(c, a, src, dests)
+}
+
+// Schedule computes the stepwise execution of the tree under a port model.
+func Schedule(t *Tree, pm PortModel) *StepSchedule { return core.NewSchedule(t, pm) }
+
+// CheckContention verifies the paper's Definition 4 on a schedule,
+// returning every violating unicast pair (nil means contention-free).
+func CheckContention(s *StepSchedule) []Contention { return core.CheckContention(s) }
+
+// NCube2Params returns machine parameters calibrated to the published
+// nCUBE-2 figures (~164us software latency, ~0.45us/byte links).
+func NCube2Params(pm PortModel) MachineParams { return ncube.NCube2(pm) }
+
+// NCube3Params models the paper's cited successor machine: roughly 10x the
+// link bandwidth with leaner software paths.
+func NCube3Params(pm PortModel) MachineParams { return ncube.NCube3(pm) }
+
+// TreeMetrics summarizes a tree's structural properties (fan-out, hops,
+// port reuse).
+type TreeMetrics = core.Metrics
+
+// Metrics computes the tree's structural metrics; dests enables relay
+// accounting (nil to skip).
+func Metrics(t *Tree, dests []NodeID) TreeMetrics { return t.ComputeMetrics(dests) }
+
+// StepLowerBound is the information-theoretic minimum number of multicast
+// steps for m destinations in an n-cube under the port model.
+func StepLowerBound(pm PortModel, n, m int) int { return core.StepLowerBound(pm, n, m) }
+
+// SimulateMany executes several multicast trees concurrently on one shared
+// interconnect, measuring cross-multicast interference.
+func SimulateMany(p MachineParams, trees []*Tree, bytes int) []MachineResult {
+	return ncube.RunMany(p, trees, bytes)
+}
+
+// Comm is an MPI-style communicator: an ordered process group over the
+// cube with rank-addressed collectives.
+type Comm = group.Comm
+
+// NewComm creates a communicator over the given members (rank order as
+// given).
+func NewComm(c Cube, members []NodeID) (*Comm, error) { return group.New(c, members) }
+
+// World returns the communicator containing every node (rank = address).
+func World(c Cube) *Comm { return group.World(c) }
+
+// Phase runs one group broadcast per communicator concurrently on a single
+// shared interconnect — a data-redistribution phase.
+func Phase(p MachineParams, bytes int, a Algorithm, groups []*Comm, roots []int) []MachineResult {
+	return group.Phase(p, bytes, a, groups, roots)
+}
+
+// Simulate executes the multicast tree on the simulated machine with a
+// message of the given size and returns per-destination receipt times.
+func Simulate(p MachineParams, t *Tree, bytes int) MachineResult { return ncube.Run(p, t, bytes) }
+
+// TraceRecorder accumulates channel occupancy intervals and blocking
+// incidents during a simulation; render with Gantt.
+type TraceRecorder = trace.Recorder
+
+// SimulateTraced is Simulate with a channel-event recorder attached; use
+// rec.Gantt(cube, width) to visualize the execution.
+func SimulateTraced(p MachineParams, t *Tree, bytes int, rec *TraceRecorder) MachineResult {
+	return ncube.RunWithTracer(p, t, bytes, rec)
+}
+
+// Broadcast builds a multicast tree addressing every other node of the
+// cube — the m = N-1 end point of the paper's plots.
+func Broadcast(c Cube, a Algorithm, src NodeID) *Tree {
+	dests := make([]NodeID, 0, c.Nodes()-1)
+	for v := 0; v < c.Nodes(); v++ {
+		if NodeID(v) != src {
+			dests = append(dests, NodeID(v))
+		}
+	}
+	return Multicast(c, a, src, dests)
+}
+
+// RandomDests draws m distinct random destinations (excluding src) from
+// the cube using a deterministic seed, matching the paper's randomized
+// workloads.
+func RandomDests(c Cube, seed int64, src NodeID, m int) []NodeID {
+	return workload.NewGenerator(c, seed).Dests(src, m)
+}
+
+// CollectiveResult reports one collective operation's simulated execution.
+type CollectiveResult = collective.Result
+
+// Scatter distributes a distinct block from root to every node of the
+// cube (personalized one-to-all) on the simulated machine.
+func Scatter(p MachineParams, c Cube, root NodeID, blockBytes int) CollectiveResult {
+	return collective.Scatter(p, c, root, blockBytes)
+}
+
+// Gather collects one block from every node at root.
+func Gather(p MachineParams, c Cube, root NodeID, blockBytes int) CollectiveResult {
+	return collective.Gather(p, c, root, blockBytes)
+}
+
+// Reduce combines a fixed-size partial result from every node at root,
+// charging tCompute per combining step.
+func Reduce(p MachineParams, c Cube, root NodeID, bytes int, tCompute Time) CollectiveResult {
+	return collective.Reduce(p, c, root, bytes, tCompute)
+}
+
+// Barrier runs a dissemination barrier across the whole cube.
+func Barrier(p MachineParams, c Cube) CollectiveResult {
+	return collective.Barrier(p, c)
+}
+
+// AllGather performs the recursive-doubling all-gather of one block per
+// node.
+func AllGather(p MachineParams, c Cube, blockBytes int) CollectiveResult {
+	return collective.AllGather(p, c, blockBytes)
+}
+
+// AllReduce combines a fixed-size vector across all nodes, leaving the
+// result everywhere (butterfly schedule, tCompute per merge).
+func AllReduce(p MachineParams, c Cube, bytes int, tCompute Time) CollectiveResult {
+	return collective.AllReduce(p, c, bytes, tCompute)
+}
+
+// ReduceTree runs a multicast tree in reverse: a convergecast from the
+// tree's members to its source — reduction over an arbitrary subset.
+func ReduceTree(p MachineParams, t *Tree, bytes int, tCompute Time) CollectiveResult {
+	return collective.ReduceTree(p, t, bytes, tCompute)
+}

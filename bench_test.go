@@ -1,0 +1,311 @@
+// Benchmarks regenerating each figure of the paper's evaluation (Section
+// 5) at reduced trial counts, plus micro-benchmarks of the core machinery.
+// The full-size figures are produced by the cmd/stepwise, cmd/delay, and
+// cmd/simlarge drivers; these benches keep the harness honest and expose
+// the cost of each experiment. Custom metrics report the headline numbers
+// so regressions in *results* (not just speed) are visible:
+//
+//	steps/u-cube, steps/w-sort  — stepwise benches (mid-range point)
+//	us/u-cube, us/w-sort        — delay benches (mid-range point)
+package hypercube_test
+
+import (
+	"testing"
+
+	"hypercube"
+	"hypercube/internal/chain"
+	"hypercube/internal/core"
+	"hypercube/internal/emulator"
+	"hypercube/internal/flitsim"
+	"hypercube/internal/ncube"
+	"hypercube/internal/optimal"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+	"hypercube/internal/workload"
+)
+
+// midpointMetrics reports a table's mid-row cells as custom benchmark
+// metrics, suffixed by unit.
+func midpointMetrics(b *testing.B, tb *stats.Table, unit string) {
+	if len(tb.Rows) == 0 {
+		return
+	}
+	row := tb.Rows[len(tb.Rows)/2]
+	for i, col := range tb.Columns {
+		b.ReportMetric(row.Cells[i], unit+"/"+col)
+	}
+}
+
+// BenchmarkFig09Stepwise6Cube regenerates Figure 9: average of maximum
+// steps on a 6-cube, all-port.
+func BenchmarkFig09Stepwise6Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Stepwise(workload.StepwiseConfig{
+			Dim: 6, Trials: 20, Seed: 1993, Port: core.AllPort,
+			DestCounts: workload.DestCounts(6, 16),
+		})
+	}
+	midpointMetrics(b, tb, "steps")
+}
+
+// BenchmarkFig10Stepwise10Cube regenerates Figure 10: average of maximum
+// steps on a 10-cube, all-port.
+func BenchmarkFig10Stepwise10Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Stepwise(workload.StepwiseConfig{
+			Dim: 10, Trials: 5, Seed: 1993, Port: core.AllPort,
+			DestCounts: workload.DestCounts(10, 8),
+		})
+	}
+	midpointMetrics(b, tb, "steps")
+}
+
+// BenchmarkFig11AvgDelay5Cube regenerates Figure 11: average delay of
+// 4096-byte multicasts on the 5-cube nCUBE-2 model.
+func BenchmarkFig11AvgDelay5Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Delay(workload.DelayConfig{
+			Dim: 5, Trials: 10, Seed: 1993, Bytes: 4096,
+			Stat: workload.AvgDelay, DestCounts: workload.DestCounts(5, 8),
+		})
+	}
+	midpointMetrics(b, tb, "us")
+}
+
+// BenchmarkFig12MaxDelay5Cube regenerates Figure 12: maximum delay on the
+// 5-cube nCUBE-2 model.
+func BenchmarkFig12MaxDelay5Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Delay(workload.DelayConfig{
+			Dim: 5, Trials: 10, Seed: 1993, Bytes: 4096,
+			Stat: workload.MaxDelay, DestCounts: workload.DestCounts(5, 8),
+		})
+	}
+	midpointMetrics(b, tb, "us")
+}
+
+// BenchmarkFig13AvgDelay10Cube regenerates Figure 13: average delay on the
+// simulated 1024-node system.
+func BenchmarkFig13AvgDelay10Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Delay(workload.DelayConfig{
+			Dim: 10, Trials: 3, Seed: 1993, Bytes: 4096,
+			Stat: workload.AvgDelay, DestCounts: workload.DestCounts(10, 6),
+		})
+	}
+	midpointMetrics(b, tb, "us")
+}
+
+// BenchmarkFig14MaxDelay10Cube regenerates Figure 14: maximum delay on the
+// simulated 1024-node system.
+func BenchmarkFig14MaxDelay10Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Delay(workload.DelayConfig{
+			Dim: 10, Trials: 3, Seed: 1993, Bytes: 4096,
+			Stat: workload.MaxDelay, DestCounts: workload.DestCounts(10, 6),
+		})
+	}
+	midpointMetrics(b, tb, "us")
+}
+
+// BenchmarkSizeSweep5Cube regenerates the Section 5.2 "messages of various
+// sizes" measurement at a fixed 12-destination load.
+func BenchmarkSizeSweep5Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.SizeSweep(workload.SizeSweepConfig{
+			Dim: 5, Dests: 12, Trials: 10, Seed: 1993,
+			Sizes: []int{512, 4096, 16384},
+		})
+	}
+	midpointMetrics(b, tb, "us")
+}
+
+// BenchmarkExtConcurrent6Cube regenerates the interference extension
+// experiment (not in the paper): k simultaneous multicasts on one network.
+func BenchmarkExtConcurrent6Cube(b *testing.B) {
+	var tb *stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = workload.Concurrent(workload.ConcurrentConfig{
+			Dim: 6, Dests: 12, Trials: 8, Seed: 1993, Counts: []int{1, 4, 8},
+		})
+	}
+	midpointMetrics(b, tb, "us")
+}
+
+// --- micro-benchmarks -----------------------------------------------------
+
+func benchBuild(b *testing.B, a hypercube.Algorithm, n, m int) {
+	cube := hypercube.New(n, hypercube.HighToLow)
+	dests := hypercube.RandomDests(cube, 7, 0, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypercube.Multicast(cube, a, 0, dests)
+	}
+}
+
+func BenchmarkBuildUCube10Cube512(b *testing.B)   { benchBuild(b, hypercube.UCube, 10, 512) }
+func BenchmarkBuildMaxport10Cube512(b *testing.B) { benchBuild(b, hypercube.Maxport, 10, 512) }
+func BenchmarkBuildCombine10Cube512(b *testing.B) { benchBuild(b, hypercube.Combine, 10, 512) }
+func BenchmarkBuildWSort10Cube512(b *testing.B)   { benchBuild(b, hypercube.WSort, 10, 512) }
+
+// Weighted sort: centralized Figure 7 procedure vs the O(m log m) variant.
+func benchWeightedSort(b *testing.B, fast bool, n, m int) {
+	cube := topology.New(n, topology.HighToLow)
+	base := chain.Relative(cube, 0, workload.NewGenerator(cube, 5).Dests(0, m))
+	buf := make(chain.Chain, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		if fast {
+			buf.WeightedSortFast(n)
+		} else {
+			buf.WeightedSort(n)
+		}
+	}
+}
+
+func BenchmarkWeightedSortCentralized(b *testing.B) { benchWeightedSort(b, false, 12, 2048) }
+func BenchmarkWeightedSortFast(b *testing.B)        { benchWeightedSort(b, true, 12, 2048) }
+
+// Stepwise scheduling of a large tree.
+func BenchmarkScheduleAllPort(b *testing.B) {
+	cube := hypercube.New(10, hypercube.HighToLow)
+	tree := hypercube.Multicast(cube, hypercube.WSort, 0, hypercube.RandomDests(cube, 3, 0, 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypercube.Schedule(tree, hypercube.AllPort)
+	}
+}
+
+// Full machine simulation of one 1024-node broadcast.
+func BenchmarkSimulateBroadcast10Cube(b *testing.B) {
+	cube := hypercube.New(10, hypercube.HighToLow)
+	tree := hypercube.Broadcast(cube, hypercube.WSort, 0)
+	params := hypercube.NCube2Params(hypercube.AllPort)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypercube.Simulate(params, tree, 4096)
+	}
+}
+
+// Definition 4 contention checking (quadratic in unicasts).
+func BenchmarkCheckContention(b *testing.B) {
+	cube := hypercube.New(8, hypercube.HighToLow)
+	tree := hypercube.Multicast(cube, hypercube.WSort, 0, hypercube.RandomDests(cube, 11, 0, 128))
+	s := hypercube.Schedule(tree, hypercube.AllPort)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cs := hypercube.CheckContention(s); len(cs) != 0 {
+			b.Fatal("unexpected contention")
+		}
+	}
+}
+
+// Ablation: the cost/benefit of the weighted sort, reported as the step
+// advantage of W-sort over plain Maxport at a mid-load point.
+func BenchmarkAblationWeightedSortBenefit(b *testing.B) {
+	cube := hypercube.New(8, hypercube.HighToLow)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gen := workload.NewGenerator(topology.New(8, topology.HighToLow), int64(i))
+		var mp, ws float64
+		for trial := 0; trial < 10; trial++ {
+			src := gen.Source()
+			dests := gen.Dests(src, 64)
+			mp += float64(hypercube.Schedule(hypercube.Multicast(cube, hypercube.Maxport, src, dests), hypercube.AllPort).Steps())
+			ws += float64(hypercube.Schedule(hypercube.Multicast(cube, hypercube.WSort, src, dests), hypercube.AllPort).Steps())
+		}
+		gain = (mp - ws) / 10
+	}
+	b.ReportMetric(gain, "steps-saved")
+}
+
+// Collective operations on the 64-node machine model.
+func BenchmarkCollectiveScatter6Cube(b *testing.B) {
+	cube := hypercube.New(6, hypercube.HighToLow)
+	p := hypercube.NCube2Params(hypercube.AllPort)
+	for i := 0; i < b.N; i++ {
+		hypercube.Scatter(p, cube, 0, 1024)
+	}
+}
+
+func BenchmarkCollectiveBarrier8Cube(b *testing.B) {
+	cube := hypercube.New(8, hypercube.HighToLow)
+	p := hypercube.NCube2Params(hypercube.AllPort)
+	for i := 0; i < b.N; i++ {
+		hypercube.Barrier(p, cube)
+	}
+}
+
+// Flit-level simulation of one 4 KB unicast across a 10-cube (4096 cycles
+// of pipeline per message) — the cost of the high-fidelity backend.
+func BenchmarkFlitLevelUnicast(b *testing.B) {
+	cube := topology.New(10, topology.HighToLow)
+	for i := 0; i < b.N; i++ {
+		nw := flitsim.New(cube, flitsim.Config{BufFlits: 2})
+		nw.Send(0, 1023, 4096, 0)
+		nw.Run()
+	}
+}
+
+// Concurrent goroutine-per-node emulation of a 128-node broadcast.
+func BenchmarkEmulatorBroadcast7Cube(b *testing.B) {
+	cube := topology.New(7, topology.HighToLow)
+	e := emulator.New(cube)
+	defer e.Close()
+	var dests []topology.NodeID
+	for v := 1; v < cube.Nodes(); v++ {
+		dests = append(dests, topology.NodeID(v))
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(core.Maxport, 0, dests, payload)
+	}
+}
+
+// Interference study: four overlapping 20-destination W-sort multicasts on
+// one 64-node network.
+func BenchmarkSimulateManyConcurrent(b *testing.B) {
+	cube := hypercube.New(6, hypercube.HighToLow)
+	p := hypercube.NCube2Params(hypercube.AllPort)
+	var trees []*hypercube.Tree
+	for k := 0; k < 4; k++ {
+		src := hypercube.NodeID(k * 16)
+		trees = append(trees, hypercube.Multicast(cube, hypercube.WSort, src,
+			hypercube.RandomDests(cube, int64(k), src, 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypercube.SimulateMany(p, trees, 4096)
+	}
+}
+
+// Exact-optimal search on the paper's Figure 3 instance.
+func BenchmarkOptimalSearchFig3(b *testing.B) {
+	cube := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+	for i := 0; i < b.N; i++ {
+		if optimal.Steps(cube, 0, dests, 4) != 2 {
+			b.Fatal("wrong optimum")
+		}
+	}
+}
+
+// Baseline for context: one ncube.Run on a mid-size 6-cube multicast.
+func BenchmarkSimulateMulticast6Cube(b *testing.B) {
+	cube := hypercube.New(6, hypercube.HighToLow)
+	tree := hypercube.Multicast(cube, hypercube.UCube, 0, hypercube.RandomDests(cube, 13, 0, 32))
+	params := ncube.NCube2(core.AllPort)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ncube.Run(params, tree, 4096)
+	}
+}

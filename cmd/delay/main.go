@@ -1,0 +1,77 @@
+// Command delay regenerates the nCUBE-2 measurements of the paper's
+// Figures 11 (average delay) and 12 (maximum delay): 4096-byte multicasts
+// from random destination sets in a 5-cube, executed on the calibrated
+// machine model.
+//
+// Usage:
+//
+//	delay                # Figure 11 (average delay, 5-cube)
+//	delay -stat max      # Figure 12 (maximum delay)
+//	delay -sweep 12      # message-size sweep at 12 destinations (§5.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hypercube/internal/cliutil"
+	"hypercube/internal/ncube"
+	"hypercube/internal/stats"
+	"hypercube/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("delay: ")
+	var (
+		dim    = flag.Int("n", 5, "hypercube dimensionality")
+		trials = flag.Int("trials", 20, "random destination sets per point")
+		seed   = flag.Int64("seed", 1993, "workload RNG seed")
+		bytes  = flag.Int("bytes", 4096, "message length")
+		stat   = flag.String("stat", "avg", "per-set statistic: avg or max")
+		port   = flag.String("port", "all-port", "port model: one-port or all-port")
+		algos  = flag.String("algos", "u-cube,maxport,combine,w-sort", "comma-separated algorithms")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
+		sweep  = flag.Int("sweep", 0, "sweep message sizes at this fixed destination count instead of sweeping destinations")
+	)
+	flag.Parse()
+
+	st, err := cliutil.ParseDelayStat(*stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := cliutil.ParsePort(*port)
+	if err != nil {
+		log.Fatal(err)
+	}
+	as, err := cliutil.ParseAlgorithms(*algos)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tb *stats.Table
+	if *sweep > 0 {
+		tb = workload.SizeSweep(workload.SizeSweepConfig{
+			Dim:        *dim,
+			Dests:      *sweep,
+			Trials:     *trials,
+			Seed:       *seed,
+			Params:     ncube.NCube2(pm),
+			Stat:       st,
+			Algorithms: as,
+		})
+	} else {
+		tb = workload.Delay(workload.DelayConfig{
+			Dim:        *dim,
+			Trials:     *trials,
+			Seed:       *seed,
+			Bytes:      *bytes,
+			Params:     ncube.NCube2(pm),
+			Stat:       st,
+			Algorithms: as,
+		})
+	}
+	fmt.Print(cliutil.RenderTable(tb, *csv, *plotIt))
+}

@@ -1,0 +1,99 @@
+// Command figures regenerates every dataset of the paper's evaluation in
+// one run, writing the aligned tables into a results directory (default
+// ./results). It is the repository's "make figures".
+//
+// Usage:
+//
+//	figures              # full-fidelity run (a few minutes)
+//	figures -quick       # reduced trials, for smoke testing
+//	figures -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hypercube/internal/stats"
+	"hypercube/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		dir   = flag.String("dir", "results", "output directory")
+		quick = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
+		seed  = flag.Int64("seed", 1993, "workload RNG seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	trials := func(full int) int {
+		if *quick {
+			if full >= 100 {
+				return 10
+			}
+			return 5
+		}
+		return full
+	}
+
+	jobs := []struct {
+		file string
+		run  func() *stats.Table
+	}{
+		{"fig09_stepwise_6cube.txt", func() *stats.Table {
+			return workload.Stepwise(workload.StepwiseConfig{Dim: 6, Trials: trials(100), Seed: *seed})
+		}},
+		{"fig10_stepwise_10cube.txt", func() *stats.Table {
+			return workload.Stepwise(workload.StepwiseConfig{
+				Dim: 10, Trials: trials(100), Seed: *seed,
+				DestCounts: workload.DestCounts(10, 33),
+			})
+		}},
+		{"fig11_avg_delay_5cube.txt", func() *stats.Table {
+			return workload.Delay(workload.DelayConfig{Dim: 5, Trials: trials(20), Seed: *seed, Stat: workload.AvgDelay})
+		}},
+		{"fig12_max_delay_5cube.txt", func() *stats.Table {
+			return workload.Delay(workload.DelayConfig{Dim: 5, Trials: trials(20), Seed: *seed, Stat: workload.MaxDelay})
+		}},
+		{"fig13_avg_delay_10cube.txt", func() *stats.Table {
+			return workload.Delay(workload.DelayConfig{
+				Dim: 10, Trials: trials(100), Seed: *seed, Stat: workload.AvgDelay,
+				DestCounts: workload.DestCounts(10, 17),
+			})
+		}},
+		{"fig14_max_delay_10cube.txt", func() *stats.Table {
+			return workload.Delay(workload.DelayConfig{
+				Dim: 10, Trials: trials(100), Seed: *seed, Stat: workload.MaxDelay,
+				DestCounts: workload.DestCounts(10, 17),
+			})
+		}},
+		{"sweep_msgsize_5cube.txt", func() *stats.Table {
+			return workload.SizeSweep(workload.SizeSweepConfig{
+				Dim: 5, Dests: 12, Trials: trials(20), Seed: *seed,
+			})
+		}},
+		{"ext_concurrent_6cube.txt", func() *stats.Table {
+			return workload.Concurrent(workload.ConcurrentConfig{
+				Dim: 6, Dests: 12, Trials: trials(20), Seed: *seed,
+			})
+		}},
+	}
+
+	for _, j := range jobs {
+		start := time.Now()
+		tb := j.run()
+		path := filepath.Join(*dir, j.file)
+		if err := os.WriteFile(path, []byte(tb.Render()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %-32s (%d rows, %s)\n", path, len(tb.Rows), time.Since(start).Round(time.Millisecond))
+	}
+}

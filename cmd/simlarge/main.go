@@ -1,0 +1,58 @@
+// Command simlarge regenerates the large-system simulations of the paper's
+// Figures 13 (average delay) and 14 (maximum delay): 4096-byte multicasts
+// from 100 random destination sets per point in a 10-cube (1024 nodes),
+// executed on the MultiSim-equivalent wormhole simulator.
+//
+// Usage:
+//
+//	simlarge             # Figure 13 (average delay, 10-cube)
+//	simlarge -stat max   # Figure 14 (maximum delay)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hypercube/internal/cliutil"
+	"hypercube/internal/core"
+	"hypercube/internal/ncube"
+	"hypercube/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simlarge: ")
+	var (
+		dim    = flag.Int("n", 10, "hypercube dimensionality")
+		trials = flag.Int("trials", 100, "random destination sets per point")
+		seed   = flag.Int64("seed", 1993, "workload RNG seed")
+		bytes  = flag.Int("bytes", 4096, "message length")
+		points = flag.Int("points", 24, "max number of x-axis points")
+		stat   = flag.String("stat", "avg", "per-set statistic: avg or max")
+		algos  = flag.String("algos", "u-cube,maxport,combine,w-sort", "comma-separated algorithms")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
+	)
+	flag.Parse()
+
+	st, err := cliutil.ParseDelayStat(*stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	as, err := cliutil.ParseAlgorithms(*algos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := workload.Delay(workload.DelayConfig{
+		Dim:        *dim,
+		Trials:     *trials,
+		Seed:       *seed,
+		Bytes:      *bytes,
+		Params:     ncube.NCube2(core.AllPort),
+		Stat:       st,
+		Algorithms: as,
+		DestCounts: workload.DestCounts(*dim, *points),
+	})
+	fmt.Print(cliutil.RenderTable(tb, *csv, *plotIt))
+}

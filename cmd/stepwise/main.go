@@ -1,0 +1,61 @@
+// Command stepwise regenerates the stepwise comparisons of the paper's
+// Figures 9 and 10: the average, over random destination sets, of the
+// maximum number of steps each multicast algorithm needs on an all-port
+// (or one-port) hypercube.
+//
+// Usage:
+//
+//	stepwise -n 6             # Figure 9 (6-cube)
+//	stepwise -n 10            # Figure 10 (10-cube)
+//	stepwise -n 6 -csv        # machine-readable output
+//	stepwise -n 6 -plot       # text line chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hypercube/internal/cliutil"
+	"hypercube/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stepwise: ")
+	var (
+		dim    = flag.Int("n", 6, "hypercube dimensionality")
+		trials = flag.Int("trials", 100, "random destination sets per point")
+		seed   = flag.Int64("seed", 1993, "workload RNG seed")
+		points = flag.Int("points", 64, "max number of x-axis points")
+		port   = flag.String("port", "all-port", "port model: one-port or all-port")
+		stat   = flag.String("stat", "max", "per-set statistic: max (paper) or avg")
+		algos  = flag.String("algos", "u-cube,maxport,combine,w-sort", "comma-separated algorithms")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
+	)
+	flag.Parse()
+
+	pm, err := cliutil.ParsePort(*port)
+	if err != nil {
+		log.Fatal(err)
+	}
+	as, err := cliutil.ParseAlgorithms(*algos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := cliutil.ParseStepStat(*stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := workload.Stepwise(workload.StepwiseConfig{
+		Dim:        *dim,
+		Trials:     *trials,
+		Seed:       *seed,
+		Algorithms: as,
+		DestCounts: workload.DestCounts(*dim, *points),
+		Port:       pm,
+		Stat:       st,
+	})
+	fmt.Print(cliutil.RenderTable(tb, *csv, *plotIt))
+}

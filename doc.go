@@ -1,0 +1,39 @@
+// Package hypercube implements efficient collective data distribution —
+// multicast — for all-port wormhole-routed hypercubes, reproducing
+// Robinson, Judd, McKinley, and Cheng, "Efficient Collective Data
+// Distribution in All-Port Wormhole-Routed Hypercubes" (SC 1993).
+//
+// The package is the public facade over a set of internal subsystems:
+//
+//   - topology: hypercube addressing, E-cube (dimension-ordered) routing
+//     under either bit-resolution order, subcubes, and the arc-disjointness
+//     theory of the paper's Section 3;
+//   - chain: dimension-ordered and cube-ordered destination chains and the
+//     weighted_sort procedure (Figure 7);
+//   - core: the multicast tree algorithms — U-cube, Maxport, Combine,
+//     W-sort, plus separate-addressing and store-and-forward baselines —
+//     with stepwise one-port/all-port schedulers and the Definition 4
+//     contention checker;
+//   - wormhole: a discrete-event wormhole network simulator (headers
+//     acquire channels hop by hop, block holding what they own, and
+//     pipeline the payload at channel bandwidth);
+//   - ncube: an nCUBE-2-calibrated machine model (software startup and
+//     receive overheads, port models) executing multicast trees
+//     distributed, node by node;
+//   - workload: the randomized experiment sweeps behind every figure of
+//     the paper's evaluation.
+//
+// # Quick start
+//
+//	cube := hypercube.New(4, hypercube.HighToLow)
+//	dests := []hypercube.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+//	tree := hypercube.Multicast(cube, hypercube.WSort, 0, dests)
+//	sched := hypercube.Schedule(tree, hypercube.AllPort)
+//	fmt.Println(sched.Steps())   // 2
+//	fmt.Print(sched.Format())    // the tree of Figure 8(c)
+//
+// To measure delays on the simulated machine:
+//
+//	res := hypercube.Simulate(hypercube.NCube2Params(hypercube.AllPort), tree, 4096)
+//	avg, max := res.Stats(dests)
+package hypercube

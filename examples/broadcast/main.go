@@ -1,0 +1,55 @@
+// Broadcast: the m = N-1 corner of the paper's plots. Compares one-port
+// and all-port broadcast across cube sizes and demonstrates the U-cube
+// anomaly of Figure 11 — a multicast to a random subset can be slower on
+// average than broadcasting to everyone, because U-cube's tree forces
+// multiple messages through one channel.
+package main
+
+import (
+	"fmt"
+
+	"hypercube"
+)
+
+func main() {
+	fmt.Println("Broadcast steps by cube size (one-port vs all-port):")
+	fmt.Println("n   nodes  one-port  all-port")
+	for n := 3; n <= 10; n++ {
+		cube := hypercube.New(n, hypercube.HighToLow)
+		tree := hypercube.Broadcast(cube, hypercube.WSort, 0)
+		op := hypercube.Schedule(tree, hypercube.OnePort).Steps()
+		ap := hypercube.Schedule(tree, hypercube.AllPort).Steps()
+		fmt.Printf("%-3d %-6d %-9d %d\n", n, cube.Nodes(), op, ap)
+	}
+
+	fmt.Println()
+	fmt.Println("The U-cube anomaly (5-cube, 4KB messages, all-port):")
+	cube := hypercube.New(5, hypercube.HighToLow)
+	params := hypercube.NCube2Params(hypercube.AllPort)
+
+	bTree := hypercube.Broadcast(cube, hypercube.UCube, 0)
+	bRes := hypercube.Simulate(params, bTree, 4096)
+	bAvg, _ := bRes.Stats(bTree.Destinations())
+	fmt.Printf("u-cube broadcast to all 31 nodes: avg delay %s\n", bAvg.Micros())
+
+	worst := hypercube.Time(0)
+	var worstSeed int64
+	for seed := int64(0); seed < 40; seed++ {
+		dests := hypercube.RandomDests(cube, seed, 0, 16)
+		res := hypercube.Simulate(params, hypercube.Multicast(cube, hypercube.UCube, 0, dests), 4096)
+		avg, _ := res.Stats(dests)
+		if avg > worst {
+			worst, worstSeed = avg, seed
+		}
+	}
+	fmt.Printf("u-cube multicast to 16 random nodes (worst of 40 sets, seed %d): avg delay %s\n",
+		worstSeed, worst.Micros())
+	if worst > bAvg {
+		fmt.Println("=> reaching HALF the machine took longer than reaching ALL of it.")
+	}
+
+	dests := hypercube.RandomDests(cube, worstSeed, 0, 16)
+	wRes := hypercube.Simulate(params, hypercube.Multicast(cube, hypercube.WSort, 0, dests), 4096)
+	wAvg, _ := wRes.Stats(dests)
+	fmt.Printf("w-sort on the same destination set: avg delay %s (no anomaly)\n", wAvg.Micros())
+}

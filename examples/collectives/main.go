@@ -1,0 +1,52 @@
+// Collectives: the wider collective-communication repertoire the paper's
+// introduction motivates (MPI-style routines), timed on the simulated
+// nCUBE-2. Shows a complete iteration of a distributed computation:
+// scatter the input, synchronize, multicast updated coefficients to a
+// random worker subset, reduce partial results, gather the output.
+package main
+
+import (
+	"fmt"
+
+	"hypercube"
+)
+
+func main() {
+	const n = 6 // 64 nodes
+	cube := hypercube.New(n, hypercube.HighToLow)
+	params := hypercube.NCube2Params(hypercube.AllPort)
+	root := hypercube.NodeID(0)
+
+	fmt.Printf("Collective operations on a simulated %d-node all-port hypercube\n\n", cube.Nodes())
+	fmt.Printf("%-34s %12s %9s %8s\n", "operation", "makespan", "messages", "blocked")
+
+	report := func(name string, r hypercube.CollectiveResult) {
+		fmt.Printf("%-34s %12s %9d %8s\n", name, r.Makespan.Micros(), r.Messages, r.TotalBlocked.Micros())
+	}
+
+	report("scatter 1KB blocks", hypercube.Scatter(params, cube, root, 1024))
+	report("barrier", hypercube.Barrier(params, cube))
+
+	// Multicast phase: root updates 24 random workers with a 4KB block.
+	workers := hypercube.RandomDests(cube, 42, root, 24)
+	tree := hypercube.Multicast(cube, hypercube.WSort, root, workers)
+	mc := hypercube.Simulate(params, tree, 4096)
+	avg, max := mc.Stats(workers)
+	fmt.Printf("%-34s %12s %9d %8s   (avg %s)\n",
+		"w-sort multicast to 24 workers", max.Micros(), len(workers), mc.TotalBlocked.Micros(), avg.Micros())
+
+	report("reduce 4KB partials (+10us/merge)",
+		hypercube.Reduce(params, cube, root, 4096, 10*1000))
+	report("subset reduce (24 workers, w-sort)",
+		hypercube.ReduceTree(params, tree, 4096, 10*1000))
+	report("all-reduce 4KB (+10us/merge)",
+		hypercube.AllReduce(params, cube, 4096, 10*1000))
+	report("gather 1KB blocks", hypercube.Gather(params, cube, root, 1024))
+	report("all-gather 1KB blocks", hypercube.AllGather(params, cube, 1024))
+
+	fmt.Println()
+	fmt.Println("The dimension-ordered schedules are contention-free (zero blocking).")
+	fmt.Println("The subset reduce runs a W-sort tree in reverse; upward E-cube paths")
+	fmt.Println("differ from the downward ones, so some header blocking can appear —")
+	fmt.Println("the duality caveat docs/THEORY.md describes.")
+}

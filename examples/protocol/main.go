@@ -1,0 +1,62 @@
+// Protocol: the distributed reality behind the trees. No global
+// coordinator exists on the machine — each message carries an address
+// field (the recipient's responsibility chain), and every node
+// independently recomputes its forwards from that field alone. This
+// example runs the multicast on a cube of concurrently executing
+// goroutine nodes exchanging real payload bytes, then shows that the
+// emergent communication structure matches the centrally built tree.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"hypercube"
+	"hypercube/internal/core"
+	"hypercube/internal/emulator"
+	"hypercube/internal/topology"
+)
+
+func main() {
+	cube := hypercube.New(6, hypercube.HighToLow)
+	src := hypercube.NodeID(0b010011)
+	dests := hypercube.RandomDests(cube, 2026, src, 24)
+	payload := []byte("updated boundary rows, iteration 42")
+
+	// 64 nodes, each a goroutine with an inbox channel.
+	em := emulator.New(cube)
+	defer em.Close()
+
+	res := em.Run(core.WSort, src, dests, payload)
+
+	fmt.Printf("W-sort multicast from %s to %d destinations on %d concurrent nodes\n\n",
+		cube.Binary(src), len(dests), cube.Nodes())
+
+	exact := 0
+	for _, rec := range res.Receipts {
+		if bytes.Equal(rec.Payload, payload) {
+			exact++
+		}
+	}
+	fmt.Printf("deliveries: %d, bit-exact copies: %d, messages on the wire: %d\n",
+		len(res.Receipts), exact, res.Messages)
+
+	// The emergent structure equals the centrally built tree.
+	tree := hypercube.Multicast(cube, hypercube.WSort, src, dests)
+	match := true
+	for v, rec := range res.Receipts {
+		if rec.Forwards != len(tree.Sends[topology.NodeID(v)]) {
+			match = false
+		}
+	}
+	fmt.Printf("per-node forward counts match the central tree: %v\n", match)
+
+	sched := hypercube.Schedule(tree, hypercube.AllPort)
+	fmt.Printf("that tree completes in %d synchronous steps, contention-free: %v\n",
+		sched.Steps(), len(hypercube.CheckContention(sched)) == 0)
+
+	fmt.Println()
+	fmt.Println("Each node needed only the address field it received — the paper's")
+	fmt.Println("algorithms are fully distributed, which is what made them practical")
+	fmt.Println("as the multicast layer of message-passing libraries.")
+}

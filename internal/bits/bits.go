@@ -1,0 +1,92 @@
+// Package bits provides the low-level address arithmetic used throughout the
+// hypercube library: population counts, logarithms, masks, and bit reversal.
+//
+// Node addresses are n-bit binary numbers stored in uint32. All helpers are
+// pure functions, safe for concurrent use.
+package bits
+
+import "math/bits"
+
+// MaxDim is the largest hypercube dimensionality the library supports.
+// 2^20 nodes is far beyond anything the paper evaluates (10-cube = 1024).
+const MaxDim = 20
+
+// OnesCount returns ||v||, the number of 1 bits in v.
+func OnesCount(v uint32) int { return bits.OnesCount32(v) }
+
+// Log2 returns floor(log2(v)). It panics if v == 0, mirroring the paper's
+// convention that delta(u,v) is undefined when u == v.
+func Log2(v uint32) int {
+	if v == 0 {
+		panic("bits: Log2 of zero is undefined")
+	}
+	return 31 - bits.LeadingZeros32(v)
+}
+
+// LowBit returns the position of the least significant 1 bit of v.
+// It panics if v == 0.
+func LowBit(v uint32) int {
+	if v == 0 {
+		panic("bits: LowBit of zero is undefined")
+	}
+	return bits.TrailingZeros32(v)
+}
+
+// Mask returns a mask with the low n bits set.
+func Mask(n int) uint32 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return (uint32(1) << uint(n)) - 1
+}
+
+// Bit reports whether bit d of v is set.
+func Bit(v uint32, d int) bool { return v&(1<<uint(d)) != 0 }
+
+// SetBit returns v with bit d set.
+func SetBit(v uint32, d int) uint32 { return v | 1<<uint(d) }
+
+// ClearBit returns v with bit d cleared.
+func ClearBit(v uint32, d int) uint32 { return v &^ (1 << uint(d)) }
+
+// FlipBit returns v with bit d inverted.
+func FlipBit(v uint32, d int) uint32 { return v ^ 1<<uint(d) }
+
+// Reverse returns the n-bit reversal of v: bit i moves to bit n-1-i.
+// Reversal converts between high-to-low and low-to-high address resolution
+// orders: E-cube routing that resolves low bits first behaves on v exactly
+// as high-first routing behaves on Reverse(v, n).
+func Reverse(v uint32, n int) uint32 {
+	var r uint32
+	for i := 0; i < n; i++ {
+		if v&(1<<uint(i)) != 0 {
+			r |= 1 << uint(n-1-i)
+		}
+	}
+	return r
+}
+
+// Pow2 returns 2^n as an int. It panics if n is negative or n > 30.
+func Pow2(n int) int {
+	if n < 0 || n > 30 {
+		panic("bits: Pow2 argument out of range")
+	}
+	return 1 << uint(n)
+}
+
+// CeilLog2 returns the smallest k such that 2^k >= v, with CeilLog2(0) == 0
+// and CeilLog2(1) == 0. The paper's one-port lower bound on multicast steps
+// is CeilLog2(m+1) for m destinations.
+func CeilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	k := Log2(uint32(v))
+	if 1<<uint(k) < v {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,184 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOnesCount(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {0b1011, 3}, {0xFFFFFFFF, 32},
+	}
+	for _, c := range cases {
+		if got := OnesCount(c.v); got != c.want {
+			t.Errorf("OnesCount(%b) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {0b1011, 3}, {1 << 31, 31},
+	}
+	for _, c := range cases {
+		if got := Log2(c.v); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestLowBit(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{1, 0}, {2, 1}, {12, 2}, {0b1000, 3}, {1 << 31, 31},
+	}
+	for _, c := range cases {
+		if got := LowBit(c.v); got != c.want {
+			t.Errorf("LowBit(%b) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLowBitPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LowBit(0) did not panic")
+		}
+	}()
+	LowBit(0)
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint32
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {4, 0xF}, {10, 0x3FF}, {32, 0xFFFFFFFF}, {40, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Mask(c.n); got != c.want {
+			t.Errorf("Mask(%d) = %x, want %x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	v := uint32(0b1010)
+	if !Bit(v, 1) || !Bit(v, 3) || Bit(v, 0) || Bit(v, 2) {
+		t.Errorf("Bit checks failed for %b", v)
+	}
+	if got := SetBit(v, 0); got != 0b1011 {
+		t.Errorf("SetBit = %b", got)
+	}
+	if got := ClearBit(v, 3); got != 0b0010 {
+		t.Errorf("ClearBit = %b", got)
+	}
+	if got := FlipBit(v, 2); got != 0b1110 {
+		t.Errorf("FlipBit = %b", got)
+	}
+	if got := FlipBit(v, 1); got != 0b1000 {
+		t.Errorf("FlipBit = %b", got)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		n    int
+		want uint32
+	}{
+		{0b0001, 4, 0b1000},
+		{0b1011, 4, 0b1101},
+		{0b1111, 4, 0b1111},
+		{0, 4, 0},
+		{0b101, 3, 0b101},
+		{0b100, 3, 0b001},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.v, c.n); got != c.want {
+			t.Errorf("Reverse(%b, %d) = %b, want %b", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(v uint32) bool {
+		v &= Mask(10)
+		return Reverse(Reverse(v, 10), 10) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReversePreservesOnesCount(t *testing.T) {
+	f := func(v uint32) bool {
+		v &= Mask(12)
+		return OnesCount(Reverse(v, 12)) == OnesCount(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow2(t *testing.T) {
+	if Pow2(0) != 1 || Pow2(5) != 32 || Pow2(10) != 1024 {
+		t.Error("Pow2 basic values wrong")
+	}
+}
+
+func TestPow2PanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{-1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pow2(%d) did not panic", n)
+				}
+			}()
+			Pow2(n)
+		}()
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.v); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// The one-port multicast lower bound from the paper: reaching m destinations
+// takes ceil(log2(m+1)) steps. Check consistency of CeilLog2 against the
+// doubling process: after k steps at most 2^k - 1 destinations are reached.
+func TestCeilLog2MatchesDoubling(t *testing.T) {
+	for m := 0; m <= 1<<12; m++ {
+		k := CeilLog2(m + 1)
+		if Pow2(k)-1 < m {
+			t.Fatalf("m=%d: 2^%d - 1 < m", m, k)
+		}
+		if k > 0 && Pow2(k-1)-1 >= m {
+			t.Fatalf("m=%d: k=%d not minimal", m, k)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package chain
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hypercube/internal/topology"
+)
+
+func ids(vs ...uint32) []topology.NodeID {
+	out := make([]topology.NodeID, len(vs))
+	for i, v := range vs {
+		out[i] = topology.NodeID(v)
+	}
+	return out
+}
+
+// Figure 5 of the paper: source 0100 with destinations {0001, 0011, 0101,
+// 0111, 1000, 1010, 1011, 1111} yields the d0-relative chain
+// {0000, 0001, 0011, 0101, 0111, 1011, 1100, 1110, 1111}.
+func TestRelativePaperFigure5(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	got := Relative(c, 0b0100, ids(0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111))
+	want := Chain(ids(0b0000, 0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Relative = %v, want %v", got, want)
+	}
+	if !got.IsDimensionOrdered() {
+		t.Error("chain should be dimension ordered")
+	}
+}
+
+func TestRelativeDedupAndDropSource(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	got := Relative(c, 2, ids(3, 3, 2, 5))
+	want := Chain(ids(0, 1, 7))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Relative = %v, want %v", got, want)
+	}
+}
+
+func TestAbsoluteRoundTrip(t *testing.T) {
+	for _, res := range []topology.Resolution{topology.HighToLow, topology.LowToHigh} {
+		c := topology.New(5, res)
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 200; trial++ {
+			src := topology.NodeID(rng.Intn(32))
+			m := 1 + rng.Intn(20)
+			dests := make([]topology.NodeID, m)
+			for i := range dests {
+				dests[i] = topology.NodeID(rng.Intn(32))
+			}
+			ch := Relative(c, src, dests)
+			abs := ch.Absolute(c, src)
+			if abs[0] != src {
+				t.Fatalf("round trip source mismatch: %v", abs[0])
+			}
+			wantSet := map[topology.NodeID]bool{}
+			for _, d := range dests {
+				if d != src {
+					wantSet[d] = true
+				}
+			}
+			gotSet := map[topology.NodeID]bool{}
+			for _, d := range abs[1:] {
+				gotSet[d] = true
+			}
+			if !reflect.DeepEqual(gotSet, wantSet) {
+				t.Fatalf("round trip set mismatch: got %v want %v", gotSet, wantSet)
+			}
+		}
+	}
+}
+
+func TestIsDimensionOrdered(t *testing.T) {
+	if !(Chain(ids(0, 1, 5))).IsDimensionOrdered() {
+		t.Error("ascending chain rejected")
+	}
+	if (Chain(ids(0, 5, 1))).IsDimensionOrdered() {
+		t.Error("descending pair accepted")
+	}
+	if (Chain(ids(0, 1, 1))).IsDimensionOrdered() {
+		t.Error("duplicate accepted")
+	}
+	if !(Chain(ids(0))).IsDimensionOrdered() {
+		t.Error("singleton rejected")
+	}
+}
+
+// Theorem 4: every dimension-ordered chain is cube-ordered.
+func TestTheorem4DimensionOrderedIsCubeOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		m := rng.Intn(1 << uint(n))
+		perm := rng.Perm(1 << uint(n))
+		var ch Chain
+		ch = append(ch, 0)
+		for _, p := range perm {
+			if p != 0 && len(ch) < m+1 {
+				ch = append(ch, topology.NodeID(p))
+			}
+		}
+		sort.Slice(ch, func(i, j int) bool { return ch[i] < ch[j] })
+		if !ch.IsCubeOrdered(n) {
+			t.Fatalf("Theorem 4 violated: n=%d chain=%v", n, ch)
+		}
+	}
+}
+
+func TestIsCubeOrderedCounterexample(t *testing.T) {
+	// {0, 4, 1} in a 3-cube: subcube (2, 0) = {0..3} holds 0 and 1 with 4
+	// (outside) between them.
+	if (Chain(ids(0, 4, 1))).IsCubeOrdered(3) {
+		t.Error("non-contiguous subcube membership accepted")
+	}
+	// The paper's weighted example IS cube-ordered though not ascending.
+	if !(Chain(ids(0, 1, 3, 5, 7, 14, 15, 12, 11))).IsCubeOrdered(4) {
+		t.Error("paper's weighted chain rejected")
+	}
+}
+
+func TestCubeCenter(t *testing.T) {
+	ch := Chain(ids(0, 1, 3, 5, 7, 11, 12, 14, 15))
+	// Top level (nS=4): split on bit 3; first element with bit3=1 is 11 at
+	// index 5.
+	if got := ch.CubeCenter(0, 8, 4); got != 5 {
+		t.Errorf("CubeCenter top = %d, want 5", got)
+	}
+	// Range {11,12,14,15} (nS=3): split bit 2; 12 is at index 6.
+	if got := ch.CubeCenter(5, 8, 3); got != 6 {
+		t.Errorf("CubeCenter sub = %d, want 6", got)
+	}
+	// Range {0,1,3,5,7} (nS=3): split bit 2; 5 at index 3.
+	if got := ch.CubeCenter(0, 4, 3); got != 3 {
+		t.Errorf("CubeCenter lower = %d, want 3", got)
+	}
+	// Empty half: range {1,3} with nS=3 — both have bit 2 clear.
+	if got := ch.CubeCenter(1, 2, 3); got != 3 {
+		t.Errorf("CubeCenter empty half = %d, want last+1=3", got)
+	}
+}
+
+func TestCubeCenterPanics(t *testing.T) {
+	ch := Chain(ids(0, 1))
+	for _, bad := range []struct{ first, last, nS int }{
+		{0, 1, 0}, {-1, 1, 2}, {0, 2, 2}, {1, 0, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CubeCenter(%v) did not panic", bad)
+				}
+			}()
+			ch.CubeCenter(bad.first, bad.last, bad.nS)
+		}()
+	}
+}
+
+// The paper's Figure 8: weighted_sort({0,1,3,5,7,11,12,14,15}) =
+// {0,1,3,5,7,14,15,12,11}.
+func TestWeightedSortPaperFigure8(t *testing.T) {
+	ch := Chain(ids(0, 1, 3, 5, 7, 11, 12, 14, 15))
+	ch.WeightedSort(4)
+	want := Chain(ids(0, 1, 3, 5, 7, 14, 15, 12, 11))
+	if !reflect.DeepEqual(ch, want) {
+		t.Errorf("WeightedSort = %v, want %v", ch, want)
+	}
+}
+
+func TestWeightedSortTheorem5Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(9)
+		ch := randomChain(rng, n)
+		orig := make(Chain, len(ch))
+		copy(orig, ch)
+		ch.WeightedSort(n)
+		// (3) source stays first.
+		if ch[0] != 0 {
+			t.Fatalf("source moved: %v", ch)
+		}
+		// (2) permutation of the input.
+		if !samePermutation(orig, ch) {
+			t.Fatalf("not a permutation: %v -> %v", orig, ch)
+		}
+		// (1) result is cube-ordered.
+		if !ch.IsCubeOrdered(n) {
+			t.Fatalf("weighted chain not cube-ordered: n=%d %v", n, ch)
+		}
+	}
+}
+
+// The fast (distributed-equivalent) weighted sort produces exactly the same
+// permutation as the centralized Figure 7 procedure.
+func TestWeightedSortFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomChain(rng, n)
+		b := make(Chain, len(a))
+		copy(b, a)
+		a.WeightedSort(n)
+		b.WeightedSortFast(n)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("divergence: n=%d centralized=%v fast=%v", n, a, b)
+		}
+	}
+}
+
+// Weighted sort is idempotent: a weighted chain is already "most crowded
+// first" at every level.
+func TestWeightedSortIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		ch := randomChain(rng, n)
+		ch.WeightedSort(n)
+		again := make(Chain, len(ch))
+		copy(again, ch)
+		again.WeightedSort(n)
+		if !reflect.DeepEqual(ch, again) {
+			t.Fatalf("not idempotent: %v -> %v", ch, again)
+		}
+	}
+}
+
+func TestWeightedSortSmallChains(t *testing.T) {
+	empty := Chain{}
+	empty.WeightedSort(4) // must not panic
+	one := Chain(ids(0))
+	one.WeightedSort(4)
+	if !reflect.DeepEqual(one, Chain(ids(0))) {
+		t.Error("singleton modified")
+	}
+	two := Chain(ids(0, 9))
+	two.WeightedSort(4)
+	if !reflect.DeepEqual(two, Chain(ids(0, 9))) {
+		t.Error("pair modified")
+	}
+	twoF := Chain(ids(0, 9))
+	twoF.WeightedSortFast(4)
+	if !reflect.DeepEqual(twoF, Chain(ids(0, 9))) {
+		t.Error("fast pair modified")
+	}
+}
+
+func TestFirstWithDelta(t *testing.T) {
+	// Weighted Figure 8 chain: from position 0 the top channel is
+	// delta(0, 11) = 3; elements 14,15,12,11 (indices 5..8) share it.
+	ch := Chain(ids(0, 1, 3, 5, 7, 14, 15, 12, 11))
+	if got := ch.FirstWithDelta(0, 8); got != 5 {
+		t.Errorf("FirstWithDelta = %d, want 5", got)
+	}
+	// After peeling: range [0..4], delta(0,7)=2; elements 5,7 share it.
+	if got := ch.FirstWithDelta(0, 4); got != 3 {
+		t.Errorf("FirstWithDelta = %d, want 3", got)
+	}
+	// All of range in one opposite half.
+	all := Chain(ids(0, 8, 9, 10))
+	if got := all.FirstWithDelta(0, 3); got != 1 {
+		t.Errorf("FirstWithDelta = %d, want 1", got)
+	}
+}
+
+// Property: FirstWithDelta returns the leftmost index with matching Delta,
+// and everything from there to right matches (contiguous tail).
+func TestFirstWithDeltaContiguity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(7)
+		ch := randomChain(rng, n)
+		if len(ch) < 2 {
+			continue
+		}
+		ch.WeightedSort(n)
+		x := topology.Delta(ch[0], ch[len(ch)-1])
+		i := ch.FirstWithDelta(0, len(ch)-1)
+		for j := 1; j < len(ch); j++ {
+			match := topology.Delta(ch[0], ch[j]) == x
+			if match != (j >= i) {
+				t.Fatalf("tail not contiguous: chain=%v x=%d i=%d j=%d", ch, x, i, j)
+			}
+		}
+	}
+}
+
+func TestMaxDelta(t *testing.T) {
+	ch := Chain(ids(0, 1, 3, 5))
+	if ch.MaxDelta() != 2 {
+		t.Errorf("MaxDelta = %d", ch.MaxDelta())
+	}
+	ch2 := Chain(ids(0, 1, 3, 5, 7, 14, 15, 12, 11))
+	if ch2.MaxDelta() != 3 {
+		t.Errorf("MaxDelta = %d", ch2.MaxDelta())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Chain(ids(0, 1, 5))
+	good.Validate(3) // must not panic
+	for _, bad := range []Chain{
+		{},
+		Chain(ids(1, 2)),
+		Chain(ids(0, 8)),
+		Chain(ids(0, 3, 3)),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Validate(%v) did not panic", bad)
+				}
+			}()
+			bad.Validate(3)
+		}()
+	}
+}
+
+// quick-based property: Relative always yields a dimension-ordered chain
+// starting at 0 regardless of input order.
+func TestRelativeAlwaysOrdered(t *testing.T) {
+	c := topology.New(8, topology.HighToLow)
+	f := func(src uint8, raw []uint8) bool {
+		dests := make([]topology.NodeID, len(raw))
+		for i, r := range raw {
+			dests[i] = topology.NodeID(r)
+		}
+		ch := Relative(c, topology.NodeID(src), dests)
+		return ch[0] == 0 && ch.IsDimensionOrdered()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomChain builds a random relative multicast chain in an n-cube:
+// ascending, starting at 0, with a random subset of destinations.
+func randomChain(rng *rand.Rand, n int) Chain {
+	size := 1 << uint(n)
+	m := rng.Intn(size) // number of destinations
+	perm := rng.Perm(size)
+	ch := Chain{0}
+	for _, p := range perm {
+		if p != 0 && len(ch) < m+1 {
+			ch = append(ch, topology.NodeID(p))
+		}
+	}
+	sort.Slice(ch, func(i, j int) bool { return ch[i] < ch[j] })
+	return ch
+}
+
+func samePermutation(a, b Chain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[topology.NodeID]int{}
+	for _, v := range a {
+		count[v]++
+	}
+	for _, v := range b {
+		count[v]--
+		if count[v] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package chain_test
+
+import (
+	"fmt"
+
+	"hypercube/internal/chain"
+	"hypercube/internal/topology"
+)
+
+// Building the d0-relative dimension-ordered chain of the paper's Figure 5.
+func ExampleRelative() {
+	cube := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{
+		0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111,
+	}
+	ch := chain.Relative(cube, 0b0100, dests)
+	for _, v := range ch {
+		fmt.Printf("%04b ", uint32(v))
+	}
+	fmt.Println()
+	// Output:
+	// 0000 0001 0011 0101 0111 1011 1100 1110 1111
+}
+
+// The weighted_sort permutation of the paper's Figure 8.
+func ExampleChain_WeightedSort() {
+	ch := chain.Chain{0, 1, 3, 5, 7, 11, 12, 14, 15}
+	ch.WeightedSort(4)
+	fmt.Println(ch)
+	// Output:
+	// [0 1 3 5 7 14 15 12 11]
+}
+
+// Cube-ordered chains keep every subcube's members contiguous
+// (Definition 5); ascending order always qualifies (Theorem 4), and the
+// weighted permutation stays cube-ordered (Theorem 5).
+func ExampleChain_IsCubeOrdered() {
+	fmt.Println(chain.Chain{0, 1, 3, 5, 7, 14, 15, 12, 11}.IsCubeOrdered(4))
+	fmt.Println(chain.Chain{0, 4, 1}.IsCubeOrdered(3))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,84 @@
+package chain
+
+import (
+	"sort"
+	"testing"
+
+	"hypercube/internal/topology"
+)
+
+// fuzzChain converts arbitrary bytes into a well-formed relative multicast
+// chain in an n-cube: distinct ascending values starting at 0.
+func fuzzChain(n int, raw []byte) Chain {
+	size := 1 << uint(n)
+	seen := map[int]bool{0: true}
+	ch := Chain{0}
+	for _, b := range raw {
+		v := int(b) % size
+		if !seen[v] {
+			seen[v] = true
+			ch = append(ch, topology.NodeID(v))
+		}
+	}
+	sort.Slice(ch, func(i, j int) bool { return ch[i] < ch[j] })
+	return ch
+}
+
+// FuzzWeightedSortInvariants checks Theorem 5's properties plus
+// fast-variant equivalence on arbitrary inputs.
+func FuzzWeightedSortInvariants(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 3, 5, 7, 11, 12, 14, 15})
+	f.Add(uint8(6), []byte{9, 60, 2, 2, 2, 41})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(8), []byte{255, 254, 253, 1, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, dim uint8, raw []byte) {
+		n := 1 + int(dim)%8
+		orig := fuzzChain(n, raw)
+		a := make(Chain, len(orig))
+		copy(a, orig)
+		b := make(Chain, len(orig))
+		copy(b, orig)
+		a.WeightedSort(n)
+		b.WeightedSortFast(n)
+		if len(a) != len(b) {
+			t.Fatal("length changed")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("variants diverge: %v vs %v (input %v)", a, b, orig)
+			}
+		}
+		if a[0] != 0 {
+			t.Fatalf("source moved: %v", a)
+		}
+		if !a.IsCubeOrdered(n) {
+			t.Fatalf("not cube-ordered: %v", a)
+		}
+		if !samePermutation(orig, a) {
+			t.Fatalf("not a permutation: %v -> %v", orig, a)
+		}
+	})
+}
+
+// FuzzCubeCenterConsistency: CubeCenter must split any sorted range into
+// two runs homogeneous in the split bit.
+func FuzzCubeCenterConsistency(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 8, 9})
+	f.Fuzz(func(t *testing.T, dim uint8, raw []byte) {
+		n := 1 + int(dim)%8
+		ch := fuzzChain(n, raw)
+		if len(ch) < 1 {
+			return
+		}
+		center := ch.CubeCenter(0, len(ch)-1, n)
+		bit := topology.NodeID(1) << uint(n-1)
+		for i := 0; i < len(ch); i++ {
+			if center <= len(ch)-1 {
+				inFirst := i < center
+				if (ch[i]&bit == ch[0]&bit) != inFirst {
+					t.Fatalf("split bit inconsistent at %d: chain=%v center=%d", i, ch, center)
+				}
+			}
+		}
+	})
+}

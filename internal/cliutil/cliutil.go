@@ -1,0 +1,107 @@
+// Package cliutil holds the argument parsing and output plumbing shared by
+// the command-line drivers: algorithm lists, port models, statistics,
+// resolutions, destination lists, and the table/CSV/plot output switch.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hypercube/internal/core"
+	"hypercube/internal/plot"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+	"hypercube/internal/workload"
+)
+
+// ParsePort resolves "one-port" or "all-port".
+func ParsePort(s string) (core.PortModel, error) {
+	switch s {
+	case "one-port":
+		return core.OnePort, nil
+	case "all-port":
+		return core.AllPort, nil
+	}
+	return 0, fmt.Errorf("unknown port model %q (want one-port or all-port)", s)
+}
+
+// ParseAlgorithms resolves a comma-separated algorithm list.
+func ParseAlgorithms(s string) ([]core.Algorithm, error) {
+	var out []core.Algorithm
+	for _, name := range strings.Split(s, ",") {
+		a, err := core.ParseAlgorithm(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ParseDelayStat resolves "avg" or "max".
+func ParseDelayStat(s string) (workload.DelayStat, error) {
+	switch s {
+	case "avg":
+		return workload.AvgDelay, nil
+	case "max":
+		return workload.MaxDelay, nil
+	}
+	return 0, fmt.Errorf("unknown stat %q (want avg or max)", s)
+}
+
+// ParseStepStat resolves "max" (the paper's statistic) or "avg".
+func ParseStepStat(s string) (workload.StepStat, error) {
+	switch s {
+	case "max":
+		return workload.MaxSteps, nil
+	case "avg":
+		return workload.AvgSteps, nil
+	}
+	return 0, fmt.Errorf("unknown stat %q (want max or avg)", s)
+}
+
+// ParseResolution resolves "high" or "low".
+func ParseResolution(s string) (topology.Resolution, error) {
+	switch s {
+	case "high":
+		return topology.HighToLow, nil
+	case "low":
+		return topology.LowToHigh, nil
+	}
+	return 0, fmt.Errorf("unknown resolution %q (want high or low)", s)
+}
+
+// ParseDests parses a comma-separated destination list, validating each
+// address against the cube. An empty string yields nil.
+func ParseDests(cube topology.Cube, s string) ([]topology.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []topology.NodeID
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(tok), 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad destination %q: %v", tok, err)
+		}
+		id := topology.NodeID(v)
+		if !cube.Contains(id) {
+			return nil, fmt.Errorf("destination %d outside the %d-cube", v, cube.Dim())
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// RenderTable renders tb per the output flags: a text chart when plotIt, CSV
+// when csv, otherwise an aligned table.
+func RenderTable(tb *stats.Table, csv, plotIt bool) string {
+	switch {
+	case plotIt:
+		return plot.Render(tb, plot.Options{})
+	case csv:
+		return tb.CSV()
+	default:
+		return tb.Render()
+	}
+}

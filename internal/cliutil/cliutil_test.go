@@ -1,0 +1,110 @@
+package cliutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hypercube/internal/core"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+	"hypercube/internal/workload"
+)
+
+func TestParsePort(t *testing.T) {
+	if p, err := ParsePort("one-port"); err != nil || p != core.OnePort {
+		t.Error("one-port parse failed")
+	}
+	if p, err := ParsePort("all-port"); err != nil || p != core.AllPort {
+		t.Error("all-port parse failed")
+	}
+	if _, err := ParsePort("half-port"); err == nil {
+		t.Error("bad port accepted")
+	}
+}
+
+func TestParseAlgorithms(t *testing.T) {
+	got, err := ParseAlgorithms("u-cube, w-sort,maxport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Algorithm{core.UCube, core.WSort, core.Maxport}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseAlgorithms("u-cube,bogus"); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestParseStats(t *testing.T) {
+	if s, err := ParseDelayStat("avg"); err != nil || s != workload.AvgDelay {
+		t.Error("avg delay stat")
+	}
+	if s, err := ParseDelayStat("max"); err != nil || s != workload.MaxDelay {
+		t.Error("max delay stat")
+	}
+	if _, err := ParseDelayStat("p99"); err == nil {
+		t.Error("bad delay stat accepted")
+	}
+	if s, err := ParseStepStat("max"); err != nil || s != workload.MaxSteps {
+		t.Error("max step stat")
+	}
+	if s, err := ParseStepStat("avg"); err != nil || s != workload.AvgSteps {
+		t.Error("avg step stat")
+	}
+	if _, err := ParseStepStat("median"); err == nil {
+		t.Error("bad step stat accepted")
+	}
+}
+
+func TestParseResolution(t *testing.T) {
+	if r, err := ParseResolution("high"); err != nil || r != topology.HighToLow {
+		t.Error("high")
+	}
+	if r, err := ParseResolution("low"); err != nil || r != topology.LowToHigh {
+		t.Error("low")
+	}
+	if _, err := ParseResolution("middle"); err == nil {
+		t.Error("bad resolution accepted")
+	}
+}
+
+func TestParseDests(t *testing.T) {
+	cube := topology.New(4, topology.HighToLow)
+	got, err := ParseDests(cube, "1, 0b11,0xF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.NodeID{1, 3, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+	if got, err := ParseDests(cube, "  "); err != nil || got != nil {
+		t.Error("empty list should be nil")
+	}
+	if _, err := ParseDests(cube, "16"); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := ParseDests(cube, "abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	tb := stats.NewTable("t", "x", "a")
+	tb.Add(1, 2)
+	if !strings.Contains(RenderTable(tb, false, false), "# t") {
+		t.Error("table render wrong")
+	}
+	if !strings.HasPrefix(RenderTable(tb, true, false), "x,a\n") {
+		t.Error("csv render wrong")
+	}
+	if !strings.Contains(RenderTable(tb, false, true), "u = a") {
+		t.Error("plot render wrong")
+	}
+	// plot wins over csv.
+	if !strings.Contains(RenderTable(tb, true, true), "u = a") {
+		t.Error("precedence wrong")
+	}
+}

@@ -1,0 +1,322 @@
+// Package collective builds the rest of the collective-communication
+// repertoire the paper's introduction motivates (MPI-style operations on
+// wormhole-routed hypercubes) on top of the same machine model used for
+// multicast: scatter and gather (personalized distribution), reduction,
+// barrier synchronization, and all-gather. Every operation uses the
+// classic dimension-ordered binomial/dissemination schedules, in which
+// each message crosses exactly one channel, so the executions are
+// physically contention-free by construction — a property the tests
+// verify on the simulator.
+package collective
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+	"hypercube/internal/wormhole"
+)
+
+// Result reports one collective operation's execution.
+type Result struct {
+	// Finish is, per node, when that node completed its role (for data
+	// movement: when its last required receipt arrived; for the root of
+	// a gather/reduce: when the full result is assembled).
+	Finish map[topology.NodeID]event.Time
+	// Makespan is when the whole operation completed.
+	Makespan event.Time
+	// Messages is the number of point-to-point messages exchanged.
+	Messages int
+	// TotalBlocked is cumulative header blocking; the schedules used
+	// here keep it at zero.
+	TotalBlocked event.Time
+}
+
+// engine bundles the shared simulation state of the collective schedules.
+type engine struct {
+	q   *event.Queue
+	net *wormhole.Network
+	p   ncube.Params
+	res *Result
+}
+
+func newEngine(p ncube.Params, cube topology.Cube) *engine {
+	p.Validate()
+	q := &event.Queue{}
+	return &engine{
+		q:   q,
+		net: wormhole.New(q, cube, wormhole.Config{THop: p.THop, TByte: p.TByte}),
+		p:   p,
+		res: &Result{Finish: make(map[topology.NodeID]event.Time)},
+	}
+}
+
+func (e *engine) finish() Result {
+	e.q.Run()
+	e.res.TotalBlocked = e.net.TotalBlocked()
+	for _, t := range e.res.Finish {
+		if t > e.res.Makespan {
+			e.res.Makespan = t
+		}
+	}
+	return *e.res
+}
+
+// sendSpec is one message of a schedule.
+type sendSpec struct {
+	to    topology.NodeID
+	bytes int
+	// tag identifies the message to the receiver's handler.
+	tag int
+}
+
+// sendSeq issues node's sends serially (TStartup each), respecting the
+// port model, invoking each onDelivered as the matching tail arrives.
+func (e *engine) sendSeq(node topology.NodeID, sends []sendSpec, onDelivered func(spec sendSpec, d wormhole.Delivery)) {
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= len(sends) {
+			return
+		}
+		s := sends[i]
+		e.q.After(e.p.TStartup, func() {
+			e.res.Messages++
+			done := func(d wormhole.Delivery) {
+				if onDelivered != nil {
+					onDelivered(s, d)
+				}
+			}
+			switch e.p.Port {
+			case core.AllPort:
+				e.net.Send(node, s.to, s.bytes, done)
+				issue(i + 1)
+			case core.OnePort:
+				e.net.Send(node, s.to, s.bytes, func(d wormhole.Delivery) {
+					done(d)
+					issue(i + 1)
+				})
+			}
+		})
+	}
+	issue(0)
+}
+
+// rel/abs translate between a root-relative canonical address space and
+// machine addresses, as in the multicast core.
+func relOf(c topology.Cube, root, v topology.NodeID) topology.NodeID {
+	return c.Canon(v) ^ c.Canon(root)
+}
+
+func absOf(c topology.Cube, root, r topology.NodeID) topology.NodeID {
+	return c.Canon(r ^ c.Canon(root))
+}
+
+// highBit returns the position of the highest set bit, or -1 for zero.
+func highBit(v topology.NodeID) int {
+	h := -1
+	for d := 0; v != 0; d++ {
+		if v&1 != 0 {
+			h = d
+		}
+		v >>= 1
+	}
+	return h
+}
+
+// lowBit returns the position of the lowest set bit, or n for zero.
+func lowBit(v topology.NodeID, n int) int {
+	for d := 0; d < n; d++ {
+		if v&(1<<uint(d)) != 0 {
+			return d
+		}
+	}
+	return n
+}
+
+// Scatter distributes a distinct blockBytes-sized block from root to every
+// node using the dimension-descending binomial schedule: a holder of the
+// blocks for a 2^h-node subcube forwards, per dimension d < h, the 2^d
+// blocks of the opposite half to its dimension-d neighbor. Every message
+// crosses one channel.
+func Scatter(p ncube.Params, cube topology.Cube, root topology.NodeID, blockBytes int) Result {
+	cube.MustContain(root)
+	if blockBytes < 0 {
+		panic("collective: negative block size")
+	}
+	e := newEngine(p, cube)
+	var deliver func(s sendSpec, d wormhole.Delivery)
+	forward := func(node topology.NodeID, h int) {
+		r := relOf(cube, root, node)
+		var sends []sendSpec
+		for d := h - 1; d >= 0; d-- {
+			sends = append(sends, sendSpec{
+				to:    absOf(cube, root, r|1<<uint(d)),
+				bytes: blockBytes * (1 << uint(d)),
+				tag:   d,
+			})
+		}
+		e.sendSeq(node, sends, deliver)
+	}
+	deliver = func(s sendSpec, d wormhole.Delivery) {
+		e.res.Finish[d.To] = d.Arrived
+		e.q.After(e.p.TRecv, func() { forward(d.To, s.tag) })
+	}
+	e.res.Finish[root] = 0
+	forward(root, cube.Dim())
+	return e.finish()
+}
+
+// Gather is the inverse of Scatter: every node's block converges on root
+// along the dimension-ascending binomial tree; a node at low-bit position
+// L first absorbs its L children's accumulated blocks, then forwards
+// 2^L blocks toward the root.
+func Gather(p ncube.Params, cube topology.Cube, root topology.NodeID, blockBytes int) Result {
+	cube.MustContain(root)
+	if blockBytes < 0 {
+		panic("collective: negative block size")
+	}
+	return gatherLike(p, cube, root, func(sub int) int { return blockBytes * sub }, 0)
+}
+
+// Reduce performs an all-to-one reduction: partial results of a fixed
+// bytes size flow up the same tree as Gather, and each node spends
+// tCompute combining each arriving child contribution.
+func Reduce(p ncube.Params, cube topology.Cube, root topology.NodeID, bytes int, tCompute event.Time) Result {
+	cube.MustContain(root)
+	if bytes < 0 || tCompute < 0 {
+		panic("collective: negative reduce parameter")
+	}
+	return gatherLike(p, cube, root, func(int) int { return bytes }, tCompute)
+}
+
+// gatherLike runs the ascending binomial convergecast. sizeOf maps the
+// sender's accumulated subtree size (number of nodes) to message bytes.
+func gatherLike(p ncube.Params, cube topology.Cube, root topology.NodeID, sizeOf func(sub int) int, tCompute event.Time) Result {
+	e := newEngine(p, cube)
+	n := cube.Dim()
+	// pending[r] counts children a node still waits for before sending.
+	pending := make([]int, cube.Nodes())
+	var ready func(r topology.NodeID)
+	ready = func(r topology.NodeID) {
+		node := absOf(cube, root, r)
+		if r == 0 {
+			e.res.Finish[node] = e.q.Now()
+			return
+		}
+		L := lowBit(r, n)
+		parent := r &^ (1 << uint(L))
+		spec := sendSpec{to: absOf(cube, root, parent), bytes: sizeOf(1 << uint(L)), tag: int(r)}
+		e.sendSeq(node, []sendSpec{spec}, func(s sendSpec, d wormhole.Delivery) {
+			e.res.Finish[node] = d.Arrived // contribution delivered
+			pr := relOf(cube, root, d.To)
+			e.q.After(e.p.TRecv+tCompute, func() {
+				pending[pr]--
+				if pending[pr] == 0 {
+					ready(pr)
+				}
+			})
+		})
+	}
+	for v := 0; v < cube.Nodes(); v++ {
+		r := topology.NodeID(v)
+		// Children of r are r | 1<<d for d < lowBit(r).
+		pending[r] = lowBit(r, n)
+	}
+	for v := 0; v < cube.Nodes(); v++ {
+		r := topology.NodeID(v)
+		if pending[r] == 0 {
+			ready(r)
+		}
+	}
+	return e.finish()
+}
+
+// exchangeRounds runs an n-round pairwise-exchange schedule (the shared
+// skeleton of Barrier, AllGather, and AllReduce): in round k every node
+// sends bytesOf(k) bytes to its dimension-k neighbor and enters round k+1
+// only after both issuing its round-k send and receiving (and processing,
+// tCompute) its partner's round-k message. Receipts arriving out of round
+// order are buffered.
+func exchangeRounds(p ncube.Params, cube topology.Cube, bytesOf func(round int) int) Result {
+	return exchangeRoundsCompute(p, cube, bytesOf, 0)
+}
+
+func exchangeRoundsCompute(p ncube.Params, cube topology.Cube, bytesOf func(round int) int, tCompute event.Time) Result {
+	e := newEngine(p, cube)
+	n := cube.Dim()
+	got := make([][]bool, cube.Nodes())
+	for v := range got {
+		got[v] = make([]bool, n)
+	}
+	round := make([]int, cube.Nodes()) // next round not yet started
+	var start func(v topology.NodeID)
+	advance := func(v topology.NodeID) {
+		// Enter the next round once the current one is fully done;
+		// consume any receipts that arrived ahead of order.
+		for round[v] < n && got[v][round[v]] {
+			round[v]++
+			if round[v] == n {
+				e.res.Finish[v] = e.q.Now()
+				return
+			}
+			start(v)
+		}
+	}
+	start = func(v topology.NodeID) {
+		k := round[v]
+		partner := cube.Neighbor(v, k)
+		e.sendSeq(v, []sendSpec{{to: partner, bytes: bytesOf(k), tag: k}}, func(s sendSpec, d wormhole.Delivery) {
+			e.q.After(e.p.TRecv+tCompute, func() {
+				got[d.To][s.tag] = true
+				if s.tag == round[d.To] {
+					advance(d.To)
+				}
+			})
+		})
+	}
+	for v := 0; v < cube.Nodes(); v++ {
+		start(topology.NodeID(v))
+	}
+	return e.finish()
+}
+
+// Barrier runs the dissemination barrier: in round k every node notifies
+// its dimension-k neighbor and proceeds once it has received that round's
+// notification, completing after n rounds. Notifications are 8-byte
+// messages.
+func Barrier(p ncube.Params, cube topology.Cube) Result {
+	const noteBytes = 8
+	return exchangeRounds(p, cube, func(int) int { return noteBytes })
+}
+
+// AllGather performs the recursive-doubling all-gather: in round d every
+// node exchanges its accumulated 2^d blocks with its dimension-d neighbor,
+// finishing with all N blocks everywhere.
+func AllGather(p ncube.Params, cube topology.Cube, blockBytes int) Result {
+	if blockBytes < 0 {
+		panic("collective: negative block size")
+	}
+	return exchangeRounds(p, cube, func(d int) int { return blockBytes * (1 << uint(d)) })
+}
+
+// AllReduce combines a fixed-size vector across all nodes and leaves the
+// result everywhere, using the butterfly (recursive-doubling exchange)
+// schedule: n rounds of pairwise exchange-and-combine, tCompute per merge.
+// Equivalent to Reduce followed by a broadcast but with half the rounds
+// and perfectly symmetric load.
+func AllReduce(p ncube.Params, cube topology.Cube, bytes int, tCompute event.Time) Result {
+	if bytes < 0 || tCompute < 0 {
+		panic("collective: negative allreduce parameter")
+	}
+	return exchangeRoundsCompute(p, cube, func(int) int { return bytes }, tCompute)
+}
+
+// check that engine.finish leaves no one behind.
+func (r Result) complete(nodes int) error {
+	if len(r.Finish) != nodes {
+		return fmt.Errorf("collective: %d of %d nodes finished", len(r.Finish), nodes)
+	}
+	return nil
+}

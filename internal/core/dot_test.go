@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hypercube/internal/topology"
+)
+
+func TestDOTOutput(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+	s := NewSchedule(Build(c, WSort, 0, dests), AllPort)
+	dot := s.DOT()
+	for _, frag := range []string{
+		`digraph "w-sort_from_0000"`,
+		`"0000" [shape=doublecircle]`,
+		`"0000" -> "1110" [label="1"]`,
+		`"1110" -> "1011" [label="2"]`,
+		"}",
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	// One edge line per unicast.
+	if got := strings.Count(dot, "->"); got != 8 {
+		t.Errorf("edges = %d, want 8", got)
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	c := topology.New(5, topology.HighToLow)
+	dests := []topology.NodeID{3, 9, 17, 30, 22, 11}
+	a := NewSchedule(Build(c, Combine, 4, dests), AllPort).DOT()
+	b := NewSchedule(Build(c, Combine, 4, dests), AllPort).DOT()
+	if a != b {
+		t.Error("DOT output nondeterministic")
+	}
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/topology"
+)
+
+// Building and scheduling the paper's Figure 3(e) tree.
+func ExampleBuild() {
+	cube := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+	tree := core.Build(cube, core.WSort, 0, dests)
+	sched := core.NewSchedule(tree, core.AllPort)
+	fmt.Print(sched.Format())
+	// Output:
+	// w-sort multicast from 0000 (all-port, 2 steps)
+	// 0000
+	// ├─(1)→ 0001
+	// ├─(1)→ 0011
+	// ├─(1)→ 0101
+	// │  └─(2)→ 0111
+	// └─(1)→ 1110
+	//    ├─(2)→ 1011
+	//    ├─(2)→ 1100
+	//    └─(2)→ 1111
+}
+
+// Checking Definition 4 on a schedule.
+func ExampleCheckContention() {
+	cube := topology.New(4, topology.HighToLow)
+	tree := core.Build(cube, core.Maxport, 0, []topology.NodeID{9, 10, 11})
+	sched := core.NewSchedule(tree, core.AllPort)
+	fmt.Println(len(core.CheckContention(sched)))
+	// Output:
+	// 0
+}
+
+// The distributed protocol: a node reconstructs its forwards from the
+// address field it received, with no global knowledge.
+func ExampleLocalSends() {
+	cube := topology.New(4, topology.HighToLow)
+	// Node 14 (relative) received the weighted tail {14, 15, 12, 11}.
+	for _, s := range core.LocalSends(cube, core.WSort, 0, []topology.NodeID{14, 15, 12, 11}) {
+		fmt.Printf("%04b -> %04b\n", uint32(s.From), uint32(s.To))
+	}
+	// Output:
+	// 1110 -> 1011
+	// 1110 -> 1100
+	// 1110 -> 1111
+}

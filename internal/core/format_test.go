@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hypercube/internal/topology"
+)
+
+// Golden rendering of the paper's Figure 3(e)/8(c) tree.
+func TestFormatGoldenWSort(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+	s := NewSchedule(Build(c, WSort, 0, dests), AllPort)
+	want := `w-sort multicast from 0000 (all-port, 2 steps)
+0000
+├─(1)→ 0001
+├─(1)→ 0011
+├─(1)→ 0101
+│  └─(2)→ 0111
+└─(1)→ 1110
+   ├─(2)→ 1011
+   ├─(2)→ 1100
+   └─(2)→ 1111
+`
+	if got := s.Format(); got != want {
+		t.Errorf("Format mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Golden trees for every algorithm on the running example: locks the exact
+// construction (senders, order, steps) against regressions.
+func TestFormatGoldenAllAlgorithms(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+	goldens := map[Algorithm]string{
+		// Separate addressing: four messages share the source's channel
+		// 3, so the last (1111) waits until step 4.
+		SeparateAddressing: `separate multicast from 0000 (all-port, 4 steps)
+0000
+├─(1)→ 0001
+├─(1)→ 0011
+├─(1)→ 0101
+├─(1)→ 1011
+├─(2)→ 0111
+├─(2)→ 1100
+├─(3)→ 1110
+└─(4)→ 1111
+`,
+		// Figure 3(d): node 0111's sends to 1100 and 1011 serialize.
+		UCube: `u-cube multicast from 0000 (all-port, 4 steps)
+0000
+├─(1)→ 0001
+├─(1)→ 0011
+│  └─(2)→ 0101
+└─(1)→ 0111
+   ├─(2)→ 1100
+   │  └─(3)→ 1110
+   │     └─(4)→ 1111
+   └─(3)→ 1011
+`,
+		// Figure 8(b): node 11 inherits the whole upper chain.
+		Maxport: `maxport multicast from 0000 (all-port, 4 steps)
+0000
+├─(1)→ 0001
+├─(1)→ 0011
+├─(1)→ 0101
+│  └─(2)→ 0111
+└─(1)→ 1011
+   └─(2)→ 1100
+      └─(3)→ 1110
+         └─(4)→ 1111
+`,
+		// Combine splits node 11's load but reuses its channel 2 once.
+		Combine: `combine multicast from 0000 (all-port, 3 steps)
+0000
+├─(1)→ 0001
+├─(1)→ 0011
+├─(1)→ 0101
+│  └─(2)→ 0111
+└─(1)→ 1011
+   ├─(2)→ 1110
+   │  └─(3)→ 1111
+   └─(3)→ 1100
+`,
+	}
+	for a, want := range goldens {
+		got := NewSchedule(Build(c, a, 0, dests), AllPort).Format()
+		if got != want {
+			t.Errorf("%v format changed:\ngot:\n%s\nwant:\n%s", a, got, want)
+		}
+	}
+}
+
+// One-port rendering shows sequential steps at the source.
+func TestFormatOnePortSteps(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	s := NewSchedule(Build(c, SeparateAddressing, 0, []topology.NodeID{1, 2, 4}), OnePort)
+	out := s.Format()
+	for _, frag := range []string{"(1)→", "(2)→", "(3)→", "separate multicast from 000 (one-port, 3 steps)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+// Formatting an empty multicast renders just the header and source.
+func TestFormatEmpty(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	s := NewSchedule(Build(c, WSort, 5, nil), AllPort)
+	out := s.Format()
+	if !strings.Contains(out, "0 steps") || !strings.Contains(out, "101\n") {
+		t.Errorf("empty format:\n%s", out)
+	}
+}
+
+// PortModel and Algorithm string coverage, including unknown values.
+func TestEnumStrings(t *testing.T) {
+	if OnePort.String() != "one-port" || AllPort.String() != "all-port" {
+		t.Error("port model names wrong")
+	}
+	if PortModel(7).String() != "PortModel(7)" {
+		t.Error("unknown port model formatting")
+	}
+	if Algorithm(42).String() != "Algorithm(42)" {
+		t.Error("unknown algorithm formatting")
+	}
+	for _, a := range Algorithms() {
+		parsed, err := ParseAlgorithm(a.String())
+		if err != nil || parsed != a {
+			t.Errorf("round trip failed for %v", a)
+		}
+	}
+	if _, err := ParseAlgorithm("nonsense"); err == nil {
+		t.Error("bad name parsed")
+	}
+}
+
+// Build and NewSchedule panic on unknown enums.
+func TestUnknownEnumPanics(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown algorithm did not panic")
+			}
+		}()
+		Build(c, Algorithm(42), 0, []topology.NodeID{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown port model did not panic")
+			}
+		}()
+		NewSchedule(Build(c, WSort, 0, []topology.NodeID{1}), PortModel(9))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LocalSends with unknown algorithm did not panic")
+			}
+		}()
+		LocalSends(c, Algorithm(42), 0, nil)
+	}()
+}
+
+// RecvStep reports presence correctly.
+func TestRecvStep(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	s := NewSchedule(Build(c, WSort, 0, []topology.NodeID{3}), AllPort)
+	if st, ok := s.RecvStep(3); !ok || st != 1 {
+		t.Errorf("RecvStep(3) = %d,%v", st, ok)
+	}
+	if st, ok := s.RecvStep(0); !ok || st != 0 {
+		t.Errorf("RecvStep(source) = %d,%v", st, ok)
+	}
+	if _, ok := s.RecvStep(6); ok {
+		t.Error("unreached node reported present")
+	}
+}

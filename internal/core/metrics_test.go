@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hypercube/internal/topology"
+)
+
+func TestMetricsFigure3Instance(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+
+	ws := Build(c, WSort, 0, dests).ComputeMetrics(dests)
+	if ws.Unicasts != 8 || ws.Height != 2 || ws.ChannelReuses != 0 || ws.Relays != 0 {
+		t.Errorf("W-sort metrics: %v", ws)
+	}
+	if ws.MaxOutDegree != 4 {
+		t.Errorf("W-sort max degree = %d, want 4 (all source ports)", ws.MaxOutDegree)
+	}
+
+	uc := Build(c, UCube, 0, dests).ComputeMetrics(dests)
+	if uc.ChannelReuses == 0 {
+		t.Error("U-cube on this set must reuse a channel (node 0111)")
+	}
+
+	sf := Build(c, SFBinomial, 0, dests).ComputeMetrics(dests)
+	if sf.Relays != 5 {
+		t.Errorf("SF relays = %d, want 5", sf.Relays)
+	}
+	// SF sends are single-hop, so hops == unicasts.
+	if sf.TotalHops != sf.Unicasts {
+		t.Errorf("SF hops %d != unicasts %d", sf.TotalHops, sf.Unicasts)
+	}
+}
+
+// Maxport and W-sort never reuse channels (the structural form of their
+// all-port guarantee); separate addressing has height 1 and max degree m.
+func TestMetricsStructuralInvariants(t *testing.T) {
+	c := topology.New(6, topology.HighToLow)
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 100; trial++ {
+		src := topology.NodeID(rng.Intn(64))
+		m := 1 + rng.Intn(63)
+		dests := randomDests(rng, 6, src, m)
+		for _, a := range []Algorithm{Maxport, WSort} {
+			met := Build(c, a, src, dests).ComputeMetrics(dests)
+			if met.ChannelReuses != 0 {
+				t.Fatalf("%v reused %d channels", a, met.ChannelReuses)
+			}
+			if met.MaxOutDegree > 6 {
+				t.Fatalf("%v degree %d exceeds dimensionality", a, met.MaxOutDegree)
+			}
+		}
+		sep := Build(c, SeparateAddressing, src, dests).ComputeMetrics(dests)
+		if sep.Height != 1 || sep.MaxOutDegree != m || sep.Unicasts != m {
+			t.Fatalf("separate metrics wrong: %v (m=%d)", sep, m)
+		}
+	}
+}
+
+// Channel reuses predict exactly whether the all-port schedule needs more
+// steps than the tree height for Combine.
+func TestMetricsReusePredictsSerialization(t *testing.T) {
+	c := topology.New(6, topology.HighToLow)
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 100; trial++ {
+		src := topology.NodeID(rng.Intn(64))
+		dests := randomDests(rng, 6, src, 1+rng.Intn(63))
+		tr := Build(c, Combine, src, dests)
+		met := tr.ComputeMetrics(nil)
+		s := NewSchedule(tr, AllPort)
+		if met.ChannelReuses == 0 && s.Steps() != met.Height {
+			t.Fatalf("no reuse but steps %d != height %d", s.Steps(), met.Height)
+		}
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Unicasts: 3, Height: 2, TotalHops: 5, MaxOutDegree: 2, ChannelReuses: 1, Relays: 0}
+	if !strings.Contains(m.String(), "unicasts=3") || !strings.Contains(m.String(), "reuses=1") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestMetricsEmptyTree(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	m := Build(c, WSort, 0, nil).ComputeMetrics(nil)
+	if m.Unicasts != 0 || m.Height != 0 || m.MaxOutDegree != 0 {
+		t.Errorf("empty metrics: %v", m)
+	}
+}

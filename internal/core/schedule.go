@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypercube/internal/topology"
+)
+
+// PortModel selects the node/router interface of Section 1: how many
+// internal channel pairs connect the local processor to its router.
+type PortModel int
+
+const (
+	// OnePort nodes transmit and receive at most one message per step.
+	OnePort PortModel = iota
+	// AllPort nodes own an internal channel per external channel and may
+	// send simultaneously on every dimension.
+	AllPort
+)
+
+func (p PortModel) String() string {
+	switch p {
+	case OnePort:
+		return "one-port"
+	case AllPort:
+		return "all-port"
+	default:
+		return fmt.Sprintf("PortModel(%d)", int(p))
+	}
+}
+
+// Unicast is a scheduled constituent message: the paper's
+// (u, v, P(u,v), t) tuple with the path left implicit in E-cube routing.
+type Unicast struct {
+	From, To topology.NodeID
+	Step     int // 1-based synchronous time step
+}
+
+// Schedule is a stepwise execution of a multicast tree.
+type Schedule struct {
+	Tree     *Tree
+	Port     PortModel
+	Unicasts []Unicast
+	// Recv maps every reached node to the step at which it received the
+	// message; the source maps to 0.
+	Recv map[topology.NodeID]int
+}
+
+// Steps returns the total number of steps: the largest receive step.
+func (s *Schedule) Steps() int {
+	max := 0
+	for _, u := range s.Unicasts {
+		if u.Step > max {
+			max = u.Step
+		}
+	}
+	return max
+}
+
+// RecvStep returns the step at which node v received the message and
+// whether v is reached at all (the source reports step 0, true).
+func (s *Schedule) RecvStep(v topology.NodeID) (int, bool) {
+	st, ok := s.Recv[v]
+	return st, ok
+}
+
+// NewSchedule runs the stepwise execution model for the given port model.
+//
+// One-port: each node issues its sends on consecutive steps beginning the
+// step after it received the message; one send and one receive per node per
+// step. This is the model under which U-cube is optimal.
+//
+// All-port: per step a node may send on every outgoing channel
+// simultaneously, but (a) at most one message per channel per step, with
+// same-channel sends issuing in algorithm order, and (b) all unicasts
+// launched in the same step must be pairwise arc-disjoint — a send that
+// would contend is deferred to a later step. Under the paper's theorems the
+// Maxport, Combine, and W-sort trees never defer; U-cube trees exhibit the
+// serialization visible in Figure 3(d).
+func NewSchedule(t *Tree, pm PortModel) *Schedule {
+	switch pm {
+	case OnePort:
+		return scheduleOnePort(t)
+	case AllPort:
+		return scheduleAllPort(t)
+	default:
+		panic(fmt.Sprintf("core: unknown port model %v", pm))
+	}
+}
+
+func scheduleOnePort(t *Tree) *Schedule {
+	s := &Schedule{Tree: t, Port: OnePort, Recv: map[topology.NodeID]int{t.Source: 0}}
+	// Process nodes in reception order; a FIFO over t.Order works because
+	// construction order reaches parents before children.
+	for _, v := range t.Order {
+		base, ok := s.Recv[v]
+		if !ok {
+			panic(fmt.Sprintf("core: node %d scheduled before reached", v))
+		}
+		for k, snd := range t.Sends[v] {
+			step := base + k + 1
+			s.Unicasts = append(s.Unicasts, Unicast{From: snd.From, To: snd.To, Step: step})
+			s.Recv[snd.To] = step
+		}
+	}
+	sortUnicasts(s.Unicasts)
+	return s
+}
+
+func scheduleAllPort(t *Tree) *Schedule {
+	s := &Schedule{Tree: t, Port: AllPort, Recv: map[topology.NodeID]int{t.Source: 0}}
+	pending := make(map[topology.NodeID][]Send, len(t.Sends))
+	remaining := 0
+	for v, sends := range t.Sends {
+		if len(sends) > 0 {
+			pending[v] = append([]Send(nil), sends...)
+			remaining += len(sends)
+		}
+	}
+	total := remaining
+	for step := 1; remaining > 0; step++ {
+		if step > 2*total+len(t.Order)+8 {
+			panic("core: all-port scheduler failed to make progress")
+		}
+		claimed := map[topology.Arc]bool{}
+		type chanKey struct {
+			node topology.NodeID
+			dim  int
+		}
+		usedChannel := map[chanKey]bool{}
+		// Deterministic sender order: construction order.
+		for _, v := range t.Order {
+			sends := pending[v]
+			if len(sends) == 0 {
+				continue
+			}
+			recv, ok := s.Recv[v]
+			if !ok || recv >= step {
+				continue // not yet holding the message at this step
+			}
+			kept := sends[:0]
+			for _, snd := range sends {
+				dim := t.Cube.FirstHop(snd.From, snd.To)
+				key := chanKey{v, dim}
+				if usedChannel[key] {
+					kept = append(kept, snd)
+					continue
+				}
+				arcs := t.Cube.PathArcs(snd.From, snd.To)
+				conflict := false
+				for _, a := range arcs {
+					if claimed[a] {
+						conflict = true
+						break
+					}
+				}
+				// Whether launched or blocked, the channel is
+				// spoken for this step: later sends on it keep
+				// their issue order.
+				usedChannel[key] = true
+				if conflict {
+					kept = append(kept, snd)
+					continue
+				}
+				for _, a := range arcs {
+					claimed[a] = true
+				}
+				s.Unicasts = append(s.Unicasts, Unicast{From: snd.From, To: snd.To, Step: step})
+				s.Recv[snd.To] = step
+				remaining--
+			}
+			if len(kept) == 0 {
+				delete(pending, v)
+			} else {
+				pending[v] = append([]Send(nil), kept...)
+			}
+		}
+	}
+	sortUnicasts(s.Unicasts)
+	return s
+}
+
+func sortUnicasts(us []Unicast) {
+	sort.SliceStable(us, func(i, j int) bool {
+		if us[i].Step != us[j].Step {
+			return us[i].Step < us[j].Step
+		}
+		if us[i].From != us[j].From {
+			return us[i].From < us[j].From
+		}
+		return us[i].To < us[j].To
+	})
+}

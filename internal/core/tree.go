@@ -1,0 +1,274 @@
+// Package core implements the paper's multicast algorithms and execution
+// models: the U-cube baseline (Figure 4), the new all-port algorithms
+// Maxport, Combine, and W-sort (Sections 4.1–4.2), plus the unicast-per-
+// destination and store-and-forward baselines of Section 2. It also provides
+// the stepwise schedulers for one-port and all-port architectures and the
+// contention-freedom checker of Definition 4.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypercube/internal/chain"
+	"hypercube/internal/topology"
+)
+
+// Algorithm identifies a multicast tree construction algorithm.
+type Algorithm int
+
+const (
+	// SeparateAddressing sends one unicast from the source to every
+	// destination (Section 2's naive baseline).
+	SeparateAddressing Algorithm = iota
+	// SFBinomial is the store-and-forward-era recursive-doubling tree of
+	// Figure 3(a); intermediate non-destination processors relay the
+	// message in software.
+	SFBinomial
+	// UCube is the one-port-optimal algorithm of Figure 4 (McKinley et
+	// al. 1992): next = center.
+	UCube
+	// Maxport exploits all ports maximally: next = highdim.
+	Maxport
+	// Combine balances port usage against subtree weight:
+	// next = max(highdim, center).
+	Combine
+	// WSort applies weighted_sort to the chain and then runs Maxport
+	// (Section 4.2).
+	WSort
+)
+
+var algorithmNames = map[Algorithm]string{
+	SeparateAddressing: "separate",
+	SFBinomial:         "sf-binomial",
+	UCube:              "u-cube",
+	Maxport:            "maxport",
+	Combine:            "combine",
+	WSort:              "w-sort",
+}
+
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists every implemented algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{SeparateAddressing, SFBinomial, UCube, Maxport, Combine, WSort}
+}
+
+// ParseAlgorithm resolves a name produced by Algorithm.String.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a, s := range algorithmNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", name)
+}
+
+// Send is one constituent unicast of a multicast tree, in absolute node
+// addresses. Payload carries the relative sub-chain the recipient becomes
+// responsible for (To first); it is what a real implementation would place
+// in the message's address field.
+type Send struct {
+	From, To topology.NodeID
+	Payload  chain.Chain
+}
+
+// Tree is a multicast implementation: a tree of unicasts rooted at Source
+// covering every destination. Sends are stored grouped by sender in issue
+// order — the order in which the algorithm emits them at that node, which
+// the schedulers must respect per outgoing channel.
+type Tree struct {
+	Cube      topology.Cube
+	Source    topology.NodeID
+	Algorithm Algorithm
+	// Sends maps each sending node to its ordered outgoing unicasts.
+	Sends map[topology.NodeID][]Send
+	// Order lists senders in construction order (source first, then
+	// recipients in the order they were reached). Deterministic.
+	Order []topology.NodeID
+}
+
+// Build constructs the multicast tree for algorithm a from src to dests on
+// cube c. Duplicate destinations and a destination equal to src are ignored.
+func Build(c topology.Cube, a Algorithm, src topology.NodeID, dests []topology.NodeID) *Tree {
+	ch := chain.Relative(c, src, dests)
+	switch a {
+	case SeparateAddressing:
+		return buildSeparate(c, src, ch)
+	case SFBinomial:
+		return buildSFBinomial(c, src, ch)
+	case UCube:
+		return buildChainTree(c, a, src, ch, nextCenter)
+	case Maxport:
+		return buildChainTree(c, a, src, ch, nextHighdim)
+	case Combine:
+		return buildChainTree(c, a, src, ch, nextCombine)
+	case WSort:
+		ch.WeightedSort(c.Dim())
+		return buildChainTree(c, a, src, ch, nextHighdim)
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %v", a))
+	}
+}
+
+// next-selection policies for the unified chain splitter (Section 4.1).
+// Each receives the chain and the responsibility range [left, right] of the
+// local node ch[left] and returns the chain index to transmit to next.
+
+func nextCenter(ch chain.Chain, left, right int) int {
+	return left + (right-left+1)/2 // left + ceil((right-left)/2)
+}
+
+func nextHighdim(ch chain.Chain, left, right int) int {
+	return ch.FirstWithDelta(left, right)
+}
+
+func nextCombine(ch chain.Chain, left, right int) int {
+	c := nextCenter(ch, left, right)
+	h := nextHighdim(ch, left, right)
+	if c > h {
+		return c
+	}
+	return h
+}
+
+// buildChainTree runs the generic splitter of Figure 4 with a pluggable
+// next-selection policy. Every node, upon "receiving" its sub-chain,
+// repeatedly transmits to ch[next] the tail [next+1..right] and shrinks its
+// own responsibility to [left..next-1].
+func buildChainTree(c topology.Cube, a Algorithm, src topology.NodeID, ch chain.Chain, policy func(chain.Chain, int, int) int) *Tree {
+	t := newTree(c, a, src)
+	type job struct{ left, right int }
+	queue := []job{{0, len(ch) - 1}}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		left, right := j.left, j.right
+		from := t.abs(ch[left])
+		t.touch(from)
+		for right > left {
+			next := policy(ch, left, right)
+			if next <= left || next > right {
+				panic(fmt.Sprintf("core: policy returned %d outside (%d,%d]", next, left, right))
+			}
+			payload := make(chain.Chain, right-next+1)
+			copy(payload, ch[next:right+1])
+			t.addSend(Send{From: from, To: t.abs(ch[next]), Payload: payload})
+			queue = append(queue, job{next, right})
+			right = next - 1
+		}
+	}
+	return t
+}
+
+func newTree(c topology.Cube, a Algorithm, src topology.NodeID) *Tree {
+	return &Tree{
+		Cube:      c,
+		Source:    src,
+		Algorithm: a,
+		Sends:     make(map[topology.NodeID][]Send),
+	}
+}
+
+// abs converts a relative canonical address to an absolute address for this
+// tree's cube and source.
+func (t *Tree) abs(rel topology.NodeID) topology.NodeID {
+	return t.Cube.Canon(rel ^ t.Cube.Canon(t.Source))
+}
+
+// rel converts an absolute address to relative canonical space.
+func (t *Tree) rel(abs topology.NodeID) topology.NodeID {
+	return t.Cube.Canon(abs) ^ t.Cube.Canon(t.Source)
+}
+
+func (t *Tree) touch(v topology.NodeID) {
+	if _, ok := t.Sends[v]; !ok {
+		t.Sends[v] = nil
+		t.Order = append(t.Order, v)
+	}
+}
+
+func (t *Tree) addSend(s Send) {
+	t.touch(s.From)
+	t.Sends[s.From] = append(t.Sends[s.From], s)
+}
+
+// Unicasts returns every constituent unicast, senders in construction order
+// and each sender's sends in issue order.
+func (t *Tree) Unicasts() []Send {
+	var out []Send
+	for _, v := range t.Order {
+		out = append(out, t.Sends[v]...)
+	}
+	return out
+}
+
+// Destinations returns the set of nodes that receive the message, in
+// ascending address order. For chain algorithms this equals the destination
+// set; for SFBinomial it also includes relay processors.
+func (t *Tree) Destinations() []topology.NodeID {
+	set := map[topology.NodeID]bool{}
+	for _, s := range t.Unicasts() {
+		set[s.To] = true
+	}
+	out := make([]topology.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parent returns each receiver's sender. The source has no entry.
+func (t *Tree) Parent() map[topology.NodeID]topology.NodeID {
+	p := make(map[topology.NodeID]topology.NodeID)
+	for _, s := range t.Unicasts() {
+		p[s.To] = s.From
+	}
+	return p
+}
+
+// Reachable returns R_u (Definition 3): the nodes that receive the message
+// directly or indirectly through u, plus u itself.
+func (t *Tree) Reachable(u topology.NodeID) map[topology.NodeID]bool {
+	r := map[topology.NodeID]bool{u: true}
+	stack := []topology.NodeID{u}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range t.Sends[v] {
+			if !r[s.To] {
+				r[s.To] = true
+				stack = append(stack, s.To)
+			}
+		}
+	}
+	return r
+}
+
+// Validate panics unless the tree is a well-formed multicast covering
+// exactly the expected destination set: every node is reached at most once,
+// every sender was reached before sending, and (for chain algorithms)
+// receivers are exactly the destinations.
+func (t *Tree) Validate() {
+	reached := map[topology.NodeID]bool{t.Source: true}
+	for _, v := range t.Order {
+		if !reached[v] && len(t.Sends[v]) > 0 {
+			panic(fmt.Sprintf("core: node %d sends before receiving", v))
+		}
+		for _, s := range t.Sends[v] {
+			if s.From != v {
+				panic("core: send stored under wrong sender")
+			}
+			if reached[s.To] {
+				panic(fmt.Sprintf("core: node %d reached twice", s.To))
+			}
+			reached[s.To] = true
+		}
+	}
+}

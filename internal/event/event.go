@@ -1,0 +1,116 @@
+// Package event provides the discrete-event simulation kernel underlying
+// the wormhole network simulator — the role CSIM played for the paper's
+// MultiSim tool. Events execute in nondecreasing time order with FIFO
+// tie-breaking, making every simulation deterministic.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds from the start of the simulation.
+type Time int64
+
+// Common durations for readability when building configurations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros renders t as a decimal microsecond count (e.g. "163.84us").
+func (t Time) Micros() string {
+	return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+}
+
+// Seconds returns t in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type item struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Queue is a single-threaded event calendar. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	now Time
+	seq uint64
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (q *Queue) At(t Time, fn func()) {
+	if t < q.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, q.now))
+	}
+	q.seq++
+	heap.Push(&q.h, item{at: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (q *Queue) After(d Time, fn func()) {
+	if d < 0 {
+		panic("event: negative delay")
+	}
+	q.At(q.now+d, fn)
+}
+
+// Step runs the single earliest event, advancing the clock. It reports
+// whether an event was available.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.h).(item)
+	q.now = it.at
+	it.fn()
+	return true
+}
+
+// Run executes events until the calendar is empty and returns the final
+// simulated time.
+func (q *Queue) Run() Time {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil executes events with time <= deadline; later events stay queued.
+// The clock is left at min(deadline, last executed event time >= now).
+func (q *Queue) RunUntil(deadline Time) {
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}

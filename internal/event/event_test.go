@@ -1,0 +1,137 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunOrdersByTime(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	end := q.Run()
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("order = %v", got)
+	}
+	if end != 30 {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	q.Run()
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	var q Queue
+	var sample Time
+	q.After(100, func() {
+		if q.Now() != 100 {
+			t.Errorf("Now inside event = %v", q.Now())
+		}
+		q.After(50, func() { sample = q.Now() })
+	})
+	q.Run()
+	if sample != 150 {
+		t.Errorf("nested After fired at %v", sample)
+	}
+}
+
+func TestSchedulingFromHandlers(t *testing.T) {
+	var q Queue
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			q.After(10, tick)
+		}
+	}
+	q.After(10, tick)
+	end := q.Run()
+	if count != 5 || end != 50 {
+		t.Errorf("count=%d end=%v", count, end)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var q Queue
+	q.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past scheduling did not panic")
+			}
+		}()
+		q.At(50, func() {})
+	})
+	q.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	q.After(-1, func() {})
+}
+
+func TestStepEmpty(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Error("empty queue state wrong")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		q.At(at, func() { got = append(got, at) })
+	}
+	q.RunUntil(25)
+	if !reflect.DeepEqual(got, []Time{10, 20}) {
+		t.Errorf("ran %v", got)
+	}
+	if q.Now() != 25 {
+		t.Errorf("Now = %v, want 25", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Errorf("pending = %d", q.Len())
+	}
+	q.Run()
+	if !reflect.DeepEqual(got, []Time{10, 20, 30, 40}) {
+		t.Errorf("final %v", got)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if (163840 * Nanosecond).Micros() != "163.84us" {
+		t.Errorf("Micros = %q", (163840 * Nanosecond).Micros())
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds wrong")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if Microsecond != 1000 || Millisecond != 1_000_000 || Second != 1_000_000_000 {
+		t.Error("unit constants wrong")
+	}
+}

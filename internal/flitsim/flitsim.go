@@ -1,0 +1,280 @@
+// Package flitsim is a cycle-accurate flit-level wormhole simulator: the
+// high-fidelity counterpart of the message-level model in
+// internal/wormhole. Messages are decomposed into flits that advance one
+// channel per cycle, subject to finite per-hop buffers, single-owner
+// channels, and FIFO arbitration; a blocked header stalls in place and its
+// flits bunch up in the buffers behind it — precisely the mechanics the
+// paper's Section 1 describes.
+//
+// The package exists to validate the message-level model (and through it
+// the delay experiments), the way the paper validated MultiSim against
+// nCUBE-2 hardware: tests check that uncontended latencies agree exactly
+// (h + L cycles for h hops and L flits) and that contended latencies agree
+// within the h-cycle release-time slack the message-level model
+// conservatively adds.
+package flitsim
+
+import (
+	"fmt"
+
+	"hypercube/internal/topology"
+)
+
+// Config sets the router microarchitecture.
+type Config struct {
+	// BufFlits is the flit capacity of each input buffer (>= 1).
+	BufFlits int
+}
+
+// Message is one unicast worm.
+type Message struct {
+	From, To topology.NodeID
+	Flits    int
+
+	path    []topology.Arc
+	start   int64 // injection-eligible cycle
+	crossed []int // crossed[i]: flits that have traversed channel i
+	owned   []bool
+	queued  []bool // queued[i]: waiting in channel i's arbitration queue
+	ejected int    // flits consumed by the destination
+
+	// Done reports completion; DeliveredAt is the cycle the last flit
+	// was consumed; BlockedCycles counts cycles the header spent queued.
+	Done          bool
+	DeliveredAt   int64
+	BlockedCycles int64
+}
+
+// Latency returns delivery time measured from the injection-eligible cycle.
+func (m *Message) Latency() int64 { return m.DeliveredAt - m.start }
+
+type channelState struct {
+	owner *Message
+	queue []*Message
+}
+
+// Network is one flit-level interconnect.
+type Network struct {
+	cube     topology.Cube
+	cfg      Config
+	channels map[topology.Arc]*channelState
+	msgs     []*Message
+	cycle    int64
+}
+
+// New creates a flit-level network.
+func New(cube topology.Cube, cfg Config) *Network {
+	if cfg.BufFlits < 1 {
+		panic("flitsim: buffer depth must be >= 1")
+	}
+	return &Network{cube: cube, cfg: cfg, channels: make(map[topology.Arc]*channelState)}
+}
+
+// Cycle returns the current cycle count.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Send enqueues a unicast of the given flit count, eligible for injection
+// at cycle start (which must not precede the current cycle).
+func (n *Network) Send(from, to topology.NodeID, flits int, start int64) *Message {
+	n.cube.MustContain(from)
+	n.cube.MustContain(to)
+	if flits < 1 {
+		panic("flitsim: message needs at least one flit")
+	}
+	if start < n.cycle {
+		panic("flitsim: injection in the past")
+	}
+	path := n.cube.PathArcs(from, to)
+	m := &Message{
+		From:    from,
+		To:      to,
+		Flits:   flits,
+		path:    path,
+		start:   start,
+		crossed: make([]int, len(path)),
+		owned:   make([]bool, len(path)),
+		queued:  make([]bool, len(path)),
+	}
+	n.msgs = append(n.msgs, m)
+	return m
+}
+
+func (n *Network) channel(a topology.Arc) *channelState {
+	ch, ok := n.channels[a]
+	if !ok {
+		ch = &channelState{}
+		n.channels[a] = ch
+	}
+	return ch
+}
+
+// Run advances cycles until every message is delivered, returning the
+// final cycle count. It panics if no progress is possible (cannot happen
+// with deadlock-free E-cube routing — the check guards the simulator
+// itself).
+func (n *Network) Run() int64 {
+	idle := 0
+	for !n.allDone() {
+		progressed := n.step()
+		if progressed {
+			idle = 0
+			continue
+		}
+		// Quiet cycle: jump ahead if everything is waiting for a
+		// future injection time.
+		next := int64(-1)
+		for _, m := range n.msgs {
+			if !m.Done && m.start >= n.cycle && (next < 0 || m.start < next) {
+				next = m.start
+			}
+		}
+		if next > n.cycle {
+			n.cycle = next
+			idle = 0
+			continue
+		}
+		idle++
+		if idle > 4 {
+			panic(fmt.Sprintf("flitsim: no progress at cycle %d", n.cycle))
+		}
+	}
+	return n.cycle
+}
+
+func (n *Network) allDone() bool {
+	for _, m := range n.msgs {
+		if !m.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes one cycle: arbitration on the old state, then synchronous
+// flit movement computed against the old state.
+func (n *Network) step() bool {
+	n.cycle++
+	// Phase 1: header arbitration. A message requests its next channel
+	// when the header flit has reached the requesting router (crossed
+	// the previous channel) and the message is injection-eligible.
+	for _, m := range n.msgs {
+		if m.Done || n.cycle < m.start+1 {
+			continue
+		}
+		i := n.headChannel(m)
+		if i < 0 || m.queued[i] {
+			continue
+		}
+		if i == 0 || m.crossed[i-1] > 0 {
+			ch := n.channel(m.path[i])
+			ch.queue = append(ch.queue, m)
+			m.queued[i] = true
+		}
+	}
+	for _, m := range n.msgs {
+		if m.Done {
+			continue
+		}
+		i := n.headChannel(m)
+		if i >= 0 && m.queued[i] {
+			ch := n.channel(m.path[i])
+			if ch.owner == nil && len(ch.queue) > 0 && ch.queue[0] == m {
+				ch.owner = m
+				ch.queue = ch.queue[1:]
+				m.owned[i] = true
+				m.queued[i] = false
+			} else {
+				m.BlockedCycles++
+			}
+		}
+	}
+	// Phase 2: flit movement, downstream first within each message so a
+	// buffer slot freed this cycle can be refilled this cycle
+	// (flow-through routers). Upstream availability reads values not yet
+	// updated this cycle because the walk is strictly descending, so
+	// each channel still carries at most one flit per cycle.
+	progressed := false
+	for _, m := range n.msgs {
+		if m.Done || n.cycle < m.start+1 {
+			continue
+		}
+		h := len(m.path)
+		if h == 0 {
+			// Self delivery: one flit per cycle straight to the sink.
+			m.ejected++
+			progressed = true
+			if m.ejected >= m.Flits {
+				n.finish(m)
+			}
+			continue
+		}
+		// Ejection: consume one flit if the last buffer holds one.
+		if m.crossed[h-1] > m.ejected {
+			m.ejected++
+			progressed = true
+		}
+		for i := h - 1; i >= 0; i-- {
+			if !m.owned[i] || m.crossed[i] >= m.Flits {
+				continue
+			}
+			avail := m.Flits // source holds all flits
+			if i > 0 {
+				avail = m.crossed[i-1] // not yet updated this cycle
+			}
+			if avail <= m.crossed[i] {
+				continue // no flit waiting upstream
+			}
+			downstream := m.ejected
+			if i < h-1 {
+				downstream = m.crossed[i+1]
+			}
+			if m.crossed[i]-downstream >= n.cfg.BufFlits {
+				continue // downstream buffer full
+			}
+			m.crossed[i]++
+			progressed = true
+			if m.crossed[i] == m.Flits {
+				// Tail passed: release the channel.
+				m.owned[i] = false
+				n.channel(m.path[i]).owner = nil
+			}
+		}
+		if m.ejected >= m.Flits {
+			n.finish(m)
+		}
+	}
+	return progressed
+}
+
+// headChannel returns the first channel the header has not yet crossed and
+// does not own, or -1 when the header has acquired its full path.
+func (n *Network) headChannel(m *Message) int {
+	for i := range m.path {
+		if !m.owned[i] && m.crossed[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func (n *Network) finish(m *Message) {
+	m.Done = true
+	m.DeliveredAt = n.cycle
+	for i, a := range m.path {
+		if m.owned[i] {
+			// Defensive: tails release channels as they pass, so
+			// nothing should remain owned here.
+			m.owned[i] = false
+			n.channel(a).owner = nil
+		}
+	}
+}
+
+// TotalBlocked sums header blocking across all messages.
+func (n *Network) TotalBlocked() int64 {
+	var t int64
+	for _, m := range n.msgs {
+		t += m.BlockedCycles
+	}
+	return t
+}

@@ -1,0 +1,192 @@
+package flitsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypercube/internal/topology"
+)
+
+func net(n, buf int) *Network {
+	return New(topology.New(n, topology.HighToLow), Config{BufFlits: buf})
+}
+
+// Uncontended latency is exactly hops + flits cycles — the flit-level
+// counterpart of the wormhole model's h*THop + L*TByte, matching when one
+// cycle equals THop equals TByte.
+func TestUncontendedLatencyExact(t *testing.T) {
+	for _, buf := range []int{1, 2, 8} {
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 100; trial++ {
+			nw := net(6, buf)
+			from := topology.NodeID(rng.Intn(64))
+			to := topology.NodeID(rng.Intn(64))
+			if from == to {
+				continue
+			}
+			flits := 1 + rng.Intn(200)
+			m := nw.Send(from, to, flits, 0)
+			nw.Run()
+			want := int64(topology.Distance(from, to) + flits)
+			if m.Latency() != want {
+				t.Fatalf("buf=%d %v->%v L=%d: latency %d, want %d",
+					buf, from, to, flits, m.Latency(), want)
+			}
+			if m.BlockedCycles != 0 {
+				t.Fatalf("uncontended message blocked %d", m.BlockedCycles)
+			}
+		}
+	}
+}
+
+// Disjoint messages overlap perfectly.
+func TestParallelDisjoint(t *testing.T) {
+	nw := net(4, 2)
+	a := nw.Send(0b0000, 0b0001, 100, 0)
+	b := nw.Send(0b0010, 0b0011, 100, 0)
+	end := nw.Run()
+	if a.DeliveredAt != 101 || b.DeliveredAt != 101 {
+		t.Errorf("deliveries %d %d, want 101", a.DeliveredAt, b.DeliveredAt)
+	}
+	if end != 101 {
+		t.Errorf("end = %d", end)
+	}
+}
+
+// Same-channel messages serialize; the second is granted the channel after
+// the first's tail passes it (not after full delivery — earlier than the
+// message-level model by up to h cycles).
+func TestSerialization(t *testing.T) {
+	nw := net(4, 2)
+	L := 100
+	a := nw.Send(0b0000, 0b1000, L, 0) // 1 hop
+	b := nw.Send(0b0000, 0b1001, L, 0) // 2 hops, shares (0000,d3)
+	nw.Run()
+	if a.DeliveredAt != int64(1+L) {
+		t.Errorf("a delivered %d", a.DeliveredAt)
+	}
+	if b.BlockedCycles == 0 {
+		t.Error("b never blocked")
+	}
+	// a's tail crosses the shared channel at cycle L; b granted at L+1,
+	// then needs 2 hops + L: delivered ~ L+1 + 2 + L - 1 slack.
+	lo, hi := int64(2*L), int64(2*L+6)
+	if b.DeliveredAt < lo || b.DeliveredAt > hi {
+		t.Errorf("b delivered %d, want in [%d,%d]", b.DeliveredAt, lo, hi)
+	}
+}
+
+// A blocked header holds its acquired channels and stalls traffic needing
+// them (flit-level version of the wormhole pathology test).
+func TestBlockedHeaderHoldsChannels(t *testing.T) {
+	nw := net(4, 2)
+	L := 80
+	m1 := nw.Send(0b1100, 0b1000, L, 0)
+	m2 := nw.Send(0b0100, 0b1000, L, 0) // blocks on (1100,d2) holding (0100,d3)
+	m3 := nw.Send(0b0100, 0b1100, L, 0) // needs (0100,d3)
+	nw.Run()
+	if m1.BlockedCycles != 0 {
+		t.Error("m1 blocked")
+	}
+	if m2.BlockedCycles == 0 || m3.BlockedCycles == 0 {
+		t.Errorf("m2/m3 blocked %d/%d, want both > 0", m2.BlockedCycles, m3.BlockedCycles)
+	}
+	if m3.DeliveredAt <= m2.BlockedCycles {
+		t.Errorf("m3 delivered implausibly early: %d", m3.DeliveredAt)
+	}
+}
+
+// Buffer depth does not change uncontended latency (wormhole, not
+// store-and-forward) but bounds how far flits spread along the path.
+func TestBufferDepthInvariance(t *testing.T) {
+	for _, buf := range []int{1, 4, 64} {
+		nw := net(5, buf)
+		m := nw.Send(0, 31, 500, 0)
+		nw.Run()
+		if m.Latency() != int64(5+500) {
+			t.Errorf("buf=%d latency %d", buf, m.Latency())
+		}
+	}
+}
+
+// Staggered injections honor their start cycles.
+func TestInjectionTiming(t *testing.T) {
+	nw := net(3, 2)
+	a := nw.Send(0, 1, 50, 0)
+	b := nw.Send(2, 3, 50, 1000)
+	nw.Run()
+	if a.DeliveredAt != 51 {
+		t.Errorf("a delivered %d", a.DeliveredAt)
+	}
+	if b.DeliveredAt != 1051 {
+		t.Errorf("b delivered %d, want 1051", b.DeliveredAt)
+	}
+}
+
+// Self-sends drain at one flit per cycle.
+func TestSelfSend(t *testing.T) {
+	nw := net(3, 1)
+	m := nw.Send(5, 5, 40, 0)
+	nw.Run()
+	if m.DeliveredAt != 40 {
+		t.Errorf("self delivered %d", m.DeliveredAt)
+	}
+}
+
+// FIFO arbitration: three same-channel messages finish in issue order.
+func TestArbitrationFIFO(t *testing.T) {
+	nw := net(4, 2)
+	a := nw.Send(0, 8, 60, 0)
+	b := nw.Send(0, 9, 60, 0)
+	c := nw.Send(0, 10, 60, 0)
+	nw.Run()
+	if !(a.DeliveredAt < b.DeliveredAt && b.DeliveredAt < c.DeliveredAt) {
+		t.Errorf("order: %d %d %d", a.DeliveredAt, b.DeliveredAt, c.DeliveredAt)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(topology.New(3, topology.HighToLow), Config{}) },
+		func() { net(3, 1).Send(9, 0, 5, 0) },
+		func() { net(3, 1).Send(0, 1, 0, 0) },
+		func() {
+			nw := net(3, 1)
+			nw.Send(0, 1, 5, 0)
+			nw.Run()
+			nw.Send(0, 1, 5, 0) // past injection
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid use did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Heavy random traffic completes and every channel ends free.
+func TestRandomTrafficDrains(t *testing.T) {
+	nw := net(5, 2)
+	rng := rand.New(rand.NewSource(17))
+	var msgs []*Message
+	for i := 0; i < 150; i++ {
+		from := topology.NodeID(rng.Intn(32))
+		to := topology.NodeID(rng.Intn(32))
+		msgs = append(msgs, nw.Send(from, to, 1+rng.Intn(300), int64(rng.Intn(500))))
+	}
+	nw.Run()
+	for i, m := range msgs {
+		if !m.Done {
+			t.Fatalf("message %d undelivered", i)
+		}
+	}
+	for arc, ch := range nw.channels {
+		if ch.owner != nil || len(ch.queue) != 0 {
+			t.Fatalf("channel %v left owned/queued", arc)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package group_test
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/group"
+	"hypercube/internal/topology"
+)
+
+// Splitting a 64-node machine into the 8 rows of an 8x8 grid and
+// broadcasting within one row.
+func ExampleComm_Split() {
+	cube := topology.New(6, topology.HighToLow)
+	world := group.World(cube)
+	rows := world.Split(func(rank int) int { return rank >> 3 })
+	row2 := rows[2]
+	fmt.Println(row2.Size(), row2.Node(0), row2.Node(7))
+
+	tree := row2.Bcast(core.WSort, 0)
+	sched := core.NewSchedule(tree, core.AllPort)
+	fmt.Println(sched.Steps(), len(core.CheckContention(sched)) == 0)
+	// Output:
+	// 8 16 23
+	// 3 true
+}
+
+// Rank bookkeeping.
+func ExampleNew() {
+	cube := topology.New(4, topology.HighToLow)
+	comm, err := group.New(cube, []topology.NodeID{9, 3, 12})
+	if err != nil {
+		panic(err)
+	}
+	rank, ok := comm.Rank(3)
+	fmt.Println(comm.Size(), rank, ok)
+	// Output:
+	// 3 1 true
+}

@@ -1,0 +1,205 @@
+package group
+
+import (
+	"testing"
+
+	"hypercube/internal/core"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+)
+
+func cube6() topology.Cube { return topology.New(6, topology.HighToLow) }
+
+func TestNewValidation(t *testing.T) {
+	c := cube6()
+	if _, err := New(c, nil); err == nil {
+		t.Error("empty communicator accepted")
+	}
+	if _, err := New(c, []topology.NodeID{1, 2, 1}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := New(c, []topology.NodeID{70}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	g, err := New(c, []topology.NodeID{9, 3, 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 || g.Node(0) != 9 || g.Node(2) != 27 {
+		t.Error("rank order wrong")
+	}
+	if r, ok := g.Rank(3); !ok || r != 1 {
+		t.Error("Rank lookup wrong")
+	}
+	if _, ok := g.Rank(5); ok {
+		t.Error("non-member has a rank")
+	}
+}
+
+func TestWorld(t *testing.T) {
+	g := World(cube6())
+	if g.Size() != 64 {
+		t.Fatalf("world size = %d", g.Size())
+	}
+	for r := 0; r < 64; r++ {
+		if g.Node(r) != topology.NodeID(r) {
+			t.Fatal("world rank != address")
+		}
+	}
+	if g.Cube().Dim() != 6 {
+		t.Error("Cube accessor wrong")
+	}
+}
+
+func TestNodePanics(t *testing.T) {
+	g := World(cube6())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad rank did not panic")
+		}
+	}()
+	g.Node(64)
+}
+
+func TestMembersIsCopy(t *testing.T) {
+	g, _ := New(cube6(), []topology.NodeID{4, 5})
+	m := g.Members()
+	m[0] = 63
+	if g.Node(0) != 4 {
+		t.Error("Members aliases internal state")
+	}
+}
+
+func TestSub(t *testing.T) {
+	g, _ := New(cube6(), []topology.NodeID{10, 20, 30, 40})
+	s, err := g.Sub([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2 || s.Node(0) != 40 || s.Node(1) != 20 {
+		t.Error("Sub ranks wrong")
+	}
+	if _, err := g.Sub([]int{4}); err == nil {
+		t.Error("bad rank accepted")
+	}
+}
+
+func TestSplitGrid(t *testing.T) {
+	// Split the 64-node world into 8 rows of an 8x8 grid (rank>>3).
+	g := World(cube6())
+	rows := g.Split(func(rank int) int { return rank >> 3 })
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for color, sub := range rows {
+		if sub.Size() != 8 {
+			t.Fatalf("row %d size %d", color, sub.Size())
+		}
+		for r := 0; r < 8; r++ {
+			if sub.Node(r) != topology.NodeID(color*8+r) {
+				t.Fatalf("row %d rank %d maps to %v", color, r, sub.Node(r))
+			}
+		}
+	}
+}
+
+func TestBcastTree(t *testing.T) {
+	g, _ := New(cube6(), []topology.NodeID{7, 12, 33, 50, 61})
+	tr := g.Bcast(core.WSort, 2) // root node 33
+	if tr.Source != 33 {
+		t.Fatalf("root = %v", tr.Source)
+	}
+	got := map[topology.NodeID]bool{}
+	for _, v := range tr.Destinations() {
+		got[v] = true
+	}
+	for _, v := range []topology.NodeID{7, 12, 50, 61} {
+		if !got[v] {
+			t.Errorf("member %v not covered", v)
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("broadcast reached %d nodes", len(got))
+	}
+}
+
+func TestBcastSim(t *testing.T) {
+	g, _ := New(cube6(), []topology.NodeID{0, 1, 2, 3, 32, 33, 34, 35})
+	r := g.BcastSim(ncube.NCube2(core.AllPort), core.WSort, 0, 2048)
+	if len(r.Recv) != 7 {
+		t.Fatalf("receipts = %d", len(r.Recv))
+	}
+	if r.TotalBlocked != 0 {
+		t.Errorf("W-sort group broadcast blocked %v", r.TotalBlocked)
+	}
+}
+
+// Phase: the 8 rows of the grid broadcast concurrently from their leaders;
+// every member receives, and row groups in disjoint subcubes do not block.
+func TestPhaseRows(t *testing.T) {
+	g := World(cube6())
+	rowMap := g.Split(func(rank int) int { return rank >> 3 })
+	var groups []*Comm
+	var roots []int
+	for color := 0; color < 8; color++ {
+		groups = append(groups, rowMap[color])
+		roots = append(roots, 0)
+	}
+	results := Phase(ncube.NCube2(core.AllPort), 4096, core.WSort, groups, roots)
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if len(r.Recv) != 7 {
+			t.Fatalf("row %d receipts = %d", i, len(r.Recv))
+		}
+	}
+	// Rows fix the high 3 address bits: each broadcast stays inside its
+	// own 3-subcube, so the phase is globally contention-free (Theorem 2).
+	if results[0].TotalBlocked != 0 {
+		t.Errorf("row phase blocked %v", results[0].TotalBlocked)
+	}
+}
+
+// Columns interleave across subcubes: the phase still completes, and
+// W-sort's per-group guarantee keeps each group delivered.
+func TestPhaseColumns(t *testing.T) {
+	g := World(cube6())
+	colMap := g.Split(func(rank int) int { return rank & 7 })
+	var groups []*Comm
+	var roots []int
+	for color := 0; color < 8; color++ {
+		groups = append(groups, colMap[color])
+		roots = append(roots, color) // distinct leader rows
+	}
+	results := Phase(ncube.NCube2(core.AllPort), 4096, core.WSort, groups, roots)
+	for i, r := range results {
+		if len(r.Recv) != 7 {
+			t.Fatalf("column %d receipts = %d", i, len(r.Recv))
+		}
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	if got := Phase(ncube.NCube2(core.AllPort), 64, core.WSort, nil, nil); got != nil {
+		t.Error("empty phase should be nil")
+	}
+	g := World(cube6())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched roots did not panic")
+			}
+		}()
+		Phase(ncube.NCube2(core.AllPort), 64, core.WSort, []*Comm{g}, nil)
+	}()
+	other := World(topology.New(5, topology.HighToLow))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mixed cubes did not panic")
+			}
+		}()
+		Phase(ncube.NCube2(core.AllPort), 64, core.WSort, []*Comm{g, other}, []int{0, 0})
+	}()
+}

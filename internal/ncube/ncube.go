@@ -1,0 +1,202 @@
+// Package ncube models the nCUBE-2 multicomputer of the paper's
+// measurements: software send/receive overheads layered over the wormhole
+// interconnect, with one-port or all-port node interfaces. A multicast tree
+// executes exactly as it would on the machine — each node, upon fully
+// receiving the message, pays a software receive overhead, then issues its
+// forwarding unicasts, paying a per-send setup cost on its CPU, with
+// injection gated by the port model.
+//
+// The paper measured a real 64-node nCUBE-2; we substitute calibrated
+// parameters (startup ~= 160us split between sender and receiver, channel
+// bandwidth ~= 2.2 MB/s, ~2us per router hop). Absolute delays therefore
+// differ from the published plots, but every comparative shape — the
+// U-cube staircase, serialization anomalies, and the port-aware algorithms'
+// advantage — depends only on the mechanics reproduced here.
+package ncube
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+	"hypercube/internal/wormhole"
+)
+
+// Params is the machine configuration.
+type Params struct {
+	// TStartup is the sender-side software cost per unicast (protocol
+	// processing and DMA setup), charged serially on the sending CPU.
+	TStartup event.Time
+	// TRecv is the receiver-side software cost between the tail flit's
+	// arrival and the moment the node can begin forwarding.
+	TRecv event.Time
+	// THop is the per-hop router latency of a header flit.
+	THop event.Time
+	// TByte is the per-byte channel transmission time.
+	TByte event.Time
+	// Port chooses the node/router interface model.
+	Port core.PortModel
+}
+
+// NCube2 returns parameters calibrated to published nCUBE-2 figures:
+// one-way unicast latency ~= 164us + 0.45us/byte.
+func NCube2(port core.PortModel) Params {
+	return Params{
+		TStartup: 110 * event.Microsecond,
+		TRecv:    54 * event.Microsecond,
+		THop:     2 * event.Microsecond,
+		TByte:    450 * event.Nanosecond,
+		Port:     port,
+	}
+}
+
+// NCube3 models the announced successor the paper cites (Duzett & Buck
+// 1992): roughly an order of magnitude more link bandwidth and leaner
+// software paths. The faster the links, the larger the share of total
+// delay that the startup count (tree shape) determines — so the
+// algorithmic differences the paper studies matter *more* on newer
+// hardware.
+func NCube3(port core.PortModel) Params {
+	return Params{
+		TStartup: 40 * event.Microsecond,
+		TRecv:    20 * event.Microsecond,
+		THop:     500 * event.Nanosecond,
+		TByte:    25 * event.Nanosecond,
+		Port:     port,
+	}
+}
+
+// Validate panics on a malformed configuration.
+func (p Params) Validate() {
+	if p.TStartup < 0 || p.TRecv < 0 || p.THop < 0 || p.TByte < 0 {
+		panic("ncube: negative timing parameter")
+	}
+	if p.Port != core.OnePort && p.Port != core.AllPort {
+		panic("ncube: invalid port model")
+	}
+}
+
+// Result reports one multicast execution.
+type Result struct {
+	Algorithm core.Algorithm
+	Bytes     int
+	// Recv maps every node that received the message (destinations, and
+	// relays for SF trees) to the simulated time its copy fully arrived.
+	Recv map[topology.NodeID]event.Time
+	// Makespan is the time the last receiver obtained the message.
+	Makespan event.Time
+	// TotalBlocked is cumulative header blocking across all unicasts;
+	// zero if and only if the execution was physically contention-free.
+	TotalBlocked event.Time
+}
+
+// DelayOf returns the receipt delay of node v (time from multicast
+// initiation to full arrival of v's copy).
+func (r Result) DelayOf(v topology.NodeID) (event.Time, bool) {
+	t, ok := r.Recv[v]
+	return t, ok
+}
+
+// Stats summarizes the per-destination delays over the given destination
+// set (ignoring relay receipts).
+func (r Result) Stats(dests []topology.NodeID) (avg, max event.Time) {
+	if len(dests) == 0 {
+		return 0, 0
+	}
+	var sum event.Time
+	for _, d := range dests {
+		t, ok := r.Recv[d]
+		if !ok {
+			panic(fmt.Sprintf("ncube: destination %v never received", d))
+		}
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	return sum / event.Time(len(dests)), max
+}
+
+// nodeState tracks the software/injection state of one node during a run.
+type nodeState struct {
+	sends []core.Send
+	next  int // next send to set up
+}
+
+// Run executes the multicast tree on the simulated machine and returns the
+// per-node receipt times. The message is bytes long.
+func Run(p Params, tr *core.Tree, bytes int) Result {
+	return RunWithTracer(p, tr, bytes, nil)
+}
+
+// RunWithTracer is Run with a channel-event observer attached to the
+// interconnect (see the trace package).
+func RunWithTracer(p Params, tr *core.Tree, bytes int, tracer wormhole.Tracer) Result {
+	p.Validate()
+	q := &event.Queue{}
+	net := wormhole.New(q, tr.Cube, wormhole.Config{THop: p.THop, TByte: p.TByte})
+	if tracer != nil {
+		net.SetTracer(tracer)
+	}
+	res := Result{
+		Algorithm: tr.Algorithm,
+		Bytes:     bytes,
+		Recv:      make(map[topology.NodeID]event.Time),
+	}
+
+	states := make(map[topology.NodeID]*nodeState, len(tr.Sends))
+	for v, sends := range tr.Sends {
+		states[v] = &nodeState{sends: sends}
+	}
+
+	var deliver func(d wormhole.Delivery)
+	// launch starts node v's forwarding work at the current time.
+	var launch func(v topology.NodeID)
+
+	// issueNext sets up and injects node v's next pending unicast; under
+	// the one-port model the following send is issued only after this
+	// one's tail has drained into the network (single DMA pair), while
+	// the all-port model overlaps transmissions and is limited only by
+	// the serial per-send CPU setup.
+	var issueNext func(v topology.NodeID)
+	issueNext = func(v topology.NodeID) {
+		st := states[v]
+		if st == nil || st.next >= len(st.sends) {
+			return
+		}
+		snd := st.sends[st.next]
+		st.next++
+		q.After(p.TStartup, func() {
+			switch p.Port {
+			case core.AllPort:
+				net.Send(snd.From, snd.To, bytes, deliver)
+				issueNext(v)
+			case core.OnePort:
+				net.Send(snd.From, snd.To, bytes, func(d wormhole.Delivery) {
+					deliver(d)
+					issueNext(v)
+				})
+			}
+		})
+	}
+
+	launch = func(v topology.NodeID) { issueNext(v) }
+
+	deliver = func(d wormhole.Delivery) {
+		if _, dup := res.Recv[d.To]; dup {
+			panic(fmt.Sprintf("ncube: node %v received twice", d.To))
+		}
+		res.Recv[d.To] = d.Arrived
+		if d.Arrived > res.Makespan {
+			res.Makespan = d.Arrived
+		}
+		q.After(p.TRecv, func() { launch(d.To) })
+	}
+
+	launch(tr.Source)
+	q.Run()
+	res.TotalBlocked = net.TotalBlocked()
+
+	return res
+}

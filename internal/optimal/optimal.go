@@ -1,0 +1,191 @@
+// Package optimal computes exact minimum step counts for unicast-based
+// multicast on small hypercubes by exhaustive search, under the same
+// stepwise all-port model as the core schedulers: per step, every unicast
+// originates at an informed node, unicasts are pairwise arc-disjoint, and
+// no two sends from one node share an outgoing channel.
+//
+// The paper asserts that particular trees (Figure 3(e)) are optimal for
+// their destination sets; this package lets tests verify such claims and
+// measure how close W-sort comes to optimal on random instances. The
+// search is exponential — intended for n <= 4 and at most ~8 destinations.
+package optimal
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/topology"
+)
+
+// Steps returns the minimum number of all-port steps needed to deliver a
+// multicast from src to dests (destinations only may relay, matching the
+// unicast-based model), or -1 if no solution exists within maxDepth steps.
+func Steps(c topology.Cube, src topology.NodeID, dests []topology.NodeID, maxDepth int) int {
+	uniq := make([]topology.NodeID, 0, len(dests))
+	seen := map[topology.NodeID]bool{src: true}
+	for _, d := range dests {
+		c.MustContain(d)
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	m := len(uniq)
+	if m == 0 {
+		return 0
+	}
+	if m > 16 {
+		panic(fmt.Sprintf("optimal: %d destinations beyond exhaustive-search range", m))
+	}
+	s := &searcher{
+		c:      c,
+		src:    src,
+		dests:  uniq,
+		paths:  make(map[[2]topology.NodeID][]topology.Arc),
+		failed: make(map[uint32]int),
+	}
+	lb := core.StepLowerBound(core.AllPort, c.Dim(), m)
+	for depth := lb; depth <= maxDepth; depth++ {
+		s.failed = make(map[uint32]int)
+		if s.dfs(0, depth) {
+			return depth
+		}
+	}
+	return -1
+}
+
+type searcher struct {
+	c     topology.Cube
+	src   topology.NodeID
+	dests []topology.NodeID
+	paths map[[2]topology.NodeID][]topology.Arc
+	// failed[mask] records the largest remaining-step budget for which
+	// the covered-set mask was proven infeasible.
+	failed map[uint32]int
+}
+
+func (s *searcher) path(from, to topology.NodeID) []topology.Arc {
+	key := [2]topology.NodeID{from, to}
+	p, ok := s.paths[key]
+	if !ok {
+		p = s.c.PathArcs(from, to)
+		s.paths[key] = p
+	}
+	return p
+}
+
+// dfs reports whether the uncovered destinations can be covered within
+// remaining steps, given the covered-set mask.
+func (s *searcher) dfs(covered uint32, remaining int) bool {
+	m := len(s.dests)
+	full := uint32(1)<<uint(m) - 1
+	if covered == full {
+		return true
+	}
+	if remaining == 0 {
+		return false
+	}
+	if r, ok := s.failed[covered]; ok && remaining <= r {
+		return false
+	}
+	// Growth bound: informed nodes can at most (n+1)-fold per step.
+	informed := 1 + popcount(covered)
+	uncovered := m - popcount(covered)
+	cap := informed
+	for i := 0; i < remaining; i++ {
+		cap *= s.c.Dim() + 1
+	}
+	if uncovered > cap-informed {
+		s.noteFail(covered, remaining)
+		return false
+	}
+	senders := make([]topology.NodeID, 0, informed)
+	senders = append(senders, s.src)
+	for i, d := range s.dests {
+		if covered&(1<<uint(i)) != 0 {
+			senders = append(senders, d)
+		}
+	}
+	ok := s.assign(covered, remaining, senders, 0, covered, nil, nil)
+	if !ok {
+		s.noteFail(covered, remaining)
+	}
+	return ok
+}
+
+func (s *searcher) noteFail(covered uint32, remaining int) {
+	if r, ok := s.failed[covered]; !ok || remaining > r {
+		s.failed[covered] = remaining
+	}
+}
+
+type chanKey struct {
+	node topology.NodeID
+	dim  int
+}
+
+// assign enumerates this step's send sets: for each uncovered destination
+// (in index order) choose a sender whose unicast stays arc-disjoint with
+// the step's other sends, or defer it to a later step. claims and used
+// accumulate the step's channel reservations.
+func (s *searcher) assign(covered uint32, remaining int, senders []topology.NodeID, idx int, newCovered uint32, claims map[topology.Arc]bool, used map[chanKey]bool) bool {
+	m := len(s.dests)
+	for idx < m && covered&(1<<uint(idx)) != 0 {
+		idx++
+	}
+	if idx == m {
+		if newCovered == covered {
+			return false // empty step: no progress possible
+		}
+		return s.dfs(newCovered, remaining-1)
+	}
+	dst := s.dests[idx]
+	// Option 1: assign dst to some sender this step.
+	for _, from := range senders {
+		p := s.path(from, dst)
+		key := chanKey{from, p[0].Dim}
+		if used[key] {
+			continue
+		}
+		conflict := false
+		for _, a := range p {
+			if claims[a] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, a := range p {
+			if claims == nil {
+				claims = map[topology.Arc]bool{}
+			}
+			claims[a] = true
+		}
+		if used == nil {
+			used = map[chanKey]bool{}
+		}
+		used[key] = true
+		if s.assign(covered, remaining, senders, idx+1, newCovered|1<<uint(idx), claims, used) {
+			return true
+		}
+		for _, a := range p {
+			delete(claims, a)
+		}
+		delete(used, key)
+	}
+	// Option 2: defer dst to a later step (only useful if steps remain).
+	if remaining > 1 {
+		return s.assign(covered, remaining, senders, idx+1, newCovered, claims, used)
+	}
+	return false
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypercube/internal/bits"
+	"hypercube/internal/core"
+	"hypercube/internal/topology"
+)
+
+// The paper's Figure 3(e) claim: the W-sort tree is optimal for multicast
+// from 0000 to the eight-destination set — 2 steps, and no scheme does it
+// in fewer.
+func TestFigure3eOptimality(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
+	opt := Steps(c, 0, dests, 4)
+	if opt != 2 {
+		t.Fatalf("optimal steps = %d, want 2", opt)
+	}
+	ws := core.NewSchedule(core.Build(c, core.WSort, 0, dests), core.AllPort)
+	if ws.Steps() != opt {
+		t.Errorf("W-sort %d steps, optimal %d", ws.Steps(), opt)
+	}
+}
+
+// The Figure 6 instance: three destinations all behind the source's
+// channel 3 — the per-channel constraint forces 2 steps, which U-cube and
+// Combine achieve and Maxport misses.
+func TestFigure6Optimality(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{0b1001, 0b1010, 0b1011}
+	opt := Steps(c, 0, dests, 4)
+	if opt != 2 {
+		t.Fatalf("optimal steps = %d, want 2", opt)
+	}
+}
+
+func TestTrivialCases(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	if got := Steps(c, 0, nil, 3); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	if got := Steps(c, 0, []topology.NodeID{0}, 3); got != 0 {
+		t.Errorf("self only = %d", got)
+	}
+	if got := Steps(c, 0, []topology.NodeID{5}, 3); got != 1 {
+		t.Errorf("single = %d", got)
+	}
+	// n distinct-channel neighbors: 1 step.
+	if got := Steps(c, 0, []topology.NodeID{1, 2, 4}, 3); got != 1 {
+		t.Errorf("neighbors = %d", got)
+	}
+	// Unreachable within maxDepth 0.
+	if got := Steps(c, 0, []topology.NodeID{5}, 0); got != -1 {
+		t.Errorf("maxDepth 0 = %d", got)
+	}
+}
+
+// Broadcast in a 3-cube: optimal is 2 steps (1 + 3 + 3*4 >= 8 allows 2;
+// and 7 > 3 rules out 1).
+func TestBroadcast3Cube(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	dests := []topology.NodeID{1, 2, 3, 4, 5, 6, 7}
+	got := Steps(c, 0, dests, 4)
+	if got != 2 {
+		t.Errorf("3-cube broadcast optimal = %d, want 2", got)
+	}
+}
+
+// Exhaustive sanity on random 3-cube instances: the optimum lies between
+// the information-theoretic lower bound and the best algorithmic schedule,
+// and the W-sort gap is at most 1 step at this scale.
+func TestOptimalBracketsAlgorithms3Cube(t *testing.T) {
+	c := topology.New(3, topology.HighToLow)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		src := topology.NodeID(rng.Intn(8))
+		m := 1 + rng.Intn(7)
+		perm := rng.Perm(8)
+		var dests []topology.NodeID
+		for _, p := range perm {
+			if topology.NodeID(p) != src && len(dests) < m {
+				dests = append(dests, topology.NodeID(p))
+			}
+		}
+		opt := Steps(c, src, dests, 6)
+		if opt < 0 {
+			t.Fatalf("no solution found: src=%v dests=%v", src, dests)
+		}
+		lb := core.StepLowerBound(core.AllPort, 3, len(dests))
+		if opt < lb {
+			t.Fatalf("optimal %d beats lower bound %d", opt, lb)
+		}
+		best := 1 << 20
+		for _, a := range []core.Algorithm{core.UCube, core.Maxport, core.Combine, core.WSort} {
+			s := core.NewSchedule(core.Build(c, a, src, dests), core.AllPort)
+			if s.Steps() < best {
+				best = s.Steps()
+			}
+			if s.Steps() < opt {
+				t.Fatalf("%v schedule %d beats optimum %d (src=%v dests=%v)", a, s.Steps(), opt, src, dests)
+			}
+		}
+		ws := core.NewSchedule(core.Build(c, core.WSort, src, dests), core.AllPort)
+		if ws.Steps() > opt+1 {
+			t.Errorf("W-sort gap %d on src=%v dests=%v (opt %d)", ws.Steps()-opt, src, dests, opt)
+		}
+	}
+}
+
+// 4-cube spot checks with moderate destination counts.
+func TestOptimalBracketsAlgorithms4Cube(t *testing.T) {
+	c := topology.New(4, topology.HighToLow)
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 15; trial++ {
+		src := topology.NodeID(rng.Intn(16))
+		m := 1 + rng.Intn(6)
+		perm := rng.Perm(16)
+		var dests []topology.NodeID
+		for _, p := range perm {
+			if topology.NodeID(p) != src && len(dests) < m {
+				dests = append(dests, topology.NodeID(p))
+			}
+		}
+		opt := Steps(c, src, dests, 5)
+		if opt < 0 {
+			t.Fatalf("no solution: src=%v dests=%v", src, dests)
+		}
+		lb := core.StepLowerBound(core.AllPort, 4, len(dests))
+		if opt < lb || opt > bits.CeilLog2(len(dests)+1) {
+			t.Fatalf("optimum %d outside [%d, %d]", opt, lb, bits.CeilLog2(len(dests)+1))
+		}
+	}
+}
+
+func TestDestinationLimitPanics(t *testing.T) {
+	c := topology.New(5, topology.HighToLow)
+	var dests []topology.NodeID
+	for v := 1; v <= 17; v++ {
+		dests = append(dests, topology.NodeID(v))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized instance did not panic")
+		}
+	}()
+	Steps(c, 0, dests, 3)
+}

@@ -1,0 +1,136 @@
+// Package plot renders the experiment tables as text line charts, so the
+// paper's figures can be eyeballed directly in a terminal: one mark per
+// series, shared axes, downsampled to the requested canvas.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hypercube/internal/stats"
+)
+
+// marks label up to eight series; tables here have at most six.
+var marks = []byte{'u', 'm', 'c', 'w', 's', 'b', 'x', 'o'}
+
+// Options control the canvas.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+}
+
+func (o *Options) setDefaults() {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	if o.Width < 16 {
+		o.Width = 16
+	}
+	if o.Height < 6 {
+		o.Height = 6
+	}
+}
+
+// Render draws every column of the table as one series against the X
+// column. Later-drawn series overwrite earlier marks on collisions, which
+// visually matches the paper's overlapping curves.
+func Render(t *stats.Table, opt Options) string {
+	opt.setDefaults()
+	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+		return "(empty table)\n"
+	}
+	xmin, xmax := t.Rows[0].X, t.Rows[0].X
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		if r.X < xmin {
+			xmin = r.X
+		}
+		if r.X > xmax {
+			xmax = r.X
+		}
+		for _, v := range r.Cells {
+			if v < ymin {
+				ymin = v
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	plotX := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(opt.Width-1))
+		return clamp(c, 0, opt.Width-1)
+	}
+	plotY := func(y float64) int {
+		r := int((y - ymin) / (ymax - ymin) * float64(opt.Height-1))
+		return clamp(opt.Height-1-r, 0, opt.Height-1)
+	}
+	for ci := range t.Columns {
+		mark := marks[ci%len(marks)]
+		for _, r := range t.Rows {
+			grid[plotY(r.Cells[ci])][plotX(r.X)] = mark
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	yLabelW := 10
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = trim(ymax, yLabelW)
+		case opt.Height - 1:
+			label = trim(ymin, yLabelW)
+		case (opt.Height - 1) / 2:
+			label = trim((ymin+ymax)/2, yLabelW)
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", yLabelW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s+\n", yLabelW, "", strings.Repeat("-", opt.Width))
+	lo, hi := trim(xmin, yLabelW), trim(xmax, yLabelW)
+	pad := opt.Width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s  (%s)\n", yLabelW, "", lo, strings.Repeat(" ", pad), hi, t.XLabel)
+	for ci, name := range t.Columns {
+		fmt.Fprintf(&b, "%*s  %c = %s\n", yLabelW, "", marks[ci%len(marks)], name)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func trim(v float64, w int) string {
+	s := fmt.Sprintf("%.1f", v)
+	if len(s) > w {
+		s = fmt.Sprintf("%.3g", v)
+	}
+	return s
+}

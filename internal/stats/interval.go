@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// using the normal approximation (1.96 · s/√n). The paper averages 20–100
+// random destination sets per point; the interval quantifies that
+// sampling noise. Samples of size < 2 return 0.
+func CI95(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the sample using
+// linear interpolation between order statistics. An empty sample returns
+// 0; p outside [0,1] panics.
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is the 0.5-quantile.
+func Median(xs []float64) float64 { return Percentile(xs, 0.5) }
+
+// Histogram bins the sample into n equal-width buckets spanning
+// [min, max] and returns the counts. Useful for delay distributions.
+func Histogram(xs []float64, n int) []int {
+	if n < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	counts := make([]int, n)
+	if len(xs) == 0 {
+		return counts
+	}
+	s := Summarize(xs)
+	width := (s.Max - s.Min) / float64(n)
+	for _, x := range xs {
+		var b int
+		if width == 0 {
+			b = 0
+		} else {
+			b = int((x - s.Min) / width)
+			if b >= n {
+				b = n - 1
+			}
+		}
+		counts[b]++
+	}
+	return counts
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCI95(t *testing.T) {
+	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
+		t.Error("degenerate CI should be 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	s := Summarize(xs)
+	want := 1.96 * s.Std / 2
+	if math.Abs(CI95(xs)-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", CI95(xs), want)
+	}
+}
+
+// The 95% CI covers the true mean about 95% of the time.
+func TestCI95Coverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 40)
+		for j := range xs {
+			xs[j] = rng.NormFloat64() * 3
+		}
+		mean := Mean(xs)
+		ci := CI95(xs)
+		if mean-ci <= 0 && 0 <= mean+ci {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("coverage = %.3f, want ~0.95", rate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile wrong")
+	}
+	if Percentile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton percentile wrong")
+	}
+	if Median(xs) != 2.5 {
+		t.Error("median wrong")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range p did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 1.5)
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := Histogram(xs, 5)
+	for i, c := range got {
+		if c != 2 {
+			t.Errorf("bin %d = %d, want 2", i, c)
+		}
+	}
+	if sum(Histogram(xs, 3)) != len(xs) {
+		t.Error("histogram loses samples")
+	}
+	flat := Histogram([]float64{5, 5, 5}, 4)
+	if flat[0] != 3 {
+		t.Errorf("constant sample histogram = %v", flat)
+	}
+	if sum(Histogram(nil, 3)) != 0 {
+		t.Error("empty histogram nonzero")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bins did not panic")
+		}
+	}()
+	Histogram([]float64{1}, 0)
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

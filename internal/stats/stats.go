@@ -1,0 +1,174 @@
+// Package stats provides the small statistical and tabulation toolkit used
+// by the experiment harness: summary statistics over samples and aligned
+// text/CSV rendering of result tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, Std float64
+}
+
+// Summarize computes summary statistics. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Max returns the maximum (0 for an empty sample).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Summarize(xs).Max
+}
+
+// Table is a labeled grid of numeric results: one row per x value (e.g.
+// number of destinations), one column per series (e.g. algorithm).
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one x value with one cell per column.
+type Row struct {
+	X     float64
+	Cells []float64
+}
+
+// NewTable creates an empty table with the given column headers.
+func NewTable(title, xlabel string, columns ...string) *Table {
+	return &Table{Title: title, XLabel: xlabel, Columns: columns}
+}
+
+// Add appends a row; the number of cells must match the columns.
+func (t *Table) Add(x float64, cells ...float64) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Cells: cells})
+}
+
+// Column returns the cell values of the named column, in row order.
+func (t *Table) Column(name string) []float64 {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("stats: no column %q", name))
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Cells[idx]
+	}
+	return out
+}
+
+// Render produces an aligned, human-readable text table in the style of the
+// paper's figure data.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Cells)+1)
+		cells[i][0] = formatNum(r.X)
+		if w := len(cells[i][0]); w > widths[0] {
+			widths[0] = w
+		}
+		for j, v := range r.Cells {
+			cells[i][j+1] = formatNum(v)
+			if w := len(cells[i][j+1]); w > widths[j+1] {
+				widths[j+1] = w
+			}
+		}
+	}
+	for j, c := range t.Columns {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], cells[i][0])
+		for j := 1; j < len(cells[i]); j++ {
+			fmt.Fprintf(&b, "  %*s", widths[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(formatNum(r.X))
+		for _, v := range r.Cells {
+			b.WriteByte(',')
+			b.WriteString(formatNum(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.Std != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 || Max([]float64{2, 4}) != 4 {
+		t.Error("Mean/Max wrong")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Mean/Max wrong")
+	}
+}
+
+func TestSummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 0
+			}
+			// Keep magnitudes bounded so intermediate sums cannot
+			// overflow; the property targets ordering, not range.
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := NewTable("steps", "m", "u-cube", "w-sort")
+	tb.Add(1, 1, 1)
+	tb.Add(8, 4, 2.25)
+	text := tb.Render()
+	if !strings.Contains(text, "# steps") || !strings.Contains(text, "u-cube") {
+		t.Errorf("render missing pieces:\n%s", text)
+	}
+	if !strings.Contains(text, "2.250") {
+		t.Errorf("render formatting wrong:\n%s", text)
+	}
+	csv := tb.CSV()
+	wantCSV := "m,u-cube,w-sort\n1,1,1\n8,4,2.250\n"
+	if csv != wantCSV {
+		t.Errorf("csv = %q, want %q", csv, wantCSV)
+	}
+}
+
+func TestTableColumn(t *testing.T) {
+	tb := NewTable("", "x", "a", "b")
+	tb.Add(1, 10, 20)
+	tb.Add(2, 30, 40)
+	got := tb.Column("b")
+	if len(got) != 2 || got[0] != 20 || got[1] != 40 {
+		t.Errorf("Column = %v", got)
+	}
+}
+
+func TestTableColumnPanicsUnknown(t *testing.T) {
+	tb := NewTable("", "x", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown column did not panic")
+		}
+	}()
+	tb.Column("zzz")
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tb := NewTable("", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("bad arity did not panic")
+		}
+	}()
+	tb.Add(1, 5)
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("", "destinations", "algo")
+	tb.Add(1000, 123456)
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) == 0 || len(lines[1]) == 0 {
+		t.Error("empty render lines")
+	}
+}

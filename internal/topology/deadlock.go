@@ -1,0 +1,114 @@
+package topology
+
+// Wormhole routing is deadlock-prone: a cycle of messages each holding a
+// channel the next one needs stalls forever. The classic result the paper
+// builds on (Dally & Seitz) is that dimension-ordered routing is
+// deadlock-free because its channel dependency graph is acyclic. This file
+// makes that property checkable: the library's simulators assume it, and
+// the test suite proves it for every cube size rather than taking it on
+// faith.
+
+// RouteFunc gives the next dimension a message at cur takes toward dst,
+// or -1 when cur == dst. ECubeRoute is the deterministic router the whole
+// library uses; tests also construct adversarial routers to show the
+// checker detects cyclic dependency graphs.
+type RouteFunc func(c Cube, cur, dst NodeID) int
+
+// ECubeRoute implements dimension-ordered routing under the cube's
+// resolution order.
+func ECubeRoute(c Cube, cur, dst NodeID) int {
+	if cur == dst {
+		return -1
+	}
+	return c.FirstHop(cur, dst)
+}
+
+// ChannelDependencyGraph builds the dependency relation over directed
+// channels induced by the router: arc A depends on arc B if some unicast
+// traverses A immediately followed by B (so a worm can hold A while
+// waiting for B). The result maps each arc to its successor set.
+func ChannelDependencyGraph(c Cube, route RouteFunc) map[Arc][]Arc {
+	deps := make(map[Arc]map[Arc]bool)
+	for s := 0; s < c.Nodes(); s++ {
+		for d := 0; d < c.Nodes(); d++ {
+			src, dst := NodeID(s), NodeID(d)
+			if src == dst {
+				continue
+			}
+			cur := src
+			var prev *Arc
+			for cur != dst {
+				dim := route(c, cur, dst)
+				if dim < 0 || dim >= c.Dim() {
+					panic("topology: router returned invalid dimension")
+				}
+				arc := Arc{From: cur, Dim: dim}
+				if prev != nil {
+					set, ok := deps[*prev]
+					if !ok {
+						set = make(map[Arc]bool)
+						deps[*prev] = set
+					}
+					set[arc] = true
+				}
+				a := arc
+				prev = &a
+				cur = c.Neighbor(cur, dim)
+			}
+		}
+	}
+	out := make(map[Arc][]Arc, len(deps))
+	for a, set := range deps {
+		for b := range set {
+			out[a] = append(out[a], b)
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether the dependency graph contains a directed cycle
+// (iterative three-color DFS).
+func HasCycle(deps map[Arc][]Arc) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Arc]int, len(deps))
+	type frame struct {
+		node Arc
+		next int
+	}
+	for start := range deps {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succs := deps[f.node]
+			if f.next < len(succs) {
+				s := succs[f.next]
+				f.next++
+				switch color[s] {
+				case gray:
+					return true
+				case white:
+					color[s] = gray
+					stack = append(stack, frame{node: s})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}
+
+// DeadlockFree reports whether the router's channel dependency graph is
+// acyclic on the cube.
+func DeadlockFree(c Cube, route RouteFunc) bool {
+	return !HasCycle(ChannelDependencyGraph(c, route))
+}

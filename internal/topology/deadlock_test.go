@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"testing"
+
+	"hypercube/internal/bits"
+)
+
+// Dally & Seitz: E-cube routing is deadlock-free, under both resolution
+// orders, on every cube size we simulate.
+func TestECubeDeadlockFree(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for _, res := range []Resolution{HighToLow, LowToHigh} {
+			c := New(n, res)
+			if !DeadlockFree(c, ECubeRoute) {
+				t.Errorf("E-cube (%v) has a cyclic dependency graph on the %d-cube", res, n)
+			}
+		}
+	}
+}
+
+// A router whose dimension order depends on the current node's address
+// parity creates the classic 4-cycle of channel dependencies on the
+// 2-cube (00-d0->01-d1->11-d0->10-d1->00) — the checker must catch it.
+func TestMixedOrderRouterDeadlocks(t *testing.T) {
+	mixed := func(c Cube, cur, dst NodeID) int {
+		if cur == dst {
+			return -1
+		}
+		x := uint32(cur) ^ uint32(dst)
+		if bits.OnesCount(uint32(cur))%2 == 0 {
+			return bits.LowBit(x)
+		}
+		return bits.Log2(x)
+	}
+	for n := 2; n <= 4; n++ {
+		c := New(n, HighToLow)
+		if DeadlockFree(c, mixed) {
+			t.Errorf("mixed-order router reported deadlock-free on the %d-cube", n)
+		}
+	}
+}
+
+// The dependency graph of E-cube routing only ever points from higher
+// dimensions to lower ones (HighToLow), which is the structural reason for
+// acyclicity.
+func TestECubeDependencyMonotone(t *testing.T) {
+	c := New(5, HighToLow)
+	deps := ChannelDependencyGraph(c, ECubeRoute)
+	for a, succs := range deps {
+		for _, b := range succs {
+			if b.Dim >= a.Dim {
+				t.Fatalf("dependency %v -> %v does not descend", a, b)
+			}
+		}
+	}
+}
+
+// Trivial cube: one dimension, no multi-hop routes, empty graph.
+func TestDependencyGraphTrivial(t *testing.T) {
+	c := New(1, HighToLow)
+	deps := ChannelDependencyGraph(c, ECubeRoute)
+	if len(deps) != 0 {
+		t.Errorf("1-cube dependency graph nonempty: %v", deps)
+	}
+	if HasCycle(deps) {
+		t.Error("empty graph has a cycle")
+	}
+}
+
+func TestBadRouterPanics(t *testing.T) {
+	c := New(3, HighToLow)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid dimension did not panic")
+		}
+	}()
+	ChannelDependencyGraph(c, func(Cube, NodeID, NodeID) int { return 9 })
+}
+
+// HasCycle detects a self-loop and a 3-cycle built by hand.
+func TestHasCycleDirect(t *testing.T) {
+	a := Arc{From: 0, Dim: 0}
+	b := Arc{From: 1, Dim: 1}
+	c := Arc{From: 3, Dim: 0}
+	if !HasCycle(map[Arc][]Arc{a: {a}}) {
+		t.Error("self-loop missed")
+	}
+	if !HasCycle(map[Arc][]Arc{a: {b}, b: {c}, c: {a}}) {
+		t.Error("3-cycle missed")
+	}
+	if HasCycle(map[Arc][]Arc{a: {b}, b: {c}}) {
+		t.Error("chain misreported as cycle")
+	}
+}

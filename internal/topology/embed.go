@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"fmt"
+
+	"hypercube/internal/bits"
+)
+
+// This file provides the classic Gray-code embeddings of rings and meshes
+// into hypercubes. Data-parallel programs address logical rings and grids;
+// the embeddings place logical neighbors on physical neighbors, so
+// nearest-neighbor phases use single-hop messages while the collective
+// phases use the multicast machinery.
+
+// Gray returns the i-th reflected Gray code value.
+func Gray(i int) uint32 {
+	if i < 0 {
+		panic("topology: negative Gray index")
+	}
+	return uint32(i) ^ uint32(i)>>1
+}
+
+// GrayRank inverts Gray: GrayRank(Gray(i)) == i.
+func GrayRank(g uint32) int {
+	var i uint32
+	for ; g != 0; g >>= 1 {
+		i ^= g
+	}
+	return int(i)
+}
+
+// GrayRing returns a Hamiltonian cycle of the n-cube: 2^n node addresses
+// in which consecutive entries (and the last/first pair) are cube
+// neighbors.
+func GrayRing(n int) []NodeID {
+	size := bits.Pow2(n)
+	out := make([]NodeID, size)
+	for i := range out {
+		out[i] = NodeID(Gray(i))
+	}
+	return out
+}
+
+// Grid is a 2^RowBits x 2^ColBits logical mesh embedded in an
+// (RowBits+ColBits)-cube via per-axis Gray coding: grid neighbors differ
+// in exactly one address bit.
+type Grid struct {
+	RowBits, ColBits int
+}
+
+// NewGrid validates and returns the embedding.
+func NewGrid(rowBits, colBits int) Grid {
+	if rowBits < 0 || colBits < 0 || rowBits+colBits < 1 || rowBits+colBits > bits.MaxDim {
+		panic(fmt.Sprintf("topology: invalid grid %d x %d bits", rowBits, colBits))
+	}
+	return Grid{RowBits: rowBits, ColBits: colBits}
+}
+
+// Dim returns the dimensionality of the hosting cube.
+func (g Grid) Dim() int { return g.RowBits + g.ColBits }
+
+// Rows returns the number of grid rows.
+func (g Grid) Rows() int { return bits.Pow2(g.RowBits) }
+
+// Cols returns the number of grid columns.
+func (g Grid) Cols() int { return bits.Pow2(g.ColBits) }
+
+// Node maps grid position (row, col) to its cube address.
+func (g Grid) Node(row, col int) NodeID {
+	if row < 0 || row >= g.Rows() || col < 0 || col >= g.Cols() {
+		panic(fmt.Sprintf("topology: grid position (%d,%d) out of range", row, col))
+	}
+	return NodeID(Gray(row)<<uint(g.ColBits) | Gray(col))
+}
+
+// Position inverts Node.
+func (g Grid) Position(v NodeID) (row, col int) {
+	row = GrayRank(uint32(v) >> uint(g.ColBits))
+	col = GrayRank(uint32(v) & bits.Mask(g.ColBits))
+	return row, col
+}
+
+// Row returns the cube addresses of one grid row, in column order.
+func (g Grid) Row(row int) []NodeID {
+	out := make([]NodeID, g.Cols())
+	for c := range out {
+		out[c] = g.Node(row, c)
+	}
+	return out
+}
+
+// Col returns the cube addresses of one grid column, in row order.
+func (g Grid) Col(col int) []NodeID {
+	out := make([]NodeID, g.Rows())
+	for r := range out {
+		out[r] = g.Node(r, col)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrayBasics(t *testing.T) {
+	want := []uint32{0, 1, 3, 2, 6, 7, 5, 4}
+	for i, w := range want {
+		if Gray(i) != w {
+			t.Errorf("Gray(%d) = %d, want %d", i, Gray(i), w)
+		}
+	}
+}
+
+func TestGrayRankInverts(t *testing.T) {
+	f := func(i uint16) bool { return GrayRank(Gray(int(i))) == int(i) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative index did not panic")
+		}
+	}()
+	Gray(-1)
+}
+
+// Consecutive Gray codes differ in exactly one bit — the ring property.
+func TestGrayRingHamiltonian(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		ring := GrayRing(n)
+		if len(ring) != 1<<uint(n) {
+			t.Fatalf("n=%d: ring length %d", n, len(ring))
+		}
+		seen := map[NodeID]bool{}
+		for i, v := range ring {
+			if seen[v] {
+				t.Fatalf("n=%d: node %d repeated", n, v)
+			}
+			seen[v] = true
+			next := ring[(i+1)%len(ring)]
+			if Distance(v, next) != 1 {
+				t.Fatalf("n=%d: ring step %d->%d spans %d hops", n, v, next, Distance(v, next))
+			}
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 3}, {3, -1}, {0, 0}, {15, 15}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(%v) did not panic", bad)
+				}
+			}()
+			NewGrid(bad[0], bad[1])
+		}()
+	}
+	g := NewGrid(3, 2)
+	if g.Dim() != 5 || g.Rows() != 8 || g.Cols() != 4 {
+		t.Errorf("grid shape wrong: %+v", g)
+	}
+}
+
+// Grid neighbors are cube neighbors, and Node/Position are inverse
+// bijections covering the whole cube.
+func TestGridEmbeddingProperties(t *testing.T) {
+	g := NewGrid(3, 3)
+	seen := map[NodeID]bool{}
+	for r := 0; r < g.Rows(); r++ {
+		for c := 0; c < g.Cols(); c++ {
+			v := g.Node(r, c)
+			if seen[v] {
+				t.Fatalf("node %d mapped twice", v)
+			}
+			seen[v] = true
+			rr, cc := g.Position(v)
+			if rr != r || cc != c {
+				t.Fatalf("Position(Node(%d,%d)) = (%d,%d)", r, c, rr, cc)
+			}
+			if r+1 < g.Rows() && Distance(v, g.Node(r+1, c)) != 1 {
+				t.Fatalf("row neighbors (%d,%d)-(%d,%d) not adjacent", r, c, r+1, c)
+			}
+			if c+1 < g.Cols() && Distance(v, g.Node(r, c+1)) != 1 {
+				t.Fatalf("col neighbors not adjacent at (%d,%d)", r, c)
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("embedding covers %d nodes", len(seen))
+	}
+}
+
+func TestGridNodePanics(t *testing.T) {
+	g := NewGrid(2, 2)
+	for _, bad := range [][2]int{{-1, 0}, {0, -1}, {4, 0}, {0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Node(%v) did not panic", bad)
+				}
+			}()
+			g.Node(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestGridRowCol(t *testing.T) {
+	g := NewGrid(2, 3)
+	row := g.Row(2)
+	if len(row) != 8 {
+		t.Fatalf("row length %d", len(row))
+	}
+	for c, v := range row {
+		if v != g.Node(2, c) {
+			t.Fatalf("Row mismatch at col %d", c)
+		}
+	}
+	col := g.Col(5)
+	if len(col) != 4 {
+		t.Fatalf("col length %d", len(col))
+	}
+	for r, v := range col {
+		if v != g.Node(r, 5) {
+			t.Fatalf("Col mismatch at row %d", r)
+		}
+	}
+}
+
+// A row of the grid is NOT generally a subcube (Gray codes interleave),
+// which is exactly why general multicast — not just subcube broadcast — is
+// needed for grid collectives.
+func TestGridRowNotSubcube(t *testing.T) {
+	g := NewGrid(3, 3)
+	row := g.Row(5)
+	lo, hi := row[0], row[0]
+	for _, v := range row {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	contiguous := int(hi-lo) == len(row)-1
+	if contiguous {
+		t.Skip("row happens to be contiguous; pick another row")
+	}
+}

@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"fmt"
+
+	"hypercube/internal/bits"
+)
+
+// Subcube is the paper's Definition 2: the set of nodes whose high-order
+// (n - NS) address bits equal Mask, with the low NS bits ranging freely.
+// Node u belongs to S iff u >> NS == Mask.
+//
+// Subcubes are expressed in canonical (HighToLow) address space; for a
+// LowToHigh cube apply Cube.Canon to addresses first.
+type Subcube struct {
+	NS   int    // dimensionality of the subcube, 0..n
+	Mask uint32 // value of the fixed high-order bits
+}
+
+// NewSubcube builds the subcube (nS, mask) within an n-cube, validating that
+// mask fits in the n-nS fixed bits.
+func NewSubcube(n, nS int, mask uint32) Subcube {
+	if nS < 0 || nS > n {
+		panic(fmt.Sprintf("topology: subcube dimensionality %d outside 0..%d", nS, n))
+	}
+	if mask > bits.Mask(n-nS) {
+		panic(fmt.Sprintf("topology: subcube mask %b does not fit in %d bits", mask, n-nS))
+	}
+	return Subcube{NS: nS, Mask: mask}
+}
+
+// SubcubeOf returns the dimension-d subcube containing v: the set of nodes
+// agreeing with v on all bits at positions >= d. This is the subcube a
+// message entering v over channel d stays inside under HighToLow routing.
+func SubcubeOf(v NodeID, d int) Subcube {
+	return Subcube{NS: d, Mask: uint32(v) >> uint(d)}
+}
+
+// Contains reports whether u is a member of the subcube (Definition 2).
+func (s Subcube) Contains(u NodeID) bool {
+	return uint32(u)>>uint(s.NS) == s.Mask
+}
+
+// Size returns the number of nodes in the subcube, 2^NS.
+func (s Subcube) Size() int { return bits.Pow2(s.NS) }
+
+// Lo returns the smallest node address in the subcube.
+func (s Subcube) Lo() NodeID { return NodeID(s.Mask << uint(s.NS)) }
+
+// Hi returns the largest node address in the subcube.
+func (s Subcube) Hi() NodeID { return NodeID(s.Mask<<uint(s.NS) | bits.Mask(s.NS)) }
+
+// Halves splits the subcube into its two (NS-1)-dimensional halves, split on
+// bit NS-1: lower (bit clear) and upper (bit set). It panics when NS == 0.
+func (s Subcube) Halves() (lower, upper Subcube) {
+	if s.NS == 0 {
+		panic("topology: cannot halve a 0-dimensional subcube")
+	}
+	lower = Subcube{NS: s.NS - 1, Mask: s.Mask << 1}
+	upper = Subcube{NS: s.NS - 1, Mask: s.Mask<<1 | 1}
+	return lower, upper
+}
+
+// ContainsBoth reports whether both endpoints of a path lie in the subcube.
+func (s Subcube) ContainsBoth(u, v NodeID) bool { return s.Contains(u) && s.Contains(v) }
+
+// ContainsNeither reports whether neither endpoint lies in the subcube.
+func (s Subcube) ContainsNeither(u, v NodeID) bool { return !s.Contains(u) && !s.Contains(v) }
+
+func (s Subcube) String() string {
+	return fmt.Sprintf("S(n=%d,mask=%b)", s.NS, s.Mask)
+}
+
+// Members enumerates all node addresses in the subcube in ascending order.
+func (s Subcube) Members() []NodeID {
+	out := make([]NodeID, 0, s.Size())
+	for v := s.Lo(); ; v++ {
+		out = append(out, v)
+		if v == s.Hi() {
+			break
+		}
+	}
+	return out
+}

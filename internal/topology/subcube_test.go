@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestNewSubcubeValidation(t *testing.T) {
+	for _, bad := range []struct {
+		n, nS int
+		mask  uint32
+	}{
+		{4, -1, 0}, {4, 5, 0}, {4, 2, 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSubcube(%v) did not panic", bad)
+				}
+			}()
+			NewSubcube(bad.n, bad.nS, bad.mask)
+		}()
+	}
+	s := NewSubcube(4, 2, 0b10)
+	if s.NS != 2 || s.Mask != 0b10 {
+		t.Errorf("NewSubcube = %+v", s)
+	}
+}
+
+// The paper's Figure 8 example: subcube S = (3, 1) in a 4-cube contains
+// nodes 8..15; its halves (2, 10b) and (2, 11b) contain {8..11}, {12..15}.
+func TestSubcubePaperExample(t *testing.T) {
+	s := NewSubcube(4, 3, 1)
+	for v := NodeID(8); v <= 15; v++ {
+		if !s.Contains(v) {
+			t.Errorf("S(3,1) should contain %d", v)
+		}
+	}
+	for v := NodeID(0); v <= 7; v++ {
+		if s.Contains(v) {
+			t.Errorf("S(3,1) should not contain %d", v)
+		}
+	}
+	lower, upper := s.Halves()
+	if lower != (Subcube{NS: 2, Mask: 0b10}) || upper != (Subcube{NS: 2, Mask: 0b11}) {
+		t.Errorf("Halves = %v, %v", lower, upper)
+	}
+	if lower.Lo() != 8 || lower.Hi() != 11 || upper.Lo() != 12 || upper.Hi() != 15 {
+		t.Error("half bounds wrong")
+	}
+}
+
+func TestSubcubeSizeLoHiMembers(t *testing.T) {
+	s := NewSubcube(4, 2, 0b01)
+	if s.Size() != 4 || s.Lo() != 4 || s.Hi() != 7 {
+		t.Errorf("size/lo/hi wrong: %v %v %v", s.Size(), s.Lo(), s.Hi())
+	}
+	if got := s.Members(); !reflect.DeepEqual(got, []NodeID{4, 5, 6, 7}) {
+		t.Errorf("Members = %v", got)
+	}
+	whole := NewSubcube(3, 3, 0)
+	if whole.Size() != 8 || whole.Lo() != 0 || whole.Hi() != 7 {
+		t.Error("whole-cube subcube wrong")
+	}
+	point := NewSubcube(3, 0, 5)
+	if point.Size() != 1 || point.Lo() != 5 || point.Hi() != 5 {
+		t.Error("point subcube wrong")
+	}
+	if !point.Contains(5) || point.Contains(4) {
+		t.Error("point membership wrong")
+	}
+}
+
+func TestHalvesPanicOnPoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Halves on 0-dim subcube did not panic")
+		}
+	}()
+	NewSubcube(3, 0, 5).Halves()
+}
+
+func TestSubcubeOf(t *testing.T) {
+	// Message entering node 0b1011 over channel 2 stays within the subcube
+	// fixing bits 3.. (i.e. S(2, 0b10) = {8,9,10,11}).
+	s := SubcubeOf(0b1011, 2)
+	if s.NS != 2 || s.Mask != 0b10 {
+		t.Errorf("SubcubeOf = %+v", s)
+	}
+	if !s.Contains(0b1000) || s.Contains(0b1100) {
+		t.Error("SubcubeOf membership wrong")
+	}
+}
+
+func TestContainsBothNeither(t *testing.T) {
+	s := NewSubcube(4, 3, 1) // nodes 8..15
+	if !s.ContainsBoth(8, 15) || s.ContainsBoth(8, 3) {
+		t.Error("ContainsBoth wrong")
+	}
+	if !s.ContainsNeither(0, 7) || s.ContainsNeither(0, 9) {
+		t.Error("ContainsNeither wrong")
+	}
+}
+
+// Lemma 2: node addresses within any subcube are contiguous.
+func TestLemma2Contiguity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(8)
+		nS := rng.Intn(n + 1)
+		mask := uint32(rng.Intn(1 << uint(n-nS)))
+		s := NewSubcube(n, nS, mask)
+		x := NodeID(rng.Intn(1 << uint(n)))
+		y := NodeID(rng.Intn(1 << uint(n)))
+		z := NodeID(rng.Intn(1 << uint(n)))
+		if !Lemma2Holds(s, x, y, z) {
+			t.Fatalf("Lemma 2 violated: s=%v x=%d y=%d z=%d", s, x, y, z)
+		}
+	}
+}
+
+// Exhaustive check that membership matches the Lo..Hi range.
+func TestSubcubeMembershipExhaustive(t *testing.T) {
+	n := 6
+	for nS := 0; nS <= n; nS++ {
+		for mask := uint32(0); mask < 1<<uint(n-nS); mask++ {
+			s := NewSubcube(n, nS, mask)
+			for v := NodeID(0); v < NodeID(1<<uint(n)); v++ {
+				want := v >= s.Lo() && v <= s.Hi()
+				if s.Contains(v) != want {
+					t.Fatalf("membership mismatch s=%v v=%d", s, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSubcubeString(t *testing.T) {
+	s := NewSubcube(4, 2, 0b10)
+	if s.String() != "S(n=2,mask=10)" {
+		t.Errorf("String = %q", s.String())
+	}
+}

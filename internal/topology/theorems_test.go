@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Theorem 1: paths leaving a common source on different channels are
+// arc-disjoint. Validate exhaustively on a 4-cube and randomly on an 8-cube.
+func TestTheorem1Exhaustive4Cube(t *testing.T) {
+	c := New(4, HighToLow)
+	for x := NodeID(0); x < 16; x++ {
+		for y := NodeID(0); y < 16; y++ {
+			for v := NodeID(0); v < 16; v++ {
+				if Theorem1Applies(x, y, v) && !c.ArcsDisjoint(x, y, x, v) {
+					t.Fatalf("Theorem 1 violated: x=%d y=%d v=%d", x, y, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem1Random8Cube(t *testing.T) {
+	c := New(8, HighToLow)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		x := NodeID(rng.Intn(256))
+		y := NodeID(rng.Intn(256))
+		v := NodeID(rng.Intn(256))
+		if Theorem1Applies(x, y, v) && !c.ArcsDisjoint(x, y, x, v) {
+			t.Fatalf("Theorem 1 violated: x=%d y=%d v=%d", x, y, v)
+		}
+	}
+}
+
+// Theorem 2: a path inside subcube S is arc-disjoint from a path wholly
+// outside S.
+func TestTheorem2Exhaustive3Cube(t *testing.T) {
+	c := New(3, HighToLow)
+	for u := NodeID(0); u < 8; u++ {
+		for v := NodeID(0); v < 8; v++ {
+			for x := NodeID(0); x < 8; x++ {
+				for y := NodeID(0); y < 8; y++ {
+					if Theorem2Applies(3, u, v, x, y) && !c.ArcsDisjoint(u, v, x, y) {
+						t.Fatalf("Theorem 2 violated: u=%d v=%d x=%d y=%d", u, v, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem2Random10Cube(t *testing.T) {
+	c := New(10, HighToLow)
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 5000; i++ {
+		u := NodeID(rng.Intn(1024))
+		v := NodeID(rng.Intn(1024))
+		x := NodeID(rng.Intn(1024))
+		y := NodeID(rng.Intn(1024))
+		if Theorem2Applies(10, u, v, x, y) && !c.ArcsDisjoint(u, v, x, y) {
+			t.Fatalf("Theorem 2 violated: u=%d v=%d x=%d y=%d", u, v, x, y)
+		}
+	}
+}
+
+// Theorem2Applies must find the separating subcube whenever one exists
+// (completeness of the linear search). Brute-force all subcubes on a 4-cube.
+func TestTheorem2SearchComplete(t *testing.T) {
+	n := 4
+	for u := NodeID(0); u < 16; u++ {
+		for v := NodeID(0); v < 16; v++ {
+			for x := NodeID(0); x < 16; x++ {
+				for y := NodeID(0); y < 16; y++ {
+					want := false
+					for nS := 0; nS <= n && !want; nS++ {
+						for mask := uint32(0); mask < 1<<uint(n-nS); mask++ {
+							s := NewSubcube(n, nS, mask)
+							if s.ContainsBoth(u, v) && s.ContainsNeither(x, y) {
+								want = true
+								break
+							}
+						}
+					}
+					if got := Theorem2Applies(n, u, v, x, y); got != want {
+						t.Fatalf("Theorem2Applies(%d,%d,%d,%d) = %v, want %v", u, v, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 1 holds for every arc of every path in a 5-cube (exhaustive) —
+// validates the E-cube path generator's dimension-ordering discipline.
+func TestLemma1Exhaustive5Cube(t *testing.T) {
+	c := New(5, HighToLow)
+	for x := NodeID(0); x < 32; x++ {
+		for y := NodeID(0); y < 32; y++ {
+			for i := 0; i < Distance(x, y); i++ {
+				if !Lemma1Holds(c, x, y, i) {
+					t.Fatalf("Lemma 1 violated: x=%d y=%d arc=%d", x, y, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma1HoldsIndexOutOfRange(t *testing.T) {
+	c := New(4, HighToLow)
+	if Lemma1Holds(c, 0, 3, 5) || Lemma1Holds(c, 0, 3, -1) {
+		t.Error("out-of-range arc index should be false")
+	}
+}
+
+func TestTheorem1AppliesDegenerate(t *testing.T) {
+	if Theorem1Applies(3, 3, 5) || Theorem1Applies(3, 5, 3) {
+		t.Error("degenerate endpoints must not claim Theorem 1")
+	}
+}
+
+func TestTheorem2AppliesDegenerate(t *testing.T) {
+	// u==v: any subcube of dimension 0 containing u works if x,y differ from u.
+	if !Theorem2Applies(4, 5, 5, 6, 7) {
+		t.Error("point path should be separable from disjoint pair")
+	}
+	// Paths sharing an endpoint can never be separated.
+	if Theorem2Applies(4, 5, 9, 9, 2) {
+		t.Error("paths sharing node 9 cannot be subcube-separated")
+	}
+}

@@ -1,0 +1,250 @@
+// Package topology models the wormhole-routed hypercube interconnect of the
+// paper: n-bit node addresses, dimension-labeled channels, deterministic
+// E-cube (dimension-ordered) routing under either address-resolution order,
+// subcubes, and arc-disjointness of paths.
+//
+// The paper's exposition resolves addresses from the high-order bit down
+// (HighToLow); the nCUBE-2 resolves low-to-high. The two are related by bit
+// reversal of addresses, and the paper notes the choice does not affect any
+// result. Cube carries the resolution so that both variants are first-class.
+package topology
+
+import (
+	"fmt"
+
+	"hypercube/internal/bits"
+)
+
+// NodeID is an n-bit hypercube node address.
+type NodeID uint32
+
+// String formats the node as a decimal value; use Binary for bit strings.
+func (v NodeID) String() string { return fmt.Sprintf("%d", uint32(v)) }
+
+// Resolution is the order in which E-cube routing resolves address bits.
+type Resolution int
+
+const (
+	// HighToLow resolves the highest-order differing bit first (the
+	// convention used throughout the paper's examples).
+	HighToLow Resolution = iota
+	// LowToHigh resolves the lowest-order differing bit first (the
+	// convention used by the nCUBE-2 router).
+	LowToHigh
+)
+
+func (r Resolution) String() string {
+	switch r {
+	case HighToLow:
+		return "high-to-low"
+	case LowToHigh:
+		return "low-to-high"
+	default:
+		return fmt.Sprintf("Resolution(%d)", int(r))
+	}
+}
+
+// Arc is a directed channel: the outgoing channel of node From in dimension
+// Dim, connecting From to From xor 2^Dim. Two messages contend only if they
+// require the same Arc; opposite directions of a link never conflict.
+type Arc struct {
+	From NodeID
+	Dim  int
+}
+
+// To returns the head node of the arc.
+func (a Arc) To() NodeID { return NodeID(bits.FlipBit(uint32(a.From), a.Dim)) }
+
+func (a Arc) String() string { return fmt.Sprintf("%d--d%d-->%d", a.From, a.Dim, a.To()) }
+
+// Cube describes an n-dimensional hypercube with a fixed routing resolution.
+// The zero value is not useful; construct with New.
+type Cube struct {
+	n   int
+	res Resolution
+}
+
+// New returns an n-cube using the given E-cube resolution order.
+// It panics if n is outside [1, bits.MaxDim].
+func New(n int, res Resolution) Cube {
+	if n < 1 || n > bits.MaxDim {
+		panic(fmt.Sprintf("topology: dimension %d out of range [1,%d]", n, bits.MaxDim))
+	}
+	if res != HighToLow && res != LowToHigh {
+		panic("topology: invalid resolution")
+	}
+	return Cube{n: n, res: res}
+}
+
+// Dim returns the cube dimensionality n.
+func (c Cube) Dim() int { return c.n }
+
+// Nodes returns N = 2^n, the number of processors.
+func (c Cube) Nodes() int { return bits.Pow2(c.n) }
+
+// Resolution returns the cube's address-resolution order.
+func (c Cube) Resolution() Resolution { return c.res }
+
+// Contains reports whether v is a valid address in the cube.
+func (c Cube) Contains(v NodeID) bool { return uint32(v) < uint32(c.Nodes()) }
+
+// MustContain panics if v is not a valid node address.
+func (c Cube) MustContain(v NodeID) {
+	if !c.Contains(v) {
+		panic(fmt.Sprintf("topology: node %d outside %d-cube", v, c.n))
+	}
+}
+
+// Binary formats v as an n-bit binary string, matching the paper's examples.
+func (c Cube) Binary(v NodeID) string {
+	return fmt.Sprintf("%0*b", c.n, uint32(v))
+}
+
+// Neighbor returns the node reached from v over channel d.
+func (c Cube) Neighbor(v NodeID, d int) NodeID {
+	if d < 0 || d >= c.n {
+		panic(fmt.Sprintf("topology: channel %d outside 0..%d", d, c.n-1))
+	}
+	return NodeID(bits.FlipBit(uint32(v), d))
+}
+
+// Neighbors returns all n neighbors of v, indexed by channel dimension.
+func (c Cube) Neighbors(v NodeID) []NodeID {
+	out := make([]NodeID, c.n)
+	for d := 0; d < c.n; d++ {
+		out[d] = c.Neighbor(v, d)
+	}
+	return out
+}
+
+// Delta returns the paper's delta(u,v): the highest-order bit position in
+// which u and v differ (Definition 1). It panics if u == v, where delta is
+// undefined. Delta is independent of the resolution order.
+func Delta(u, v NodeID) int {
+	if u == v {
+		panic("topology: Delta(u,u) is undefined")
+	}
+	return bits.Log2(uint32(u) ^ uint32(v))
+}
+
+// Distance returns the Hamming distance ||u xor v||, the E-cube path length.
+func Distance(u, v NodeID) int { return bits.OnesCount(uint32(u) ^ uint32(v)) }
+
+// FirstHop returns the dimension of the first channel a message from u to v
+// traverses under the cube's resolution order. Under HighToLow this equals
+// Delta(u,v). It panics if u == v.
+func (c Cube) FirstHop(u, v NodeID) int {
+	if u == v {
+		panic("topology: FirstHop(u,u) is undefined")
+	}
+	x := uint32(u) ^ uint32(v)
+	if c.res == HighToLow {
+		return bits.Log2(x)
+	}
+	return bits.LowBit(x)
+}
+
+// Path returns P(u,v), the unique E-cube route from u to v as the sequence
+// of nodes visited, inclusive of both endpoints. For u == v it returns the
+// single-element path {u}.
+func (c Cube) Path(u, v NodeID) []NodeID {
+	c.MustContain(u)
+	c.MustContain(v)
+	path := make([]NodeID, 0, Distance(u, v)+1)
+	path = append(path, u)
+	cur := uint32(u)
+	diff := uint32(u) ^ uint32(v)
+	if c.res == HighToLow {
+		for d := c.n - 1; d >= 0; d-- {
+			if diff&(1<<uint(d)) != 0 {
+				cur = bits.FlipBit(cur, d)
+				path = append(path, NodeID(cur))
+			}
+		}
+	} else {
+		for d := 0; d < c.n; d++ {
+			if diff&(1<<uint(d)) != 0 {
+				cur = bits.FlipBit(cur, d)
+				path = append(path, NodeID(cur))
+			}
+		}
+	}
+	return path
+}
+
+// PathDims returns the sequence of dimensions traversed by P(u,v) in order.
+func (c Cube) PathDims(u, v NodeID) []int {
+	diff := uint32(u) ^ uint32(v)
+	dims := make([]int, 0, bits.OnesCount(diff))
+	if c.res == HighToLow {
+		for d := c.n - 1; d >= 0; d-- {
+			if diff&(1<<uint(d)) != 0 {
+				dims = append(dims, d)
+			}
+		}
+	} else {
+		for d := 0; d < c.n; d++ {
+			if diff&(1<<uint(d)) != 0 {
+				dims = append(dims, d)
+			}
+		}
+	}
+	return dims
+}
+
+// PathArcs returns the directed channels used by P(u,v), in traversal order.
+func (c Cube) PathArcs(u, v NodeID) []Arc {
+	dims := c.PathDims(u, v)
+	arcs := make([]Arc, 0, len(dims))
+	cur := u
+	for _, d := range dims {
+		arcs = append(arcs, Arc{From: cur, Dim: d})
+		cur = c.Neighbor(cur, d)
+	}
+	return arcs
+}
+
+// ArcsDisjoint reports whether P(u,v) and P(x,y) share no directed channel.
+// This is the ground-truth check used to validate Theorems 1 and 2.
+func (c Cube) ArcsDisjoint(u, v, x, y NodeID) bool {
+	seen := make(map[Arc]bool)
+	for _, a := range c.PathArcs(u, v) {
+		seen[a] = true
+	}
+	for _, a := range c.PathArcs(x, y) {
+		if seen[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// DimLess reports a <_d b, the dimension-order relation of the U-cube paper
+// under this cube's resolution. Under HighToLow it coincides with unsigned
+// integer order; under LowToHigh it is integer order of the bit-reversed
+// addresses. DimLess is a strict total order on distinct addresses, with
+// DimLess(a, a) == false.
+func (c Cube) DimLess(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	if c.res == HighToLow {
+		return a < b
+	}
+	return bits.Reverse(uint32(a), c.n) < bits.Reverse(uint32(b), c.n)
+}
+
+// Canon maps an address into canonical high-to-low space: the identity for
+// HighToLow cubes and n-bit reversal for LowToHigh cubes. Canon is an
+// involution and a hypercube automorphism mapping E-cube routes of the cube
+// onto E-cube routes of the canonical cube, so algorithms may be written
+// once against HighToLow semantics and applied to either resolution.
+func (c Cube) Canon(v NodeID) NodeID {
+	if c.res == HighToLow {
+		return v
+	}
+	return NodeID(bits.Reverse(uint32(v), c.n))
+}
+
+// CanonCube returns the HighToLow cube of the same dimension.
+func (c Cube) CanonCube() Cube { return Cube{n: c.n, res: HighToLow} }

@@ -1,0 +1,357 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, -3, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n, HighToLow)
+		}()
+	}
+	c := New(4, HighToLow)
+	if c.Dim() != 4 || c.Nodes() != 16 || c.Resolution() != HighToLow {
+		t.Errorf("unexpected cube: %+v", c)
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	if HighToLow.String() != "high-to-low" || LowToHigh.String() != "low-to-high" {
+		t.Error("Resolution.String mismatch")
+	}
+	if Resolution(9).String() != "Resolution(9)" {
+		t.Error("unknown resolution formatting")
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := New(4, HighToLow)
+	if !c.Contains(0) || !c.Contains(15) || c.Contains(16) {
+		t.Error("Contains boundaries wrong")
+	}
+}
+
+func TestBinary(t *testing.T) {
+	c := New(4, HighToLow)
+	if c.Binary(5) != "0101" || c.Binary(0) != "0000" || c.Binary(14) != "1110" {
+		t.Error("Binary formatting wrong")
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	c := New(4, HighToLow)
+	if c.Neighbor(0b0101, 1) != 0b0111 {
+		t.Error("Neighbor flip wrong")
+	}
+	ns := c.Neighbors(0)
+	want := []NodeID{1, 2, 4, 8}
+	if !reflect.DeepEqual(ns, want) {
+		t.Errorf("Neighbors(0) = %v, want %v", ns, want)
+	}
+}
+
+func TestNeighborPanics(t *testing.T) {
+	c := New(4, HighToLow)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Neighbor with bad channel did not panic")
+		}
+	}()
+	c.Neighbor(0, 4)
+}
+
+func TestDelta(t *testing.T) {
+	cases := []struct {
+		u, v NodeID
+		want int
+	}{
+		{0b0101, 0b1110, 3}, // paper example pair
+		{0, 1, 0},
+		{0b0011, 0b0010, 0},
+		{0b1000, 0b0000, 3},
+	}
+	for _, c := range cases {
+		if got := Delta(c.u, c.v); got != c.want {
+			t.Errorf("Delta(%b,%b) = %d, want %d", c.u, c.v, got, c.want)
+		}
+		if got := Delta(c.v, c.u); got != c.want {
+			t.Errorf("Delta not symmetric at (%b,%b)", c.u, c.v)
+		}
+	}
+}
+
+func TestDeltaPanicsOnEqual(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delta(u,u) did not panic")
+		}
+	}()
+	Delta(5, 5)
+}
+
+func TestDistance(t *testing.T) {
+	if Distance(0b0101, 0b1110) != 3 || Distance(7, 7) != 0 || Distance(0, 15) != 4 {
+		t.Error("Distance wrong")
+	}
+}
+
+// The paper's worked path: P(0101, 1110) = (0101; 1101; 1111; 1110)
+// under high-to-low resolution.
+func TestPathPaperExample(t *testing.T) {
+	c := New(4, HighToLow)
+	got := c.Path(0b0101, 0b1110)
+	want := []NodeID{0b0101, 0b1101, 0b1111, 0b1110}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Path = %v, want %v", got, want)
+	}
+}
+
+func TestPathLowToHigh(t *testing.T) {
+	c := New(4, LowToHigh)
+	got := c.Path(0b0101, 0b1110)
+	want := []NodeID{0b0101, 0b0100, 0b0110, 0b1110}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Path = %v, want %v", got, want)
+	}
+}
+
+func TestPathTrivial(t *testing.T) {
+	c := New(3, HighToLow)
+	if got := c.Path(5, 5); !reflect.DeepEqual(got, []NodeID{5}) {
+		t.Errorf("Path(v,v) = %v", got)
+	}
+}
+
+func TestPathDims(t *testing.T) {
+	c := New(4, HighToLow)
+	if got := c.PathDims(0b0101, 0b1110); !reflect.DeepEqual(got, []int{3, 1, 0}) {
+		t.Errorf("PathDims = %v", got)
+	}
+	c2 := New(4, LowToHigh)
+	if got := c2.PathDims(0b0101, 0b1110); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Errorf("PathDims = %v", got)
+	}
+}
+
+func TestPathArcs(t *testing.T) {
+	c := New(4, HighToLow)
+	arcs := c.PathArcs(0b0101, 0b1110)
+	want := []Arc{{0b0101, 3}, {0b1101, 1}, {0b1111, 0}}
+	if !reflect.DeepEqual(arcs, want) {
+		t.Errorf("PathArcs = %v, want %v", arcs, want)
+	}
+	if arcs[0].To() != 0b1101 {
+		t.Error("Arc.To wrong")
+	}
+}
+
+func TestFirstHop(t *testing.T) {
+	ch := New(4, HighToLow)
+	cl := New(4, LowToHigh)
+	if ch.FirstHop(0b0101, 0b1110) != 3 {
+		t.Error("HighToLow FirstHop wrong")
+	}
+	if cl.FirstHop(0b0101, 0b1110) != 0 {
+		t.Error("LowToHigh FirstHop wrong")
+	}
+}
+
+// Property: path length equals Hamming distance + 1 and path is simple.
+func TestPathLengthAndSimplicity(t *testing.T) {
+	for _, res := range []Resolution{HighToLow, LowToHigh} {
+		c := New(6, res)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 500; i++ {
+			u := NodeID(rng.Intn(c.Nodes()))
+			v := NodeID(rng.Intn(c.Nodes()))
+			p := c.Path(u, v)
+			if len(p) != Distance(u, v)+1 {
+				t.Fatalf("path length %d != distance+1 %d", len(p), Distance(u, v)+1)
+			}
+			seen := map[NodeID]bool{}
+			for _, w := range p {
+				if seen[w] {
+					t.Fatalf("path revisits %d", w)
+				}
+				seen[w] = true
+			}
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("path endpoints wrong")
+			}
+		}
+	}
+}
+
+// Property: dimensions strictly decrease under HighToLow (Lemma 1's
+// "strictly decreasing order of dimension") and increase under LowToHigh.
+func TestPathDimsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ch := New(8, HighToLow)
+	cl := New(8, LowToHigh)
+	for i := 0; i < 500; i++ {
+		u := NodeID(rng.Intn(256))
+		v := NodeID(rng.Intn(256))
+		dh := ch.PathDims(u, v)
+		for j := 1; j < len(dh); j++ {
+			if dh[j] >= dh[j-1] {
+				t.Fatalf("HighToLow dims not strictly decreasing: %v", dh)
+			}
+		}
+		dl := cl.PathDims(u, v)
+		for j := 1; j < len(dl); j++ {
+			if dl[j] <= dl[j-1] {
+				t.Fatalf("LowToHigh dims not strictly increasing: %v", dl)
+			}
+		}
+	}
+}
+
+func TestArcsDisjointSelfOverlap(t *testing.T) {
+	c := New(4, HighToLow)
+	if c.ArcsDisjoint(0, 15, 0, 15) {
+		t.Error("identical nontrivial paths reported disjoint")
+	}
+	if !c.ArcsDisjoint(0, 0, 0, 15) {
+		t.Error("empty path must be disjoint from everything")
+	}
+	// Opposite directions of the same link never conflict.
+	if !c.ArcsDisjoint(0, 1, 1, 0) {
+		t.Error("opposite directions should be disjoint")
+	}
+}
+
+func TestDimLess(t *testing.T) {
+	ch := New(5, HighToLow)
+	// Paper: dimension ordering of 10100, 00110, 10010 is 00110, 10010, 10100.
+	if !ch.DimLess(0b00110, 0b10010) || !ch.DimLess(0b10010, 0b10100) {
+		t.Error("HighToLow dimension order mismatch with paper example")
+	}
+	cl := New(5, LowToHigh)
+	// Paper: low-to-high order gives 10100, 10010, 00110.
+	if !cl.DimLess(0b10100, 0b10010) || !cl.DimLess(0b10010, 0b00110) {
+		t.Error("LowToHigh dimension order mismatch with paper example")
+	}
+	if ch.DimLess(5, 5) || cl.DimLess(5, 5) {
+		t.Error("DimLess must be irreflexive")
+	}
+}
+
+func TestDimLessTotalOrder(t *testing.T) {
+	f := func(a, b uint32) bool {
+		a &= 0x3FF
+		b &= 0x3FF
+		c := New(10, LowToHigh)
+		x, y := NodeID(a), NodeID(b)
+		if x == y {
+			return !c.DimLess(x, y) && !c.DimLess(y, x)
+		}
+		return c.DimLess(x, y) != c.DimLess(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonInvolutionAndRoutes(t *testing.T) {
+	cl := New(6, LowToHigh)
+	canon := cl.CanonCube()
+	if canon.Resolution() != HighToLow || canon.Dim() != 6 {
+		t.Fatal("CanonCube wrong")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		u := NodeID(rng.Intn(64))
+		v := NodeID(rng.Intn(64))
+		if cl.Canon(cl.Canon(u)) != u {
+			t.Fatal("Canon not an involution")
+		}
+		// Canon maps LowToHigh paths to HighToLow paths node-by-node.
+		pl := cl.Path(u, v)
+		pc := canon.Path(cl.Canon(u), cl.Canon(v))
+		if len(pl) != len(pc) {
+			t.Fatal("canonical path length mismatch")
+		}
+		for j := range pl {
+			if cl.Canon(pl[j]) != pc[j] {
+				t.Fatalf("canonical path mismatch at %d: %v vs %v", j, pl, pc)
+			}
+		}
+	}
+	ch := New(6, HighToLow)
+	if ch.Canon(37) != 37 {
+		t.Error("HighToLow Canon must be identity")
+	}
+}
+
+// Known identity: the total E-cube path length over all ordered pairs of
+// an n-cube is N^2 * n / 2 (each of the n*N directed channels is used by
+// exactly N/2 source-destination pairs).
+func TestTotalHopsIdentity(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		c := New(n, HighToLow)
+		total := 0
+		for u := 0; u < c.Nodes(); u++ {
+			for v := 0; v < c.Nodes(); v++ {
+				total += Distance(NodeID(u), NodeID(v))
+			}
+		}
+		want := c.Nodes() * c.Nodes() * n / 2
+		if total != want {
+			t.Errorf("n=%d: total hops %d, want %d", n, total, want)
+		}
+	}
+}
+
+// Each directed channel is used by exactly N/2 E-cube routes (perfect
+// load balance of dimension-ordered routing under all-to-all traffic).
+func TestChannelLoadUniform(t *testing.T) {
+	c := New(5, HighToLow)
+	load := map[Arc]int{}
+	for u := 0; u < 32; u++ {
+		for v := 0; v < 32; v++ {
+			for _, a := range c.PathArcs(NodeID(u), NodeID(v)) {
+				load[a]++
+			}
+		}
+	}
+	if len(load) != 5*32 {
+		t.Fatalf("channels used: %d, want 160", len(load))
+	}
+	for a, l := range load {
+		if l != 16 {
+			t.Fatalf("channel %v carries %d routes, want 16", a, l)
+		}
+	}
+}
+
+func TestArcString(t *testing.T) {
+	a := Arc{From: 5, Dim: 1}
+	if a.String() != "5--d1-->7" {
+		t.Errorf("Arc.String = %q", a.String())
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if NodeID(12).String() != "12" {
+		t.Error("NodeID.String wrong")
+	}
+}
+
+func TestMustContainPanics(t *testing.T) {
+	c := New(3, HighToLow)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustContain did not panic")
+		}
+	}()
+	c.MustContain(8)
+}

@@ -1,0 +1,169 @@
+// Package trace records channel-level activity of the wormhole simulator
+// and renders it as utilization summaries and text Gantt charts — the
+// visual counterpart of the paper's contention arguments: a W-sort
+// multicast shows every channel occupied exactly once, while a U-cube
+// multicast on an all-port machine shows queued headers.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+)
+
+// Interval is one ownership span of a channel by a message.
+type Interval struct {
+	Arc        topology.Arc
+	From, To   topology.NodeID
+	Start, End event.Time
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() event.Time { return iv.End - iv.Start }
+
+// Block is one header-blocking incident.
+type Block struct {
+	Arc      topology.Arc
+	From, To topology.NodeID
+	At       event.Time
+}
+
+// Recorder implements wormhole.Tracer, accumulating channel occupancy
+// intervals and blocking incidents. The zero value is ready to use.
+type Recorder struct {
+	open      map[topology.Arc]*Interval
+	Intervals []Interval
+	Blocks    []Block
+}
+
+// ChannelAcquired implements wormhole.Tracer.
+func (r *Recorder) ChannelAcquired(arc topology.Arc, from, to topology.NodeID, at event.Time) {
+	if r.open == nil {
+		r.open = make(map[topology.Arc]*Interval)
+	}
+	if r.open[arc] != nil {
+		panic(fmt.Sprintf("trace: arc %v acquired while open", arc))
+	}
+	r.open[arc] = &Interval{Arc: arc, From: from, To: to, Start: at}
+}
+
+// ChannelReleased implements wormhole.Tracer.
+func (r *Recorder) ChannelReleased(arc topology.Arc, at event.Time) {
+	iv := r.open[arc]
+	if iv == nil {
+		panic(fmt.Sprintf("trace: arc %v released while closed", arc))
+	}
+	iv.End = at
+	r.Intervals = append(r.Intervals, *iv)
+	delete(r.open, arc)
+}
+
+// HeaderBlocked implements wormhole.Tracer.
+func (r *Recorder) HeaderBlocked(arc topology.Arc, from, to topology.NodeID, at event.Time) {
+	r.Blocks = append(r.Blocks, Block{Arc: arc, From: from, To: to, At: at})
+}
+
+// Close finalizes any still-open intervals at the given end time (useful
+// when rendering before the simulation drains, normally a no-op).
+func (r *Recorder) Close(at event.Time) {
+	for arc, iv := range r.open {
+		iv.End = at
+		r.Intervals = append(r.Intervals, *iv)
+		delete(r.open, arc)
+	}
+}
+
+// Span returns the time range covered by the recording.
+func (r *Recorder) Span() (start, end event.Time) {
+	for i, iv := range r.Intervals {
+		if i == 0 || iv.Start < start {
+			start = iv.Start
+		}
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return start, end
+}
+
+// Utilization returns, per used channel, the fraction of the recording's
+// span during which the channel was owned.
+func (r *Recorder) Utilization() map[topology.Arc]float64 {
+	start, end := r.Span()
+	total := float64(end - start)
+	out := make(map[topology.Arc]float64)
+	if total == 0 {
+		return out
+	}
+	for _, iv := range r.Intervals {
+		out[iv.Arc] += float64(iv.Duration()) / total
+	}
+	return out
+}
+
+// ChannelsUsed returns the number of distinct channels that carried data.
+func (r *Recorder) ChannelsUsed() int {
+	set := map[topology.Arc]bool{}
+	for _, iv := range r.Intervals {
+		set[iv.Arc] = true
+	}
+	return len(set)
+}
+
+// Gantt renders a text chart: one row per used channel (sorted), time on
+// the horizontal axis divided into width buckets; '#' marks occupancy, '*'
+// marks a bucket in which a header was blocked on that channel.
+func (r *Recorder) Gantt(c topology.Cube, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	start, end := r.Span()
+	if end == start {
+		return "(no channel activity)\n"
+	}
+	bucket := func(t event.Time) int {
+		b := int(float64(t-start) / float64(end-start) * float64(width))
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	rows := map[topology.Arc][]byte{}
+	arcRow := func(a topology.Arc) []byte {
+		row, ok := rows[a]
+		if !ok {
+			row = []byte(strings.Repeat(".", width))
+			rows[a] = row
+		}
+		return row
+	}
+	for _, iv := range r.Intervals {
+		row := arcRow(iv.Arc)
+		for b := bucket(iv.Start); b <= bucket(iv.End); b++ {
+			row[b] = '#'
+		}
+	}
+	for _, bl := range r.Blocks {
+		arcRow(bl.Arc)[bucket(bl.At)] = '*'
+	}
+	arcs := make([]topology.Arc, 0, len(rows))
+	for a := range rows {
+		arcs = append(arcs, a)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].Dim < arcs[j].Dim
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel occupancy, %s .. %s (%d channels, %d blocks)\n",
+		start.Micros(), end.Micros(), len(arcs), len(r.Blocks))
+	for _, a := range arcs {
+		fmt.Fprintf(&b, "%s--d%d->%s |%s|\n", c.Binary(a.From), a.Dim, c.Binary(a.To()), rows[a])
+	}
+	return b.String()
+}

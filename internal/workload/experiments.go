@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/ncube"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+)
+
+// forEachPoint evaluates work(i) for every point index concurrently on up
+// to workers goroutines (0 means GOMAXPROCS). Each point's computation is
+// self-contained and seeded independently, so the results are identical to
+// a serial run — parallelism only shortens the wall clock, in keeping with
+// the experiments' determinism guarantees.
+func forEachPoint(points, workers int, work func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > points {
+		workers = points
+	}
+	if workers <= 1 {
+		for i := 0; i < points; i++ {
+			work(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				work(i)
+			}
+		}()
+	}
+	for i := 0; i < points; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// StepStat selects the per-set statistic of a stepwise experiment.
+type StepStat int
+
+const (
+	// MaxSteps reports when the last destination is reached (the
+	// paper's Figures 9 and 10).
+	MaxSteps StepStat = iota
+	// AvgSteps averages the receive step over the destinations.
+	AvgSteps
+)
+
+func (s StepStat) String() string {
+	if s == AvgSteps {
+		return "avg"
+	}
+	return "max"
+}
+
+// StepwiseConfig drives the stepwise comparisons of Figures 9 and 10.
+type StepwiseConfig struct {
+	Dim        int              // hypercube dimensionality (6 or 10 in the paper)
+	Trials     int              // destination sets per point (paper: 100)
+	Seed       int64            // RNG seed
+	Algorithms []core.Algorithm // series; defaults to U-cube/Maxport/Combine/W-sort
+	DestCounts []int            // x axis; defaults to DestCounts(Dim, 64)
+	Port       core.PortModel   // execution port model (paper: all-port)
+	Stat       StepStat         // per-set statistic (paper: MaxSteps)
+	Workers    int              // concurrent points; 0 = GOMAXPROCS, 1 = serial
+}
+
+func (c *StepwiseConfig) setDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 100
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []core.Algorithm{core.UCube, core.Maxport, core.Combine, core.WSort}
+	}
+	if len(c.DestCounts) == 0 {
+		c.DestCounts = DestCounts(c.Dim, 64)
+	}
+}
+
+// Stepwise reproduces the Figure 9/10 experiment: for each destination
+// count, the average over random destination sets of the maximum number of
+// steps needed to complete the multicast.
+func Stepwise(cfg StepwiseConfig) *stats.Table {
+	cfg.setDefaults()
+	cube := topology.New(cfg.Dim, topology.HighToLow)
+	cols := make([]string, len(cfg.Algorithms))
+	for i, a := range cfg.Algorithms {
+		cols[i] = a.String()
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("stepwise comparison, %d-cube, %s, avg of %s steps over %d random sets",
+			cfg.Dim, cfg.Port, cfg.Stat, cfg.Trials),
+		"destinations", cols...)
+	rows := make([][]float64, len(cfg.DestCounts))
+	forEachPoint(len(cfg.DestCounts), cfg.Workers, func(pi int) {
+		m := cfg.DestCounts[pi]
+		gen := NewGenerator(cube, cfg.Seed+int64(m))
+		samples := make([][]float64, len(cfg.Algorithms))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := gen.Source()
+			dests := gen.Dests(src, m)
+			for i, a := range cfg.Algorithms {
+				s := core.NewSchedule(core.Build(cube, a, src, dests), cfg.Port)
+				v := float64(s.Steps())
+				if cfg.Stat == AvgSteps {
+					var sum float64
+					for _, d := range dests {
+						st, ok := s.RecvStep(d)
+						if !ok {
+							panic("workload: destination unreached")
+						}
+						sum += float64(st)
+					}
+					v = sum / float64(len(dests))
+				}
+				samples[i] = append(samples[i], v)
+			}
+		}
+		cells := make([]float64, len(samples))
+		for i, xs := range samples {
+			cells[i] = stats.Mean(xs)
+		}
+		rows[pi] = cells
+	})
+	for pi, m := range cfg.DestCounts {
+		tb.Add(float64(m), rows[pi]...)
+	}
+	return tb
+}
+
+// DelayStat selects which per-destination delay statistic a delay
+// experiment reports for each destination set.
+type DelayStat int
+
+const (
+	// AvgDelay averages the receipt delay over the destinations of each
+	// set (Figures 11 and 13).
+	AvgDelay DelayStat = iota
+	// MaxDelay takes the slowest destination of each set (Figures 12
+	// and 14).
+	MaxDelay
+)
+
+func (d DelayStat) String() string {
+	if d == MaxDelay {
+		return "max"
+	}
+	return "avg"
+}
+
+// DelayConfig drives the machine-delay experiments of Figures 11–14.
+type DelayConfig struct {
+	Dim        int          // 5 for the nCUBE-2 runs, 10 for MultiSim runs
+	Trials     int          // destination sets per point (20 or 100)
+	Seed       int64        // RNG seed
+	Bytes      int          // message length (paper: 4096)
+	Params     ncube.Params // machine model
+	Stat       DelayStat
+	Algorithms []core.Algorithm
+	DestCounts []int
+	Workers    int // concurrent points; 0 = GOMAXPROCS, 1 = serial
+}
+
+func (c *DelayConfig) setDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 20
+	}
+	if c.Bytes == 0 {
+		c.Bytes = 4096
+	}
+	if c.Params == (ncube.Params{}) {
+		c.Params = ncube.NCube2(core.AllPort)
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []core.Algorithm{core.UCube, core.Maxport, core.Combine, core.WSort}
+	}
+	if len(c.DestCounts) == 0 {
+		c.DestCounts = DestCounts(c.Dim, 32)
+	}
+}
+
+// SizeSweepConfig drives a message-length sweep at a fixed destination
+// count — the "messages of various sizes" measurement of Section 5.2.
+type SizeSweepConfig struct {
+	Dim        int
+	Dests      int // fixed destination count
+	Trials     int
+	Seed       int64
+	Sizes      []int // message lengths; defaults to powers of two 64..16384
+	Params     ncube.Params
+	Stat       DelayStat
+	Algorithms []core.Algorithm
+	Workers    int // concurrent sizes; 0 = GOMAXPROCS, 1 = serial
+}
+
+func (c *SizeSweepConfig) setDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 20
+	}
+	if len(c.Sizes) == 0 {
+		for s := 64; s <= 16384; s *= 2 {
+			c.Sizes = append(c.Sizes, s)
+		}
+	}
+	if c.Params == (ncube.Params{}) {
+		c.Params = ncube.NCube2(core.AllPort)
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []core.Algorithm{core.UCube, core.Maxport, core.Combine, core.WSort}
+	}
+}
+
+// SizeSweep measures delays as a function of message length at a fixed
+// destination count, reported in microseconds. The destination sets (and
+// hence the trees) are identical across sizes, isolating the pipelining
+// term.
+func SizeSweep(cfg SizeSweepConfig) *stats.Table {
+	cfg.setDefaults()
+	cube := topology.New(cfg.Dim, topology.HighToLow)
+	cols := make([]string, len(cfg.Algorithms))
+	for i, a := range cfg.Algorithms {
+		cols[i] = a.String()
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("%s delay (us) vs message size, %d-cube, %d destinations, %s, %d sets",
+			cfg.Stat, cfg.Dim, cfg.Dests, cfg.Params.Port, cfg.Trials),
+		"bytes", cols...)
+	// Draw the destination sets once so every size sees the same trees.
+	gen := NewGenerator(cube, cfg.Seed)
+	type instance struct {
+		src   topology.NodeID
+		dests []topology.NodeID
+	}
+	insts := make([]instance, cfg.Trials)
+	for i := range insts {
+		src := gen.Source()
+		insts[i] = instance{src: src, dests: gen.Dests(src, cfg.Dests)}
+	}
+	trees := make(map[core.Algorithm][]*core.Tree, len(cfg.Algorithms))
+	for _, a := range cfg.Algorithms {
+		ts := make([]*core.Tree, cfg.Trials)
+		for i, in := range insts {
+			ts[i] = core.Build(cube, a, in.src, in.dests)
+		}
+		trees[a] = ts
+	}
+	rows := make([][]float64, len(cfg.Sizes))
+	forEachPoint(len(cfg.Sizes), cfg.Workers, func(pi int) {
+		size := cfg.Sizes[pi]
+		cells := make([]float64, len(cfg.Algorithms))
+		for i, a := range cfg.Algorithms {
+			var xs []float64
+			for j, tr := range trees[a] {
+				r := ncube.Run(cfg.Params, tr, size)
+				avg, max := r.Stats(insts[j].dests)
+				v := avg
+				if cfg.Stat == MaxDelay {
+					v = max
+				}
+				xs = append(xs, float64(v)/float64(event.Microsecond))
+			}
+			cells[i] = stats.Mean(xs)
+		}
+		rows[pi] = cells
+	})
+	for pi, size := range cfg.Sizes {
+		tb.Add(float64(size), rows[pi]...)
+	}
+	return tb
+}
+
+// Delay reproduces the delay experiments: for each destination count, the
+// average over random destination sets of the chosen per-set delay
+// statistic, reported in microseconds.
+func Delay(cfg DelayConfig) *stats.Table {
+	cfg.setDefaults()
+	cube := topology.New(cfg.Dim, topology.HighToLow)
+	cols := make([]string, len(cfg.Algorithms))
+	for i, a := range cfg.Algorithms {
+		cols[i] = a.String()
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("%s delay (us), %d-cube, %d-byte messages, %s, %d random sets per point",
+			cfg.Stat, cfg.Dim, cfg.Bytes, cfg.Params.Port, cfg.Trials),
+		"destinations", cols...)
+	rows := make([][]float64, len(cfg.DestCounts))
+	forEachPoint(len(cfg.DestCounts), cfg.Workers, func(pi int) {
+		m := cfg.DestCounts[pi]
+		gen := NewGenerator(cube, cfg.Seed+int64(m))
+		samples := make([][]float64, len(cfg.Algorithms))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			src := gen.Source()
+			dests := gen.Dests(src, m)
+			for i, a := range cfg.Algorithms {
+				r := ncube.Run(cfg.Params, core.Build(cube, a, src, dests), cfg.Bytes)
+				avg, max := r.Stats(dests)
+				v := avg
+				if cfg.Stat == MaxDelay {
+					v = max
+				}
+				samples[i] = append(samples[i], float64(v)/float64(event.Microsecond))
+			}
+		}
+		cells := make([]float64, len(samples))
+		for i, xs := range samples {
+			cells[i] = stats.Mean(xs)
+		}
+		rows[pi] = cells
+	})
+	for pi, m := range cfg.DestCounts {
+		tb.Add(float64(m), rows[pi]...)
+	}
+	return tb
+}

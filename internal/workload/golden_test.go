@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hypercube/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden regression: the full experiment pipeline (workload generation,
+// tree construction, scheduling, aggregation, rendering) is deterministic
+// for a fixed seed, so any change to its numbers is a deliberate,
+// reviewable diff. Regenerate with: go test ./internal/workload -update
+func TestStepwiseGolden(t *testing.T) {
+	tb := Stepwise(StepwiseConfig{Dim: 4, Trials: 25, Seed: 1993, Port: core.AllPort})
+	compareGolden(t, "stepwise_4cube.golden", tb.Render())
+}
+
+func TestDelayGolden(t *testing.T) {
+	tb := Delay(DelayConfig{
+		Dim: 4, Trials: 10, Seed: 1993, Bytes: 4096,
+		Stat: MaxDelay, DestCounts: []int{3, 7, 11, 15},
+	})
+	compareGolden(t, "delay_4cube.golden", tb.Render())
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("golden mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}

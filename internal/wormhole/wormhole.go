@@ -1,0 +1,266 @@
+// Package wormhole is a discrete-event simulator of a wormhole-routed
+// hypercube interconnect — our reimplementation of the paper's MultiSim
+// substrate. It models each unicast as a header that acquires the channels
+// of its deterministic E-cube path hop by hop, blocking in place (and
+// holding every acquired channel) when a channel is busy, followed by a
+// flit pipeline that drains at channel bandwidth once the full path is
+// established.
+//
+// The model captures the two salient properties of wormhole routing the
+// paper relies on: distance-insensitive latency in the absence of
+// contention, and whole-path channel occupancy when messages collide.
+package wormhole
+
+import (
+	"fmt"
+
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+)
+
+// Config sets the interconnect timing. Zero values are legal (they model an
+// infinitely fast component).
+type Config struct {
+	// THop is the router latency for a header flit to traverse one
+	// channel and be examined by the next router.
+	THop event.Time
+	// TByte is the transmission time per payload byte per channel (the
+	// reciprocal of channel bandwidth).
+	TByte event.Time
+}
+
+// Validate panics on a nonsensical configuration.
+func (c Config) Validate() {
+	if c.THop < 0 || c.TByte < 0 {
+		panic("wormhole: negative timing parameter")
+	}
+}
+
+// Delivery reports a completed unicast to the sender's callback.
+type Delivery struct {
+	From, To topology.NodeID
+	Bytes    int
+	// Injected is when the header entered the network at the source.
+	Injected event.Time
+	// Arrived is when the tail flit reached the destination router.
+	Arrived event.Time
+	// Blocked is the total time the header spent waiting on busy
+	// channels; zero for a contention-free unicast.
+	Blocked event.Time
+	// Hops is the E-cube path length.
+	Hops int
+}
+
+// Latency is the in-network time of the unicast.
+func (d Delivery) Latency() event.Time { return d.Arrived - d.Injected }
+
+type message struct {
+	from, to topology.NodeID
+	bytes    int
+	path     []topology.Arc
+	idx      int // next channel to acquire
+	injected event.Time
+	blocked  event.Time
+	waitFrom event.Time // when the current wait began
+	done     func(Delivery)
+}
+
+type channel struct {
+	busy    bool
+	waiters []*message // FIFO
+}
+
+// Tracer observes channel-level events for visualization and utilization
+// analysis. All callbacks fire at the current simulated time.
+type Tracer interface {
+	// ChannelAcquired fires when a message's header claims arc.
+	ChannelAcquired(arc topology.Arc, from, to topology.NodeID, at event.Time)
+	// ChannelReleased fires when the owning message's tail frees arc
+	// (possibly immediately followed by ChannelAcquired for a waiter).
+	ChannelReleased(arc topology.Arc, at event.Time)
+	// HeaderBlocked fires when a header must queue for a busy arc.
+	HeaderBlocked(arc topology.Arc, from, to topology.NodeID, at event.Time)
+}
+
+// Network simulates one hypercube interconnect attached to an event queue.
+type Network struct {
+	cube     topology.Cube
+	q        *event.Queue
+	cfg      Config
+	channels map[topology.Arc]*channel
+	tracer   Tracer
+
+	// Aggregate statistics.
+	delivered    int
+	totalBlocked event.Time
+	maxQueueLen  int
+}
+
+// SetTracer installs a channel-event observer (nil disables tracing).
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// New creates a network for cube attached to queue q.
+func New(q *event.Queue, cube topology.Cube, cfg Config) *Network {
+	cfg.Validate()
+	return &Network{
+		cube:     cube,
+		q:        q,
+		cfg:      cfg,
+		channels: make(map[topology.Arc]*channel),
+	}
+}
+
+// Cube returns the simulated topology.
+func (n *Network) Cube() topology.Cube { return n.cube }
+
+// Queue returns the event queue driving this network.
+func (n *Network) Queue() *event.Queue { return n.q }
+
+// Delivered returns the number of completed unicasts.
+func (n *Network) Delivered() int { return n.delivered }
+
+// TotalBlocked returns the cumulative header blocking time across all
+// delivered messages — the simulator's direct measure of channel
+// contention.
+func (n *Network) TotalBlocked() event.Time { return n.totalBlocked }
+
+// MaxQueueLen returns the deepest channel arbitration queue observed — how
+// many headers were ever simultaneously parked on one channel.
+func (n *Network) MaxQueueLen() int { return n.maxQueueLen }
+
+// Send injects a unicast of the given size at the current simulated time;
+// done (optional) is invoked when the tail flit arrives at the destination.
+// Sending to oneself delivers after the pipeline drain time without
+// touching the network.
+func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery)) {
+	n.cube.MustContain(from)
+	n.cube.MustContain(to)
+	if bytes < 0 {
+		panic("wormhole: negative message size")
+	}
+	m := &message{
+		from:     from,
+		to:       to,
+		bytes:    bytes,
+		path:     n.cube.PathArcs(from, to),
+		injected: n.q.Now(),
+		done:     done,
+	}
+	if len(m.path) == 0 {
+		n.q.After(n.drain(bytes), func() { n.complete(m) })
+		return
+	}
+	n.tryAcquire(m)
+}
+
+func (n *Network) drain(bytes int) event.Time {
+	return event.Time(bytes) * n.cfg.TByte
+}
+
+func (n *Network) channel(a topology.Arc) *channel {
+	ch, ok := n.channels[a]
+	if !ok {
+		ch = &channel{}
+		n.channels[a] = ch
+	}
+	return ch
+}
+
+// tryAcquire attempts to claim the message's next channel at the current
+// simulated time.
+func (n *Network) tryAcquire(m *message) {
+	arc := m.path[m.idx]
+	ch := n.channel(arc)
+	if ch.busy {
+		m.waitFrom = n.q.Now()
+		ch.waiters = append(ch.waiters, m)
+		if len(ch.waiters) > n.maxQueueLen {
+			n.maxQueueLen = len(ch.waiters)
+		}
+		if n.tracer != nil {
+			n.tracer.HeaderBlocked(arc, m.from, m.to, n.q.Now())
+		}
+		return
+	}
+	n.claim(m, ch)
+}
+
+// claim marks the channel owned by m and advances the header one hop.
+func (n *Network) claim(m *message, ch *channel) {
+	ch.busy = true
+	if n.tracer != nil {
+		n.tracer.ChannelAcquired(m.path[m.idx], m.from, m.to, n.q.Now())
+	}
+	n.advance(m)
+}
+
+// advance moves the header across the channel it now owns. When the final
+// channel is crossed the pipeline drains, then every held channel releases
+// as the tail passes.
+func (n *Network) advance(m *message) {
+	n.q.After(n.cfg.THop, func() {
+		m.idx++
+		if m.idx == len(m.path) {
+			n.q.After(n.drain(m.bytes), func() {
+				n.releaseAll(m)
+				n.complete(m)
+			})
+			return
+		}
+		n.tryAcquire(m)
+	})
+}
+
+func (n *Network) releaseAll(m *message) {
+	for _, a := range m.path {
+		ch := n.channel(a)
+		if n.tracer != nil {
+			n.tracer.ChannelReleased(a, n.q.Now())
+		}
+		if len(ch.waiters) == 0 {
+			ch.busy = false
+			continue
+		}
+		next := ch.waiters[0]
+		ch.waiters = ch.waiters[1:]
+		next.blocked += n.q.Now() - next.waitFrom
+		// Channel stays busy; ownership transfers to the waiter.
+		if n.tracer != nil {
+			n.tracer.ChannelAcquired(a, next.from, next.to, n.q.Now())
+		}
+		n.advance(next)
+	}
+}
+
+func (n *Network) complete(m *message) {
+	n.delivered++
+	n.totalBlocked += m.blocked
+	if m.done != nil {
+		m.done(Delivery{
+			From:     m.from,
+			To:       m.to,
+			Bytes:    m.bytes,
+			Injected: m.injected,
+			Arrived:  n.q.Now(),
+			Blocked:  m.blocked,
+			Hops:     len(m.path),
+		})
+	}
+}
+
+// Idle reports whether every channel is free — true between operations and
+// after Run completes; useful as a leak check in tests.
+func (n *Network) Idle() bool {
+	for a, ch := range n.channels {
+		if ch.busy || len(ch.waiters) > 0 {
+			_ = a
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("wormhole %d-cube (%s), %d delivered, %s blocked",
+		n.cube.Dim(), n.cube.Resolution(), n.delivered, n.totalBlocked.Micros())
+}

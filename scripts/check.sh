@@ -1,0 +1,50 @@
+#!/bin/sh
+# Full verification pass: format, vet, tests (including soak), race
+# detector on the concurrent packages, fuzz seed corpora, benchmarks
+# (one iteration), and the randomized end-to-end verifier.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== gofmt'
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "needs gofmt:" "$fmt"
+	exit 1
+fi
+
+echo '== go vet'
+go vet ./...
+
+echo '== go test'
+go test ./...
+
+echo '== go test -race (concurrent packages)'
+go test -race ./internal/emulator/ ./internal/workload/ .
+
+echo '== fuzz seed corpora'
+go test -run Fuzz ./internal/chain/ ./internal/core/
+
+echo '== benchmarks (smoke)'
+go test -run xxx -bench . -benchtime 1x .
+
+echo '== randomized verifier'
+go run ./cmd/verify -n 5 -trials 100
+
+echo '== command-line drivers (smoke)'
+go run ./cmd/stepwise -n 5 -trials 5 -points 8 > /dev/null
+go run ./cmd/delay -n 4 -trials 3 -stat max > /dev/null
+go run ./cmd/delay -n 4 -trials 3 -sweep 6 -csv > /dev/null
+go run ./cmd/simlarge -n 6 -trials 2 -points 4 -plot > /dev/null
+go run ./cmd/mcast -n 4 -alg w-sort -src 0 -dests 1,3,5,7,11,12,14,15 -trace > /dev/null
+go run ./cmd/mcast -n 4 -alg u-cube -dests 1,2,3 -dot > /dev/null
+go run ./cmd/compare -n 5 -m 8 -trials 5 > /dev/null
+go run ./cmd/compare -n 5 -m 8 -trials 3 -machine ncube3 > /dev/null
+go run ./cmd/figures -quick -dir "$(mktemp -d)" > /dev/null
+
+echo '== examples (smoke)'
+for e in quickstart broadcast datapar collectives protocol; do
+	go run "./examples/$e" > /dev/null
+done
+
+echo 'ALL CHECKS PASSED'

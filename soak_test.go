@@ -1,0 +1,96 @@
+package hypercube_test
+
+import (
+	"testing"
+
+	"hypercube"
+	"hypercube/internal/core"
+	"hypercube/internal/emulator"
+	"hypercube/internal/topology"
+)
+
+// Soak tests exercise the system at the largest scales the paper discusses
+// (and beyond). They are skipped under -short.
+
+// Full 12-cube (4096 nodes) broadcast through build, both schedulers, the
+// contention checker, and the machine simulator.
+func TestSoakBroadcast12Cube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cube := hypercube.New(12, hypercube.HighToLow)
+	tree := hypercube.Broadcast(cube, hypercube.WSort, 1234)
+	if got := hypercube.Schedule(tree, hypercube.AllPort).Steps(); got != 12 {
+		t.Fatalf("broadcast steps = %d", got)
+	}
+	if got := hypercube.Schedule(tree, hypercube.OnePort).Steps(); got != 12 {
+		t.Fatalf("one-port broadcast steps = %d", got)
+	}
+	res := hypercube.Simulate(hypercube.NCube2Params(hypercube.AllPort), tree, 4096)
+	if len(res.Recv) != cube.Nodes()-1 {
+		t.Fatalf("broadcast receipts = %d", len(res.Recv))
+	}
+	if res.TotalBlocked != 0 {
+		t.Fatalf("broadcast blocked %v", res.TotalBlocked)
+	}
+}
+
+// Heavy randomized sweep on the paper's largest evaluated system: 10-cube,
+// destination counts across the whole range, all four algorithms, with
+// Definition 4 checks on sampled instances.
+func TestSoak10CubeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cube := hypercube.New(10, hypercube.HighToLow)
+	for _, m := range []int{1, 15, 100, 511, 1023} {
+		dests := hypercube.RandomDests(cube, int64(m), 77, m)
+		for _, a := range []hypercube.Algorithm{
+			hypercube.UCube, hypercube.Maxport, hypercube.Combine, hypercube.WSort,
+		} {
+			tree := hypercube.Multicast(cube, a, 77, dests)
+			s := hypercube.Schedule(tree, hypercube.AllPort)
+			lb := hypercube.StepLowerBound(hypercube.AllPort, 10, m)
+			if s.Steps() < lb {
+				t.Fatalf("%v m=%d: %d steps beats bound %d", a, m, s.Steps(), lb)
+			}
+			if m <= 100 { // quadratic checker: keep it bounded
+				if cs := hypercube.CheckContention(s); (a == hypercube.Maxport || a == hypercube.WSort) && len(cs) != 0 {
+					t.Fatalf("%v m=%d: contention %v", a, m, cs[0])
+				}
+			}
+			res := hypercube.Simulate(hypercube.NCube2Params(hypercube.AllPort), tree, 4096)
+			if len(res.Recv) != m {
+				t.Fatalf("%v m=%d: receipts %d", a, m, len(res.Recv))
+			}
+		}
+	}
+}
+
+// The concurrent emulator at 512 nodes under the race detector (when run
+// with -race) with a broadcast and several random multicasts.
+func TestSoakEmulator9Cube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cube := topology.New(9, topology.HighToLow)
+	e := emulator.New(cube)
+	defer e.Close()
+	payload := make([]byte, 2048)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for trial := 0; trial < 5; trial++ {
+		src := topology.NodeID(trial * 97 % 512)
+		dests := hypercube.RandomDests(cube, int64(trial), src, 200)
+		res := e.Run(core.WSort, src, dests, payload)
+		if len(res.Receipts) != 200 {
+			t.Fatalf("trial %d: receipts %d", trial, len(res.Receipts))
+		}
+		for _, rec := range res.Receipts {
+			if len(rec.Payload) != len(payload) {
+				t.Fatal("payload truncated")
+			}
+		}
+	}
+}
