@@ -4,6 +4,7 @@ import (
 	"hypercube/internal/collective"
 	"hypercube/internal/core"
 	"hypercube/internal/event"
+	"hypercube/internal/faults"
 	"hypercube/internal/group"
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
@@ -24,6 +25,9 @@ type (
 	Resolution = topology.Resolution
 	// Subcube is the paper's Definition 2 subcube.
 	Subcube = topology.Subcube
+	// Arc is a directed channel: the link leaving From along dimension
+	// Dim (fault plans address links by Arc).
+	Arc = topology.Arc
 	// Algorithm selects a multicast tree construction algorithm.
 	Algorithm = core.Algorithm
 	// PortModel selects the node/router interface (one-port or all-port).
@@ -42,6 +46,25 @@ type (
 	Time = event.Time
 	// Delivery describes one completed unicast on the simulated network.
 	Delivery = wormhole.Delivery
+
+	// FaultPlan is a seeded, declarative fault-injection schedule: link
+	// failures (permanent or transient windows), fail-stop node crashes,
+	// and random message drop/truncation rates.
+	FaultPlan = faults.Plan
+	// LinkFault fails one directed channel, permanently or for a window.
+	LinkFault = faults.LinkFault
+	// NodeFault fail-stops one node from a given time onward.
+	NodeFault = faults.NodeFault
+	// FaultMode chooses what a failed link does to traffic that requests
+	// it: destroy it (FaultDrop) or wedge it in place (FaultStall).
+	FaultMode = faults.Mode
+	// DeliveryStatus is the per-destination outcome of a fault-tolerant
+	// multicast (see MachineResult.Status).
+	DeliveryStatus = ncube.DeliveryStatus
+	// WatchdogDiagnostic is the error SimulateFaultTolerant returns when
+	// an event-loop budget trips: which budget, and a snapshot of the
+	// channels the wedged network holds.
+	WatchdogDiagnostic = event.Diagnostic
 )
 
 // Resolution orders.
@@ -76,6 +99,32 @@ const (
 	OnePort = core.OnePort
 	// AllPort nodes use all dimensions simultaneously.
 	AllPort = core.AllPort
+)
+
+// Fault modes.
+const (
+	// FaultDrop destroys a message whose header requests a failed link,
+	// releasing everything it held (fail-fast links).
+	FaultDrop = faults.Drop
+	// FaultStall wedges the message in place, channels held — the
+	// deadlock-shaped failure the watchdog exists to diagnose.
+	FaultStall = faults.Stall
+)
+
+// Per-destination delivery outcomes of SimulateFaultTolerant.
+const (
+	// StatusDelivered: first try, original tree path.
+	StatusDelivered = ncube.StatusDelivered
+	// StatusRetried: original path, after at least one retransmission.
+	StatusRetried = ncube.StatusRetried
+	// StatusRerouted: delivered through tree repair (relay detour or
+	// recomputed subtree).
+	StatusRerouted = ncube.StatusRerouted
+	// StatusDeadNode: undeliverable — the destination fail-stopped.
+	StatusDeadNode = ncube.StatusDeadNode
+	// StatusUnreachable: alive but not reached within the retry and
+	// repair budgets.
+	StatusUnreachable = ncube.StatusUnreachable
 )
 
 // New constructs an n-dimensional hypercube with the given resolution
@@ -141,6 +190,32 @@ func Phase(p MachineParams, bytes int, a Algorithm, groups []*Comm, roots []int)
 // Simulate executes the multicast tree on the simulated machine with a
 // message of the given size and returns per-destination receipt times.
 func Simulate(p MachineParams, t *Tree, bytes int) MachineResult { return ncube.Run(p, t, bytes) }
+
+// CheckMachineParams reports whether the machine configuration is
+// well-formed; nil means usable. The Simulate family panics on malformed
+// parameters — call this first when the configuration is untrusted.
+func CheckMachineParams(p MachineParams) error { return p.Err() }
+
+// CheckFaultPlan reports whether the fault plan is well-formed and fits
+// the cube; nil means usable.
+func CheckFaultPlan(c Cube, plan FaultPlan) error { return plan.ErrOn(c) }
+
+// RandomLinkFaults draws k distinct permanent link faults from the cube's
+// directed channels, deterministically from seed — the bulk generator for
+// fault sweeps.
+func RandomLinkFaults(c Cube, seed int64, k int) []LinkFault {
+	return faults.RandomLinks(c, seed, k)
+}
+
+// SimulateFaultTolerant executes the distributed multicast protocol from
+// src to dests under the given fault plan, with end-to-end ack/retry and
+// multicast-tree repair (the reliability knobs live in MachineParams).
+// The result's Status map reports every destination's outcome. Malformed
+// configuration comes back as an error; a tripped watchdog budget returns
+// a *WatchdogDiagnostic alongside the partial result.
+func SimulateFaultTolerant(p MachineParams, c Cube, a Algorithm, src NodeID, dests []NodeID, bytes int, plan FaultPlan) (MachineResult, error) {
+	return ncube.RunFaultTolerant(ncube.JitterParams{Params: p}, c, a, src, dests, bytes, plan)
+}
 
 // TraceRecorder accumulates channel occupancy intervals and blocking
 // incidents during a simulation; render with Gantt.

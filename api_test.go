@@ -167,3 +167,102 @@ func TestAlgorithmConstants(t *testing.T) {
 		}
 	}
 }
+
+// Malformed machine configurations are reported by CheckMachineParams —
+// one case per validated field.
+func TestCheckMachineParams(t *testing.T) {
+	good := hypercube.NCube2Params(hypercube.AllPort)
+	if err := hypercube.CheckMachineParams(good); err != nil {
+		t.Fatalf("calibrated params rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*hypercube.MachineParams)
+		want string
+	}{
+		{"negative startup", func(p *hypercube.MachineParams) { p.TStartup = -1 }, "negative timing"},
+		{"negative recv", func(p *hypercube.MachineParams) { p.TRecv = -1 }, "negative timing"},
+		{"negative hop", func(p *hypercube.MachineParams) { p.THop = -1 }, "negative timing"},
+		{"negative byte", func(p *hypercube.MachineParams) { p.TByte = -1 }, "negative timing"},
+		{"bad port", func(p *hypercube.MachineParams) { p.Port = 7 }, "port model"},
+		{"negative timeout", func(p *hypercube.MachineParams) { p.AckTimeout = -1 }, "ack timeout"},
+		{"sub-unit backoff", func(p *hypercube.MachineParams) { p.AckBackoff = 0.5 }, "backoff"},
+		{"negative retries", func(p *hypercube.MachineParams) { p.MaxRetries = -1 }, "retry budget"},
+		{"negative watchdog", func(p *hypercube.MachineParams) { p.WatchdogSteps = -1 }, "watchdog"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			tc.mut(&p)
+			err := hypercube.CheckMachineParams(p)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Malformed fault plans are reported by CheckFaultPlan.
+func TestCheckFaultPlan(t *testing.T) {
+	cube := hypercube.New(3, hypercube.HighToLow)
+	ok := hypercube.FaultPlan{
+		Links: hypercube.RandomLinkFaults(cube, 1, 2),
+		Nodes: []hypercube.NodeFault{{Node: 3}},
+	}
+	if err := hypercube.CheckFaultPlan(cube, ok); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		plan hypercube.FaultPlan
+		want string
+	}{
+		{"drop rate", hypercube.FaultPlan{DropRate: 1.5}, "drop rate"},
+		{"truncate rate", hypercube.FaultPlan{TruncateRate: -0.1}, "truncate rate"},
+		{"bad mode", hypercube.FaultPlan{Mode: 9}, "mode"},
+		{"link outside", hypercube.FaultPlan{Links: []hypercube.LinkFault{
+			{Arc: hypercube.Arc{From: 99, Dim: 0}}}}, "outside"},
+		{"link dim", hypercube.FaultPlan{Links: []hypercube.LinkFault{
+			{Arc: hypercube.Arc{From: 0, Dim: 5}}}}, "outside"},
+		{"node outside", hypercube.FaultPlan{Nodes: []hypercube.NodeFault{{Node: 64}}}, "outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := hypercube.CheckFaultPlan(cube, tc.plan)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The fault-tolerant facade: a killed on-tree link still reaches every
+// destination, with per-destination statuses exposed.
+func TestSimulateFaultTolerantFacade(t *testing.T) {
+	cube := hypercube.New(3, hypercube.HighToLow)
+	tree := hypercube.Broadcast(cube, hypercube.WSort, 0)
+	first := tree.Sends[0][0]
+	arc := cube.PathArcs(first.From, first.To)[0]
+	res, err := hypercube.SimulateFaultTolerant(
+		hypercube.NCube2Params(hypercube.AllPort), cube, hypercube.WSort,
+		0, tree.Destinations(), 256,
+		hypercube.FaultPlan{Links: []hypercube.LinkFault{{Arc: arc}}})
+	if err != nil {
+		t.Fatalf("SimulateFaultTolerant: %v", err)
+	}
+	for _, d := range tree.Destinations() {
+		if !res.Status[d].Reached() {
+			t.Fatalf("destination %v not reached: %v", d, res.Status[d])
+		}
+	}
+	if res.Status[first.To] != hypercube.StatusRerouted {
+		t.Fatalf("cut-off child status %v", res.Status[first.To])
+	}
+	// Malformed inputs surface as errors through the facade, not panics.
+	bad := hypercube.NCube2Params(hypercube.AllPort)
+	bad.AckBackoff = 0.1
+	if _, err := hypercube.SimulateFaultTolerant(bad, cube, hypercube.WSort, 0,
+		tree.Destinations(), 256, hypercube.FaultPlan{}); err == nil {
+		t.Fatal("invalid backoff accepted")
+	}
+}

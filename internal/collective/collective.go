@@ -54,7 +54,7 @@ func newEngine(p ncube.Params, cube topology.Cube) *engine {
 }
 
 func (e *engine) finish() Result {
-	e.q.Run()
+	e.q.MustRun(0, 0)
 	e.res.TotalBlocked = e.net.TotalBlocked()
 	for _, t := range e.res.Finish {
 		if t > e.res.Makespan {

@@ -55,9 +55,10 @@ func (h *eventHeap) Pop() interface{} {
 
 // Queue is a single-threaded event calendar. The zero value is ready to use.
 type Queue struct {
-	h   eventHeap
-	now Time
-	seq uint64
+	h        eventHeap
+	now      Time
+	seq      uint64
+	diagnose func() string
 }
 
 // Now returns the current simulated time.
@@ -102,6 +103,106 @@ func (q *Queue) Run() Time {
 	for q.Step() {
 	}
 	return q.now
+}
+
+// Watchdog defaults for RunBudget.
+const (
+	// DefaultMaxSteps bounds a budgeted run when the caller passes
+	// maxSteps <= 0: generous for every legitimate simulation in this
+	// repository (the 12-cube broadcast soak executes ~10^5 events), yet
+	// it converts an accidentally unbounded event loop into a diagnostic
+	// within seconds instead of hanging CI forever.
+	DefaultMaxSteps = 1 << 26
+	// NoProgressLimit is the number of consecutive events executed at a
+	// single simulated instant before RunBudget declares a livelock: real
+	// schedules always advance the clock (channel crossings and software
+	// overheads take time), so millions of same-instant events mean a
+	// zero-delay event cycle.
+	NoProgressLimit = 1 << 22
+)
+
+// Diagnostic describes a watchdog abort: which budget tripped, where the
+// simulation stood, and — when a diagnoser is registered — a snapshot of
+// the stalled resources (e.g. the network's held channels).
+type Diagnostic struct {
+	// Reason names the exhausted budget.
+	Reason string
+	// Steps is the number of events executed by this run.
+	Steps int
+	// Now is the simulated time at the abort.
+	Now Time
+	// Pending is the number of events still queued.
+	Pending int
+	// Detail is the diagnoser's snapshot ("" when none is registered).
+	Detail string
+}
+
+func (d *Diagnostic) Error() string {
+	s := fmt.Sprintf("event: watchdog: %s after %d steps at %s (%d events pending)",
+		d.Reason, d.Steps, d.Now.Micros(), d.Pending)
+	if d.Detail != "" {
+		s += "\n" + d.Detail
+	}
+	return s
+}
+
+// SetDiagnoser registers a snapshot function whose output is attached to
+// watchdog Diagnostics (nil disables). Simulators register their resource
+// state here — e.g. wormhole.Network's held-channel dump — so a budget trip
+// explains *what* is wedged, not just that something is.
+func (q *Queue) SetDiagnoser(fn func() string) { q.diagnose = fn }
+
+func (q *Queue) diag(reason string, steps int) *Diagnostic {
+	d := &Diagnostic{Reason: reason, Steps: steps, Now: q.now, Pending: len(q.h)}
+	if q.diagnose != nil {
+		d.Detail = q.diagnose()
+	}
+	return d
+}
+
+// RunBudget executes events until the calendar is empty, like Run, but
+// under a watchdog: at most maxSteps events (<= 0 selects
+// DefaultMaxSteps), no event beyond maxTime (<= 0 means unbounded), and no
+// more than NoProgressLimit consecutive events at one simulated instant.
+// Exceeding any budget returns the current time and a *Diagnostic instead
+// of spinning or stalling forever.
+func (q *Queue) RunBudget(maxSteps int, maxTime Time) (Time, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	steps, sameTime := 0, 0
+	last := q.now
+	for len(q.h) > 0 {
+		if maxTime > 0 && q.h[0].at > maxTime {
+			return q.now, q.diag(fmt.Sprintf("time budget %s exhausted", maxTime.Micros()), steps)
+		}
+		q.Step()
+		steps++
+		if q.now == last {
+			sameTime++
+			if sameTime >= NoProgressLimit {
+				return q.now, q.diag(fmt.Sprintf("no progress: %d events without advancing time", sameTime), steps)
+			}
+		} else {
+			sameTime = 0
+			last = q.now
+		}
+		if steps >= maxSteps {
+			return q.now, q.diag(fmt.Sprintf("step budget %d exhausted", maxSteps), steps)
+		}
+	}
+	return q.now, nil
+}
+
+// MustRun is RunBudget for call sites where exceeding the budget can only
+// mean a simulator bug: it panics with the Diagnostic. Every internal
+// simulation loop runs under it so no bug can hang the process.
+func (q *Queue) MustRun(maxSteps int, maxTime Time) Time {
+	t, err := q.RunBudget(maxSteps, maxTime)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // RunUntil executes events with time <= deadline; later events stay queued.

@@ -2,6 +2,7 @@ package event
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -27,7 +28,7 @@ func TestFIFOTieBreak(t *testing.T) {
 		i := i
 		q.At(5, func() { got = append(got, i) })
 	}
-	q.Run()
+	q.MustRun(1000, 0)
 	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
 		t.Errorf("tie order = %v", got)
 	}
@@ -42,7 +43,7 @@ func TestAfterAndNow(t *testing.T) {
 		}
 		q.After(50, func() { sample = q.Now() })
 	})
-	q.Run()
+	q.MustRun(1000, 0)
 	if sample != 150 {
 		t.Errorf("nested After fired at %v", sample)
 	}
@@ -59,7 +60,7 @@ func TestSchedulingFromHandlers(t *testing.T) {
 		}
 	}
 	q.After(10, tick)
-	end := q.Run()
+	end := q.MustRun(1000, 0)
 	if count != 5 || end != 50 {
 		t.Errorf("count=%d end=%v", count, end)
 	}
@@ -75,7 +76,7 @@ func TestPastSchedulingPanics(t *testing.T) {
 		}()
 		q.At(50, func() {})
 	})
-	q.Run()
+	q.MustRun(1000, 0)
 }
 
 func TestNegativeDelayPanics(t *testing.T) {
@@ -115,7 +116,7 @@ func TestRunUntil(t *testing.T) {
 	if q.Len() != 2 {
 		t.Errorf("pending = %d", q.Len())
 	}
-	q.Run()
+	q.MustRun(1000, 0)
 	if !reflect.DeepEqual(got, []Time{10, 20, 30, 40}) {
 		t.Errorf("final %v", got)
 	}
@@ -134,4 +135,101 @@ func TestUnits(t *testing.T) {
 	if Microsecond != 1000 || Millisecond != 1_000_000 || Second != 1_000_000_000 {
 		t.Error("unit constants wrong")
 	}
+}
+
+func TestRunBudgetCompletes(t *testing.T) {
+	var q Queue
+	ran := 0
+	for i := Time(1); i <= 10; i++ {
+		q.At(i, func() { ran++ })
+	}
+	end, err := q.RunBudget(100, 1000)
+	if err != nil {
+		t.Fatalf("budgeted run failed: %v", err)
+	}
+	if ran != 10 || end != 10 {
+		t.Errorf("ran=%d end=%v", ran, end)
+	}
+}
+
+func TestRunBudgetStepExhaustion(t *testing.T) {
+	var q Queue
+	var tick func()
+	tick = func() { q.After(1, tick) } // infinite self-rescheduling loop
+	q.After(1, tick)
+	_, err := q.RunBudget(50, 0)
+	d, ok := err.(*Diagnostic)
+	if !ok {
+		t.Fatalf("err = %v, want *Diagnostic", err)
+	}
+	if d.Steps != 50 || d.Pending != 1 {
+		t.Errorf("diagnostic %+v", d)
+	}
+	if !strings.Contains(d.Error(), "step budget") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+func TestRunBudgetTimeExhaustion(t *testing.T) {
+	var q Queue
+	ran := 0
+	q.At(10, func() { ran++ })
+	q.At(10_000, func() { ran++ })
+	end, err := q.RunBudget(0, 100)
+	d, ok := err.(*Diagnostic)
+	if !ok {
+		t.Fatalf("err = %v, want *Diagnostic", err)
+	}
+	if ran != 1 || end != 10 {
+		t.Errorf("ran=%d end=%v", ran, end)
+	}
+	if !strings.Contains(d.Reason, "time budget") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if q.Len() != 1 {
+		t.Errorf("pending = %d, want the over-deadline event", q.Len())
+	}
+}
+
+func TestRunBudgetLivelockDetector(t *testing.T) {
+	var q Queue
+	var spin func()
+	spin = func() { q.After(0, spin) } // zero-delay cycle: time never advances
+	q.At(5, spin)
+	_, err := q.RunBudget(NoProgressLimit*2, 0)
+	d, ok := err.(*Diagnostic)
+	if !ok {
+		t.Fatalf("err = %v, want *Diagnostic", err)
+	}
+	if !strings.Contains(d.Reason, "no progress") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if d.Now != 5 {
+		t.Errorf("livelock detected at %v, want 5", d.Now)
+	}
+}
+
+func TestRunBudgetDiagnoserSnapshot(t *testing.T) {
+	var q Queue
+	q.SetDiagnoser(func() string { return "held: ch[3->7]" })
+	var tick func()
+	tick = func() { q.After(1, tick) }
+	q.After(1, tick)
+	_, err := q.RunBudget(10, 0)
+	if err == nil || !strings.Contains(err.Error(), "held: ch[3->7]") {
+		t.Fatalf("diagnostic missing snapshot: %v", err)
+	}
+}
+
+func TestMustRunPanicsOnBudget(t *testing.T) {
+	var q Queue
+	var tick func()
+	tick = func() { q.After(1, tick) }
+	q.After(1, tick)
+	defer func() {
+		if _, ok := recover().(*Diagnostic); !ok {
+			t.Error("MustRun did not panic with a Diagnostic")
+		}
+	}()
+	q.MustRun(10, 0)
 }

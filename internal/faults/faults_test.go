@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+)
+
+func TestLinkFaultWindows(t *testing.T) {
+	arc := topology.Arc{From: 3, Dim: 1}
+	in := New(Plan{Links: []LinkFault{
+		{Arc: arc, From: 10, Until: 20},
+		{Arc: arc, From: 50}, // permanent from 50
+	}})
+	cases := []struct {
+		at   event.Time
+		down bool
+	}{
+		{0, false}, {9, false}, {10, true}, {19, true}, {20, false},
+		{49, false}, {50, true}, {1 << 40, true},
+	}
+	for _, c := range cases {
+		if got := in.LinkDown(arc, c.at); got != c.down {
+			t.Errorf("LinkDown(%v) = %v, want %v", c.at, got, c.down)
+		}
+	}
+	if in.LinkDown(topology.Arc{From: 3, Dim: 2}, 15) {
+		t.Error("unrelated arc reported down")
+	}
+	if in.LinkHits() != 4 {
+		t.Errorf("LinkHits = %d, want 4", in.LinkHits())
+	}
+}
+
+func TestNodeFaultEarliestWins(t *testing.T) {
+	in := New(Plan{Nodes: []NodeFault{{Node: 5, At: 30}, {Node: 5, At: 10}}})
+	if in.NodeDown(5, 9) {
+		t.Error("node down before earliest crash")
+	}
+	if !in.NodeDown(5, 10) {
+		t.Error("node up at crash time")
+	}
+	if in.NodeDown(6, 100) {
+		t.Error("uncrashed node reported down")
+	}
+}
+
+func TestMessageFateDeterministic(t *testing.T) {
+	draw := func() (drops, truncs int) {
+		in := New(Plan{Seed: 99, DropRate: 0.3, TruncateRate: 0.3})
+		for i := 0; i < 1000; i++ {
+			drop, trunc := in.MessageFate(0, 1, 100, event.Time(i))
+			if drop {
+				drops++
+			}
+			if trunc >= 0 {
+				if trunc >= 100 {
+					t.Fatalf("truncation %d not a strict prefix of 100", trunc)
+				}
+				truncs++
+			}
+		}
+		return drops, truncs
+	}
+	d1, t1 := draw()
+	d2, t2 := draw()
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, t1, d2, t2)
+	}
+	if d1 == 0 || t1 == 0 {
+		t.Fatalf("rates 0.3 produced drops=%d truncations=%d", d1, t1)
+	}
+	// The zero-byte ack case never truncates.
+	in := New(Plan{Seed: 1, TruncateRate: 0.999})
+	for i := 0; i < 100; i++ {
+		if _, trunc := in.MessageFate(0, 1, 0, 0); trunc >= 0 {
+			t.Fatal("zero-byte message truncated")
+		}
+	}
+}
+
+func TestPlanErr(t *testing.T) {
+	cube := topology.New(3, topology.HighToLow)
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"bad mode", Plan{Mode: Mode(7)}, "unknown mode"},
+		{"drop rate low", Plan{DropRate: -0.1}, "drop rate"},
+		{"drop rate high", Plan{DropRate: 1}, "drop rate"},
+		{"truncate rate", Plan{TruncateRate: 1.5}, "truncate rate"},
+		{"negative link time", Plan{Links: []LinkFault{{Arc: topology.Arc{}, From: -1}}}, "negative time"},
+		{"negative node time", Plan{Nodes: []NodeFault{{Node: 0, At: -2}}}, "negative time"},
+	}
+	for _, c := range cases {
+		err := c.plan.Err()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Err() = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	topoCases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"arc node out of cube", Plan{Links: []LinkFault{{Arc: topology.Arc{From: 8, Dim: 0}}}}, "outside 3-cube"},
+		{"arc dim out of cube", Plan{Links: []LinkFault{{Arc: topology.Arc{From: 0, Dim: 3}}}}, "outside 3-cube"},
+		{"node out of cube", Plan{Nodes: []NodeFault{{Node: 8}}}, "outside 3-cube"},
+	}
+	for _, c := range topoCases {
+		err := c.plan.ErrOn(cube)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: ErrOn() = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	if err := (Plan{}).ErrOn(cube); err != nil {
+		t.Errorf("zero plan invalid: %v", err)
+	}
+}
+
+func TestRandomLinksDistinctAndSeeded(t *testing.T) {
+	cube := topology.New(4, topology.HighToLow)
+	a := RandomLinks(cube, 7, 20)
+	b := RandomLinks(cube, 7, 20)
+	if len(a) != 20 {
+		t.Fatalf("got %d links", len(a))
+	}
+	seen := map[topology.Arc]bool{}
+	for i, lf := range a {
+		if seen[lf.Arc] {
+			t.Fatalf("duplicate arc %v", lf.Arc)
+		}
+		seen[lf.Arc] = true
+		if lf.Arc != b[i].Arc {
+			t.Fatalf("seeded draw diverged at %d", i)
+		}
+		if !lf.Permanent() {
+			t.Fatalf("random link fault not permanent")
+		}
+	}
+	// Asking for more than the cube has saturates at every arc.
+	all := RandomLinks(cube, 1, 10_000)
+	if len(all) != cube.Nodes()*cube.Dim() {
+		t.Fatalf("saturated draw = %d arcs", len(all))
+	}
+}
+
+func TestCyclesAdapter(t *testing.T) {
+	arc := topology.Arc{From: 1, Dim: 0}
+	in := New(Plan{Links: []LinkFault{{Arc: arc, From: 100 * event.Nanosecond}}})
+	cy := Cycles{In: in} // 1 cycle == 1 ns
+	if cy.LinkDown(arc, 99) {
+		t.Error("down before onset")
+	}
+	if !cy.LinkDown(arc, 100) {
+		t.Error("up after onset")
+	}
+	drop := Cycles{In: New(Plan{Seed: 3, DropRate: 0.5})}
+	n := 0
+	for i := int64(0); i < 100; i++ {
+		if drop.Drop(0, 1, 10, i) {
+			n++
+		}
+	}
+	if n == 0 || n == 100 {
+		t.Fatalf("drop adapter saw %d/100 losses", n)
+	}
+}

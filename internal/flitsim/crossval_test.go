@@ -8,6 +8,7 @@ package flitsim
 // contention.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -21,15 +22,25 @@ import (
 // one simulated cycle == one nanosecond of the message-level model.
 const cyc = event.Time(1)
 
+// eachTrial runs trials as subtests, each with its own RNG seeded from
+// base+trial — the draws of every trial are independent of execution
+// order, so the suite is deterministic under `go test -shuffle=on`.
+func eachTrial(t *testing.T, base int64, trials int, f func(t *testing.T, rng *rand.Rand)) {
+	t.Helper()
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(base + int64(trial)))
+		t.Run(fmt.Sprintf("trial%03d", trial), func(t *testing.T) { f(t, rng) })
+	}
+}
+
 // Message-level and flit-level uncontended unicast latencies are equal.
 func TestCrossUncontendedUnicasts(t *testing.T) {
 	cube := topology.New(6, topology.HighToLow)
-	rng := rand.New(rand.NewSource(23))
-	for trial := 0; trial < 200; trial++ {
+	eachTrial(t, 2300, 200, func(t *testing.T, rng *rand.Rand) {
 		from := topology.NodeID(rng.Intn(64))
 		to := topology.NodeID(rng.Intn(64))
 		if from == to {
-			continue
+			t.Skip("degenerate pair")
 		}
 		flits := 1 + rng.Intn(500)
 
@@ -37,7 +48,7 @@ func TestCrossUncontendedUnicasts(t *testing.T) {
 		wnet := wormhole.New(q, cube, wormhole.Config{THop: cyc, TByte: cyc})
 		var wArr event.Time
 		wnet.Send(from, to, flits, func(d wormhole.Delivery) { wArr = d.Arrived })
-		q.Run()
+		q.MustRun(0, 0)
 
 		fnet := New(cube, Config{BufFlits: 2})
 		m := fnet.Send(from, to, flits, 0)
@@ -47,7 +58,7 @@ func TestCrossUncontendedUnicasts(t *testing.T) {
 			t.Fatalf("%v->%v L=%d: message-level %d, flit-level %d",
 				from, to, flits, wArr, m.DeliveredAt)
 		}
-	}
+	})
 }
 
 // Under same-channel contention the message-level model is conservative:
@@ -56,16 +67,15 @@ func TestCrossUncontendedUnicasts(t *testing.T) {
 // message) + 1 handoff cycle per queued predecessor.
 func TestCrossContendedPairsBounded(t *testing.T) {
 	cube := topology.New(5, topology.HighToLow)
-	rng := rand.New(rand.NewSource(29))
-	for trial := 0; trial < 150; trial++ {
+	eachTrial(t, 2900, 150, func(t *testing.T, rng *rand.Rand) {
 		src := topology.NodeID(rng.Intn(32))
 		a := topology.NodeID(rng.Intn(32))
 		b := topology.NodeID(rng.Intn(32))
 		if a == src || b == src || a == b {
-			continue
+			t.Skip("degenerate triple")
 		}
 		if cube.FirstHop(src, a) != cube.FirstHop(src, b) {
-			continue // want guaranteed shared first channel
+			t.Skip("want guaranteed shared first channel")
 		}
 		flits := 50 + rng.Intn(200)
 
@@ -75,7 +85,7 @@ func TestCrossContendedPairsBounded(t *testing.T) {
 		rec := func(d wormhole.Delivery) { arr[d.To] = d.Arrived }
 		wnet.Send(src, a, flits, rec)
 		wnet.Send(src, b, flits, rec)
-		q.Run()
+		q.MustRun(0, 0)
 
 		fnet := New(cube, Config{BufFlits: 2})
 		ma := fnet.Send(src, a, flits, 0)
@@ -93,7 +103,7 @@ func TestCrossContendedPairsBounded(t *testing.T) {
 					src, a, b, flits, pair.w, pair.f.DeliveredAt, slack)
 			}
 		}
-	}
+	})
 }
 
 // flitTree executes a multicast tree at flit level with the same software
@@ -164,8 +174,7 @@ func TestCrossWSortTreeExact(t *testing.T) {
 		TStartup: event.Time(S), TRecv: event.Time(R),
 		THop: cyc, TByte: cyc, Port: core.AllPort,
 	}
-	rng := rand.New(rand.NewSource(31))
-	for trial := 0; trial < 25; trial++ {
+	eachTrial(t, 3100, 25, func(t *testing.T, rng *rand.Rand) {
 		src := topology.NodeID(rng.Intn(32))
 		m := 1 + rng.Intn(31)
 		perm := rng.Perm(32)
@@ -187,15 +196,14 @@ func TestCrossWSortTreeExact(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 }
 
 // At flit granularity, W-sort and Maxport multicasts never block a header
 // — Theorem 6 all the way down.
 func TestCrossContentionFreeAtFlitLevel(t *testing.T) {
 	cube := topology.New(6, topology.HighToLow)
-	rng := rand.New(rand.NewSource(37))
-	for trial := 0; trial < 30; trial++ {
+	eachTrial(t, 3700, 30, func(t *testing.T, rng *rand.Rand) {
 		src := topology.NodeID(rng.Intn(64))
 		m := 1 + rng.Intn(63)
 		perm := rng.Perm(64)
@@ -223,7 +231,7 @@ func TestCrossContentionFreeAtFlitLevel(t *testing.T) {
 					a, fnet.TotalBlocked(), src, dests)
 			}
 		}
-	}
+	})
 }
 
 func convergedStarts(tr *core.Tree, delivered map[topology.NodeID]int64, S, R int64) []int64 {

@@ -1,0 +1,79 @@
+package flitsim
+
+import (
+	"strings"
+	"testing"
+
+	"hypercube/internal/faults"
+	"hypercube/internal/topology"
+)
+
+// A header that requests a failed channel is destroyed and releases what
+// it held; traffic avoiding the channel is untouched.
+func TestFlitLinkFaultFailFast(t *testing.T) {
+	nw := net(3, 2)
+	// Path 0 -> 6 under HighToLow crosses {0,d2} then {4,d1}; fail the
+	// second hop.
+	nw.SetFaults(faults.Cycles{In: faults.New(faults.Plan{
+		Links: []faults.LinkFault{{Arc: topology.Arc{From: 4, Dim: 1}}},
+	})})
+	doomed := nw.Send(0, 6, 20, 0)
+	fine := nw.Send(0, 3, 20, 0) // dims 1,0: avoids both faulted arcs
+	end := nw.Run()
+	if !doomed.Failed || !doomed.Done {
+		t.Fatalf("doomed message state: failed=%v done=%v", doomed.Failed, doomed.Done)
+	}
+	if fine.Failed || fine.DeliveredAt != int64(topology.Distance(0, 3)+20) {
+		t.Fatalf("clean message: failed=%v delivered=%d", fine.Failed, fine.DeliveredAt)
+	}
+	if nw.Failed() != 1 {
+		t.Fatalf("Failed() = %d", nw.Failed())
+	}
+	// The failed message must have released {0,d2}: a later message
+	// through it completes.
+	later := nw.Send(0, 4, 20, end+1)
+	if _, err := nw.RunBudget(0); err != nil {
+		t.Fatalf("post-fault run: %v", err)
+	}
+	if later.Failed || !later.Done {
+		t.Fatal("released channel unusable")
+	}
+}
+
+// In-transit drops at flit level are seeded and destroy whole worms.
+func TestFlitDropRate(t *testing.T) {
+	nw := net(4, 2)
+	nw.SetFaults(faults.Cycles{In: faults.New(faults.Plan{Seed: 5, DropRate: 0.3})})
+	var msgs []*Message
+	for i := 0; i < 100; i++ {
+		msgs = append(msgs, nw.Send(0, topology.NodeID(1+i%15), 10, int64(i*40)))
+	}
+	nw.Run()
+	failed := 0
+	for _, m := range msgs {
+		if m.Failed {
+			failed++
+		} else if !m.Done {
+			t.Fatal("undropped message unfinished")
+		}
+	}
+	if failed == 0 || failed == len(msgs) {
+		t.Fatalf("failed = %d/100", failed)
+	}
+	if failed != nw.Failed() {
+		t.Fatalf("Failed() = %d, want %d", nw.Failed(), failed)
+	}
+}
+
+// The cycle budget converts a too-long run into an error, not a hang.
+func TestFlitRunBudget(t *testing.T) {
+	nw := net(3, 1)
+	nw.Send(0, 7, 1000, 0)
+	cycles, err := nw.RunBudget(10)
+	if err == nil || !strings.Contains(err.Error(), "cycle budget") {
+		t.Fatalf("err = %v", err)
+	}
+	if cycles < 10 {
+		t.Fatalf("stopped at cycle %d", cycles)
+	}
+}

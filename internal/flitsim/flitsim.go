@@ -26,6 +26,19 @@ type Config struct {
 	BufFlits int
 }
 
+// FaultHook injects failures at cycle granularity (faults.Cycles adapts
+// the shared injector). The flit-level model is fail-fast only: a header
+// that requests a failed channel, or a message drawn for in-transit loss,
+// is destroyed (Message.Failed) and its channels release — the stall
+// semantics of the message-level model have no finite-cycle analogue here.
+type FaultHook interface {
+	// LinkDown reports whether channel a is failed at the given cycle.
+	LinkDown(a topology.Arc, cycle int64) bool
+	// Drop reports whether a message injected at the given cycle is lost
+	// in transit.
+	Drop(from, to topology.NodeID, flits int, cycle int64) bool
+}
+
 // Message is one unicast worm.
 type Message struct {
 	From, To topology.NodeID
@@ -33,6 +46,7 @@ type Message struct {
 
 	path    []topology.Arc
 	start   int64 // injection-eligible cycle
+	fated   bool  // in-transit loss already drawn from the fault hook
 	crossed []int // crossed[i]: flits that have traversed channel i
 	owned   []bool
 	queued  []bool // queued[i]: waiting in channel i's arbitration queue
@@ -43,6 +57,9 @@ type Message struct {
 	Done          bool
 	DeliveredAt   int64
 	BlockedCycles int64
+	// Failed marks a message the fault hook destroyed (dead link or
+	// in-transit loss); Done is also set and DeliveredAt is meaningless.
+	Failed bool
 }
 
 // Latency returns delivery time measured from the injection-eligible cycle.
@@ -60,7 +77,15 @@ type Network struct {
 	channels map[topology.Arc]*channelState
 	msgs     []*Message
 	cycle    int64
+	faults   FaultHook
+	failed   int
 }
+
+// SetFaults installs a fault hook (nil restores the fault-free network).
+func (n *Network) SetFaults(h FaultHook) { n.faults = h }
+
+// Failed returns the number of messages the fault hook destroyed.
+func (n *Network) Failed() int { return n.failed }
 
 // New creates a flit-level network.
 func New(cube topology.Cube, cfg Config) *Network {
@@ -108,13 +133,34 @@ func (n *Network) channel(a topology.Arc) *channelState {
 	return ch
 }
 
+// DefaultMaxCycles bounds a budgeted run when the caller passes
+// maxCycles <= 0.
+const DefaultMaxCycles = int64(1) << 30
+
 // Run advances cycles until every message is delivered, returning the
 // final cycle count. It panics if no progress is possible (cannot happen
 // with deadlock-free E-cube routing — the check guards the simulator
 // itself).
 func (n *Network) Run() int64 {
+	c, err := n.RunBudget(0)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// RunBudget is Run under a watchdog: at most maxCycles simulated cycles
+// (<= 0 selects DefaultMaxCycles), and an error instead of a hang when no
+// progress is possible.
+func (n *Network) RunBudget(maxCycles int64) (int64, error) {
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
 	idle := 0
 	for !n.allDone() {
+		if n.cycle >= maxCycles {
+			return n.cycle, fmt.Errorf("flitsim: cycle budget %d exhausted (%d messages unfinished)", maxCycles, n.unfinished())
+		}
 		progressed := n.step()
 		if progressed {
 			idle = 0
@@ -135,10 +181,34 @@ func (n *Network) Run() int64 {
 		}
 		idle++
 		if idle > 4 {
-			panic(fmt.Sprintf("flitsim: no progress at cycle %d", n.cycle))
+			return n.cycle, fmt.Errorf("flitsim: no progress at cycle %d (%d messages unfinished)", n.cycle, n.unfinished())
 		}
 	}
-	return n.cycle
+	return n.cycle, nil
+}
+
+func (n *Network) unfinished() int {
+	k := 0
+	for _, m := range n.msgs {
+		if !m.Done {
+			k++
+		}
+	}
+	return k
+}
+
+// fail destroys a message under fault injection: owned channels release,
+// and the message counts as done but Failed.
+func (n *Network) fail(m *Message) {
+	m.Done = true
+	m.Failed = true
+	n.failed++
+	for i, a := range m.path {
+		if m.owned[i] {
+			m.owned[i] = false
+			n.channel(a).owner = nil
+		}
+	}
 }
 
 func (n *Network) allDone() bool {
@@ -161,11 +231,22 @@ func (n *Network) step() bool {
 		if m.Done || n.cycle < m.start+1 {
 			continue
 		}
+		if n.faults != nil && !m.fated {
+			m.fated = true
+			if n.faults.Drop(m.From, m.To, m.Flits, n.cycle) {
+				n.fail(m)
+				continue
+			}
+		}
 		i := n.headChannel(m)
 		if i < 0 || m.queued[i] {
 			continue
 		}
 		if i == 0 || m.crossed[i-1] > 0 {
+			if n.faults != nil && n.faults.LinkDown(m.path[i], n.cycle) {
+				n.fail(m) // fail-fast: dead channel destroys the worm
+				continue
+			}
 			ch := n.channel(m.path[i])
 			ch.queue = append(ch.queue, m)
 			m.queued[i] = true

@@ -25,11 +25,22 @@ type JitterParams struct {
 	Seed int64
 }
 
-// Validate extends Params.Validate with the jitter range check.
-func (jp JitterParams) Validate() {
-	jp.Params.Validate()
+// Err extends Params.Err with the jitter range check.
+func (jp JitterParams) Err() error {
+	if err := jp.Params.Err(); err != nil {
+		return err
+	}
 	if jp.Amount < 0 || jp.Amount >= 1 {
-		panic("ncube: jitter amount must be in [0, 1)")
+		return fmt.Errorf("ncube: jitter amount %v outside [0, 1)", jp.Amount)
+	}
+	return nil
+}
+
+// Validate panics on a malformed configuration (internal call sites; the
+// public API boundary returns Err instead).
+func (jp JitterParams) Validate() {
+	if err := jp.Err(); err != nil {
+		panic(err)
 	}
 }
 
@@ -96,7 +107,7 @@ func RunDistributed(jp JitterParams, cube topology.Cube, a core.Algorithm, src t
 	}
 
 	launch(src, core.StartPayload(cube, a, src, dests))
-	q.Run()
+	q.MustRun(0, 0)
 	res.TotalBlocked = net.TotalBlocked()
 	return res
 }

@@ -41,7 +41,7 @@ func RunMany(p Params, trees []*core.Tree, bytes int) []Result {
 		}
 		launchTree(q, net, p, tr, bytes, &results[i])
 	}
-	q.Run()
+	q.MustRun(0, 0)
 	for i := range results {
 		results[i].TotalBlocked = net.TotalBlocked()
 	}

@@ -37,6 +37,28 @@ type Params struct {
 	TByte event.Time
 	// Port chooses the node/router interface model.
 	Port core.PortModel
+
+	// Reliability knobs for the fault-tolerant protocol
+	// (RunFaultTolerant). The fault-free entry points ignore them.
+
+	// AckTimeout is the base wait for an end-to-end acknowledgment
+	// before a unicast is retransmitted; 0 selects a default derived
+	// from the worst-case round trip of the configured machine.
+	AckTimeout event.Time
+	// AckBackoff multiplies the timeout on each successive retry
+	// (bounded exponential backoff); 0 selects 2, values below 1 are
+	// invalid.
+	AckBackoff float64
+	// MaxRetries is the per-unicast retransmission budget before the
+	// sender declares the child unreachable and repairs the tree;
+	// 0 selects 3.
+	MaxRetries int
+
+	// Watchdog budgets for the event loop of a fault-tolerant run
+	// (event.Queue.RunBudget): 0 selects event.DefaultMaxSteps and no
+	// time bound respectively.
+	WatchdogSteps int
+	WatchdogTime  event.Time
 }
 
 // NCube2 returns parameters calibrated to published nCUBE-2 figures:
@@ -67,13 +89,35 @@ func NCube3(port core.PortModel) Params {
 	}
 }
 
-// Validate panics on a malformed configuration.
-func (p Params) Validate() {
+// Err reports a malformed configuration; nil means well-formed.
+func (p Params) Err() error {
 	if p.TStartup < 0 || p.TRecv < 0 || p.THop < 0 || p.TByte < 0 {
-		panic("ncube: negative timing parameter")
+		return fmt.Errorf("ncube: negative timing parameter (TStartup=%v TRecv=%v THop=%v TByte=%v)",
+			p.TStartup, p.TRecv, p.THop, p.TByte)
 	}
 	if p.Port != core.OnePort && p.Port != core.AllPort {
-		panic("ncube: invalid port model")
+		return fmt.Errorf("ncube: invalid port model %d", int(p.Port))
+	}
+	if p.AckTimeout < 0 {
+		return fmt.Errorf("ncube: negative ack timeout %v", p.AckTimeout)
+	}
+	if p.AckBackoff != 0 && p.AckBackoff < 1 {
+		return fmt.Errorf("ncube: ack backoff %v below 1", p.AckBackoff)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("ncube: negative retry budget %d", p.MaxRetries)
+	}
+	if p.WatchdogSteps < 0 || p.WatchdogTime < 0 {
+		return fmt.Errorf("ncube: negative watchdog budget")
+	}
+	return nil
+}
+
+// Validate panics on a malformed configuration (internal call sites; the
+// public API boundary returns Err instead).
+func (p Params) Validate() {
+	if err := p.Err(); err != nil {
+		panic(err)
 	}
 }
 
@@ -89,6 +133,58 @@ type Result struct {
 	// TotalBlocked is cumulative header blocking across all unicasts;
 	// zero if and only if the execution was physically contention-free.
 	TotalBlocked event.Time
+
+	// Status, set by the fault-tolerant protocol (RunFaultTolerant),
+	// maps every requested destination to its delivery outcome. Nil for
+	// the fault-free entry points.
+	Status map[topology.NodeID]DeliveryStatus
+	// Retries counts retransmitted unicasts; Repairs counts multicast-
+	// tree repairs (relay detours plus subtree recomputations). Zero for
+	// the fault-free entry points.
+	Retries int
+	Repairs int
+}
+
+// DeliveryStatus is the per-destination outcome of a fault-tolerant
+// multicast.
+type DeliveryStatus int
+
+const (
+	// StatusDelivered: received on the original tree path, first try.
+	StatusDelivered DeliveryStatus = iota
+	// StatusRetried: received on the original path after at least one
+	// retransmission.
+	StatusRetried
+	// StatusRerouted: received through tree repair — a relay detour or a
+	// recomputed subtree — after the original path was given up.
+	StatusRerouted
+	// StatusDeadNode: not received because the destination itself
+	// fail-stopped.
+	StatusDeadNode
+	// StatusUnreachable: alive but not received within the retry and
+	// repair budgets (e.g. partitioned by stalled channels).
+	StatusUnreachable
+)
+
+func (s DeliveryStatus) String() string {
+	switch s {
+	case StatusDelivered:
+		return "delivered"
+	case StatusRetried:
+		return "retried"
+	case StatusRerouted:
+		return "rerouted"
+	case StatusDeadNode:
+		return "dead-node"
+	case StatusUnreachable:
+		return "unreachable"
+	}
+	return fmt.Sprintf("DeliveryStatus(%d)", int(s))
+}
+
+// Reached reports whether the destination got the message.
+func (s DeliveryStatus) Reached() bool {
+	return s == StatusDelivered || s == StatusRetried || s == StatusRerouted
 }
 
 // DelayOf returns the receipt delay of node v (time from multicast
@@ -195,7 +291,7 @@ func RunWithTracer(p Params, tr *core.Tree, bytes int, tracer wormhole.Tracer) R
 	}
 
 	launch(tr.Source)
-	q.Run()
+	q.MustRun(0, 0)
 	res.TotalBlocked = net.TotalBlocked()
 
 	return res

@@ -162,7 +162,7 @@ func TestChannelMutualExclusionUnderStress(t *testing.T) {
 		at := event.Time(rng.Intn(2000)) * event.Microsecond
 		q.At(at, func() { net.Send(from, to, 1+rng.Intn(4096), nil) })
 	}
-	q.Run()
+	q.MustRun(0, 0)
 	rec.Close(q.Now())
 	byArc := map[topology.Arc][]Interval{}
 	for _, iv := range rec.Intervals {

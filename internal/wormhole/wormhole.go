@@ -13,6 +13,7 @@ package wormhole
 
 import (
 	"fmt"
+	"sort"
 
 	"hypercube/internal/event"
 	"hypercube/internal/topology"
@@ -29,11 +30,43 @@ type Config struct {
 	TByte event.Time
 }
 
-// Validate panics on a nonsensical configuration.
-func (c Config) Validate() {
+// Err reports a nonsensical configuration; nil means well-formed.
+func (c Config) Err() error {
 	if c.THop < 0 || c.TByte < 0 {
-		panic("wormhole: negative timing parameter")
+		return fmt.Errorf("wormhole: negative timing parameter (THop=%v TByte=%v)", c.THop, c.TByte)
 	}
+	return nil
+}
+
+// Validate panics on a nonsensical configuration (internal call sites; the
+// public API boundary returns Err instead).
+func (c Config) Validate() {
+	if err := c.Err(); err != nil {
+		panic(err)
+	}
+}
+
+// FaultModel injects failures into the interconnect. faults.Injector
+// implements it; nil means a fault-free network. All queries are made at
+// the current simulated time in a deterministic order, so a seeded model
+// replays exactly.
+type FaultModel interface {
+	// LinkDown reports whether the directed channel a is failed at time
+	// at. A failed channel affects a message at header-acquisition time.
+	LinkDown(a topology.Arc, at event.Time) bool
+	// StallOnLink selects what a failed channel does to the arriving
+	// header: false drops the message (releasing its held channels),
+	// true wedges it in place holding everything it has acquired.
+	StallOnLink() bool
+	// NodeDown reports whether node v has fail-stopped by time at. A
+	// dead node neither injects nor consumes messages; its router keeps
+	// forwarding traffic.
+	NodeDown(v topology.NodeID, at event.Time) bool
+	// MessageFate decides per-message in-transit corruption: drop loses
+	// the message silently; truncateTo in [0, bytes) delivers only a
+	// prefix, which the receiver detects (Delivery.Truncated) and
+	// discards. truncateTo < 0 means the full payload arrives.
+	MessageFate(from, to topology.NodeID, bytes int, at event.Time) (drop bool, truncateTo int)
 }
 
 // Delivery reports a completed unicast to the sender's callback.
@@ -49,6 +82,9 @@ type Delivery struct {
 	Blocked event.Time
 	// Hops is the E-cube path length.
 	Hops int
+	// Truncated marks a corrupt arrival: only a prefix of the payload
+	// made it (fault injection). The receiver should discard the copy.
+	Truncated bool
 }
 
 // Latency is the in-network time of the unicast.
@@ -63,10 +99,13 @@ type message struct {
 	blocked  event.Time
 	waitFrom event.Time // when the current wait began
 	done     func(Delivery)
+	drop     bool // fault injection: lost in transit
+	truncate int  // fault injection: deliver only this prefix (< 0: full)
 }
 
 type channel struct {
 	busy    bool
+	owner   *message   // holder while busy (diagnostics)
 	waiters []*message // FIFO
 }
 
@@ -89,15 +128,22 @@ type Network struct {
 	cfg      Config
 	channels map[topology.Arc]*channel
 	tracer   Tracer
+	faults   FaultModel
 
 	// Aggregate statistics.
 	delivered    int
 	totalBlocked event.Time
 	maxQueueLen  int
+	lost         int
+	inflight     int
+	wedged       []*message
 }
 
 // SetTracer installs a channel-event observer (nil disables tracing).
 func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// SetFaults installs a fault model (nil restores the fault-free network).
+func (n *Network) SetFaults(f FaultModel) { n.faults = f }
 
 // New creates a network for cube attached to queue q.
 func New(q *event.Queue, cube topology.Cube, cfg Config) *Network {
@@ -128,6 +174,71 @@ func (n *Network) TotalBlocked() event.Time { return n.totalBlocked }
 // many headers were ever simultaneously parked on one channel.
 func (n *Network) MaxQueueLen() int { return n.maxQueueLen }
 
+// Lost returns the number of messages the fault model destroyed (dead
+// links, dead endpoints, in-transit drops). Truncated deliveries are not
+// counted: they reach the receiver, which discards them.
+func (n *Network) Lost() int { return n.lost }
+
+// InFlight returns the number of injected messages that have neither
+// completed nor been lost. Nonzero after the event queue drains means the
+// network is wedged (stalled faults or headers queued behind them).
+func (n *Network) InFlight() int { return n.inflight }
+
+// HeldChannel describes one busy channel for diagnostics: the arc, the
+// unicast holding it, and how many headers are queued behind it.
+type HeldChannel struct {
+	Arc      topology.Arc
+	From, To topology.NodeID
+	Waiters  int
+	// Wedged marks channels held by a message stalled on a failed link.
+	Wedged bool
+}
+
+// Held snapshots every busy channel, in deterministic arc order.
+func (n *Network) Held() []HeldChannel {
+	wedgedSet := make(map[*message]bool, len(n.wedged))
+	for _, m := range n.wedged {
+		wedgedSet[m] = true
+	}
+	var out []HeldChannel
+	for a, ch := range n.channels {
+		if !ch.busy || ch.owner == nil {
+			continue
+		}
+		out = append(out, HeldChannel{
+			Arc:     a,
+			From:    ch.owner.from,
+			To:      ch.owner.to,
+			Waiters: len(ch.waiters),
+			Wedged:  wedgedSet[ch.owner],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arc.From != out[j].Arc.From {
+			return out[i].Arc.From < out[j].Arc.From
+		}
+		return out[i].Arc.Dim < out[j].Arc.Dim
+	})
+	return out
+}
+
+// Diagnose renders the network's stall state for watchdog diagnostics:
+// in-flight count and every held channel with its owner and queue depth.
+// Register it on the event queue (q.SetDiagnoser) so budget trips explain
+// what is wedged.
+func (n *Network) Diagnose() string {
+	held := n.Held()
+	s := fmt.Sprintf("wormhole: %d in flight, %d lost, %d channels held", n.inflight, n.lost, len(held))
+	for _, h := range held {
+		state := ""
+		if h.Wedged {
+			state = " [wedged on failed link]"
+		}
+		s += fmt.Sprintf("\n  %v held by %v->%v, %d queued%s", h.Arc, h.From, h.To, h.Waiters, state)
+	}
+	return s
+}
+
 // Send injects a unicast of the given size at the current simulated time;
 // done (optional) is invoked when the tail flit arrives at the destination.
 // Sending to oneself delivers after the pipeline drain time without
@@ -145,7 +256,16 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 		path:     n.cube.PathArcs(from, to),
 		injected: n.q.Now(),
 		done:     done,
+		truncate: -1,
 	}
+	if n.faults != nil {
+		if n.faults.NodeDown(from, n.q.Now()) {
+			n.lost++ // a dead node injects nothing
+			return
+		}
+		m.drop, m.truncate = n.faults.MessageFate(from, to, bytes, n.q.Now())
+	}
+	n.inflight++
 	if len(m.path) == 0 {
 		n.q.After(n.drain(bytes), func() { n.complete(m) })
 		return
@@ -170,6 +290,20 @@ func (n *Network) channel(a topology.Arc) *channel {
 // simulated time.
 func (n *Network) tryAcquire(m *message) {
 	arc := m.path[m.idx]
+	if n.faults != nil && n.faults.LinkDown(arc, n.q.Now()) {
+		if n.faults.StallOnLink() {
+			// The header wedges in place: every channel in
+			// m.path[:m.idx] stays held forever, backpressuring the
+			// network — the deadlock the watchdog exists to report.
+			n.wedged = append(n.wedged, m)
+			return
+		}
+		// Fail-fast router: the message vanishes and frees its tail.
+		n.releasePrefix(m, m.idx)
+		n.lost++
+		n.inflight--
+		return
+	}
 	ch := n.channel(arc)
 	if ch.busy {
 		m.waitFrom = n.q.Now()
@@ -188,6 +322,7 @@ func (n *Network) tryAcquire(m *message) {
 // claim marks the channel owned by m and advances the header one hop.
 func (n *Network) claim(m *message, ch *channel) {
 	ch.busy = true
+	ch.owner = m
 	if n.tracer != nil {
 		n.tracer.ChannelAcquired(m.path[m.idx], m.from, m.to, n.q.Now())
 	}
@@ -211,20 +346,27 @@ func (n *Network) advance(m *message) {
 	})
 }
 
-func (n *Network) releaseAll(m *message) {
-	for _, a := range m.path {
+func (n *Network) releaseAll(m *message) { n.releasePrefix(m, len(m.path)) }
+
+// releasePrefix frees the first upto channels of m's path — all of them
+// when the tail drains, or just the acquired prefix when the fault model
+// destroys the message mid-path.
+func (n *Network) releasePrefix(m *message, upto int) {
+	for _, a := range m.path[:upto] {
 		ch := n.channel(a)
 		if n.tracer != nil {
 			n.tracer.ChannelReleased(a, n.q.Now())
 		}
 		if len(ch.waiters) == 0 {
 			ch.busy = false
+			ch.owner = nil
 			continue
 		}
 		next := ch.waiters[0]
 		ch.waiters = ch.waiters[1:]
 		next.blocked += n.q.Now() - next.waitFrom
 		// Channel stays busy; ownership transfers to the waiter.
+		ch.owner = next
 		if n.tracer != nil {
 			n.tracer.ChannelAcquired(a, next.from, next.to, n.q.Now())
 		}
@@ -233,17 +375,27 @@ func (n *Network) releaseAll(m *message) {
 }
 
 func (n *Network) complete(m *message) {
+	n.inflight--
+	if n.faults != nil && (m.drop || n.faults.NodeDown(m.to, n.q.Now())) {
+		n.lost++ // lost in transit, or nobody alive to consume it
+		return
+	}
 	n.delivered++
 	n.totalBlocked += m.blocked
 	if m.done != nil {
+		bytes, trunc := m.bytes, false
+		if m.truncate >= 0 && m.truncate < m.bytes {
+			bytes, trunc = m.truncate, true
+		}
 		m.done(Delivery{
-			From:     m.from,
-			To:       m.to,
-			Bytes:    m.bytes,
-			Injected: m.injected,
-			Arrived:  n.q.Now(),
-			Blocked:  m.blocked,
-			Hops:     len(m.path),
+			From:      m.from,
+			To:        m.to,
+			Bytes:     bytes,
+			Injected:  m.injected,
+			Arrived:   n.q.Now(),
+			Blocked:   m.blocked,
+			Hops:      len(m.path),
+			Truncated: trunc,
 		})
 	}
 }

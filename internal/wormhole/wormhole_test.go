@@ -25,7 +25,7 @@ func TestUncontendedLatency(t *testing.T) {
 	q, net := newNet(4)
 	var got []Delivery
 	net.Send(0b0000, 0b0001, size, func(d Delivery) { got = append(got, d) })
-	q.Run()
+	q.MustRun(0, 0)
 	if len(got) != 1 {
 		t.Fatalf("deliveries = %d", len(got))
 	}
@@ -40,7 +40,7 @@ func TestUncontendedLatency(t *testing.T) {
 	q2, net2 := newNet(4)
 	var far Delivery
 	net2.Send(0b0000, 0b1111, size, func(d Delivery) { far = d })
-	q2.Run()
+	q2.MustRun(0, 0)
 	wantFar := 4*hop + event.Time(size)*byt
 	if far.Latency() != wantFar {
 		t.Errorf("4-hop latency = %v, want %v", far.Latency(), wantFar)
@@ -53,7 +53,7 @@ func TestParallelDisjoint(t *testing.T) {
 	var a, b Delivery
 	net.Send(0b0000, 0b0001, size, func(d Delivery) { a = d })
 	net.Send(0b0010, 0b0011, size, func(d Delivery) { b = d })
-	end := q.Run()
+	end := q.MustRun(0, 0)
 	want := 1*hop + event.Time(size)*byt
 	if a.Latency() != want || b.Latency() != want {
 		t.Errorf("latencies %v %v, want %v", a.Latency(), b.Latency(), want)
@@ -74,7 +74,7 @@ func TestSerializationOnSharedChannel(t *testing.T) {
 	// Both leave node 0 on channel 3 (HighToLow: highest differing bit).
 	net.Send(0b0000, 0b1000, size, func(d Delivery) { first = d })
 	net.Send(0b0000, 0b1001, size, func(d Delivery) { second = d })
-	q.Run()
+	q.MustRun(0, 0)
 	drain := event.Time(size) * byt
 	if first.Arrived != hop+drain {
 		t.Errorf("first arrived %v", first.Arrived)
@@ -106,7 +106,7 @@ func TestBlockedHeaderHoldsChannels(t *testing.T) {
 	net.Send(0b1100, 0b1000, size, func(d Delivery) { m1 = d })
 	net.Send(0b0100, 0b1000, size, func(d Delivery) { m2 = d })
 	net.Send(0b0100, 0b1100, size, func(d Delivery) { m3 = d })
-	q.Run()
+	q.MustRun(0, 0)
 	drain := event.Time(size) * byt
 	if m1.Blocked != 0 {
 		t.Errorf("m1 blocked %v", m1.Blocked)
@@ -135,7 +135,7 @@ func TestOppositeDirectionsIndependent(t *testing.T) {
 	var a, b Delivery
 	net.Send(0, 1, size, func(d Delivery) { a = d })
 	net.Send(1, 0, size, func(d Delivery) { b = d })
-	q.Run()
+	q.MustRun(0, 0)
 	if a.Blocked != 0 || b.Blocked != 0 {
 		t.Error("opposite directions should not contend")
 	}
@@ -150,7 +150,7 @@ func TestChannelFIFO(t *testing.T) {
 	net.Send(0, 1, size, record)
 	net.Send(0, 1, size, record)
 	net.Send(0, 1, size, record)
-	q.Run()
+	q.MustRun(0, 0)
 	if len(order) != 3 {
 		t.Fatalf("deliveries = %d", len(order))
 	}
@@ -164,7 +164,7 @@ func TestSelfSend(t *testing.T) {
 	q, net := newNet(3)
 	var d Delivery
 	net.Send(5, 5, size, func(x Delivery) { d = x })
-	q.Run()
+	q.MustRun(0, 0)
 	if d.Hops != 0 || d.Latency() != event.Time(size)*byt {
 		t.Errorf("self send: %+v", d)
 	}
@@ -178,7 +178,7 @@ func TestZeroByteMessage(t *testing.T) {
 	q, net := newNet(3)
 	var d Delivery
 	net.Send(0, 7, 0, func(x Delivery) { d = x })
-	q.Run()
+	q.MustRun(0, 0)
 	if d.Latency() != 3*hop {
 		t.Errorf("latency = %v, want %v", d.Latency(), 3*hop)
 	}
@@ -195,7 +195,7 @@ func TestIdleAfterTraffic(t *testing.T) {
 			sent++
 		}
 	}
-	q.Run()
+	q.MustRun(0, 0)
 	if !net.Idle() {
 		t.Error("network left non-idle")
 	}
@@ -214,7 +214,7 @@ func TestDeferredInjection(t *testing.T) {
 		// Channel frees exactly now; the late message should not block.
 		net.Send(0b0000, 0b1000, size, func(d Delivery) { late = d })
 	})
-	q.Run()
+	q.MustRun(0, 0)
 	if late.Blocked != 0 {
 		t.Errorf("late send blocked %v", late.Blocked)
 	}
@@ -256,7 +256,7 @@ func TestMaxQueueLen(t *testing.T) {
 	net.Send(0, 8, size, nil)
 	net.Send(0, 9, size, nil)
 	net.Send(0, 10, size, nil)
-	q.Run()
+	q.MustRun(0, 0)
 	// Two headers were parked behind the first on channel (0, d3).
 	if got := net.MaxQueueLen(); got != 2 {
 		t.Errorf("MaxQueueLen = %d, want 2", got)

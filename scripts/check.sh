@@ -1,6 +1,6 @@
 #!/bin/sh
-# Full verification pass: format, vet, tests (including soak), race
-# detector on the concurrent packages, fuzz seed corpora, benchmarks
+# Full verification pass: format, build, vet, tests (including soak),
+# race detector across every package, fuzz seed corpora, benchmarks
 # (one iteration), and the randomized end-to-end verifier.
 set -eu
 
@@ -13,14 +13,17 @@ if [ -n "$fmt" ]; then
 	exit 1
 fi
 
+echo '== go build'
+go build ./...
+
 echo '== go vet'
 go vet ./...
 
 echo '== go test'
 go test ./...
 
-echo '== go test -race (concurrent packages)'
-go test -race ./internal/emulator/ ./internal/workload/ .
+echo '== go test -race'
+go test -race ./...
 
 echo '== fuzz seed corpora'
 go test -run Fuzz ./internal/chain/ ./internal/core/
@@ -40,6 +43,8 @@ go run ./cmd/mcast -n 4 -alg w-sort -src 0 -dests 1,3,5,7,11,12,14,15 -trace > /
 go run ./cmd/mcast -n 4 -alg u-cube -dests 1,2,3 -dot > /dev/null
 go run ./cmd/compare -n 5 -m 8 -trials 5 > /dev/null
 go run ./cmd/compare -n 5 -m 8 -trials 3 -machine ncube3 > /dev/null
+go run ./cmd/faultsweep -n 4 -trials 3 -points 4 > /dev/null
+go run ./cmd/faultsweep -n 4 -trials 3 -points 4 -mode drop -csv > /dev/null
 go run ./cmd/figures -quick -dir "$(mktemp -d)" > /dev/null
 
 echo '== examples (smoke)'

@@ -6,6 +6,7 @@ import (
 	"hypercube"
 	"hypercube/internal/core"
 	"hypercube/internal/emulator"
+	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
 )
 
@@ -91,6 +92,52 @@ func TestSoakEmulator9Cube(t *testing.T) {
 			if len(rec.Payload) != len(payload) {
 				t.Fatal("payload truncated")
 			}
+		}
+	}
+}
+
+// The fault-tolerant protocol soaked with everything at once: a 7-cube,
+// random destination sets, software jitter, random link failures, node
+// crashes, and message drops — every run must terminate with a coherent
+// per-destination account, and live reachable destinations must dominate.
+func TestSoakFaultTolerant7Cube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cube := hypercube.New(7, hypercube.HighToLow)
+	p := hypercube.NCube2Params(hypercube.AllPort)
+	for trial := 0; trial < 8; trial++ {
+		seed := int64(4000 + trial)
+		src := hypercube.NodeID(trial * 31 % cube.Nodes())
+		dests := hypercube.RandomDests(cube, seed, src, 40)
+		plan := hypercube.FaultPlan{
+			Seed:     seed,
+			Links:    hypercube.RandomLinkFaults(cube, seed, trial),
+			DropRate: 0.02 * float64(trial%4),
+		}
+		if trial%2 == 1 {
+			plan.Nodes = []hypercube.NodeFault{{Node: dests[trial%len(dests)], At: 0}}
+		}
+		jp := ncube.JitterParams{Params: p, Amount: 0.15, Seed: seed}
+		res, err := ncube.RunFaultTolerant(jp, cube, core.WSort, src, dests, 512, plan)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		reached := 0
+		for _, d := range dests {
+			st, ok := res.Status[d]
+			if !ok {
+				t.Fatalf("trial %d: destination %v unaccounted", trial, d)
+			}
+			if st.Reached() {
+				reached++
+				if _, got := res.Recv[d]; !got {
+					t.Fatalf("trial %d: %v reached without a receipt time", trial, d)
+				}
+			}
+		}
+		if reached < len(dests)*3/4 {
+			t.Fatalf("trial %d: only %d/%d destinations reached", trial, reached, len(dests))
 		}
 	}
 }
