@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 
+	"hypercube/internal/cliutil"
 	"hypercube/internal/core"
 	"hypercube/internal/event"
 	"hypercube/internal/ncube"
@@ -34,6 +35,7 @@ func main() {
 		bytes   = flag.Int("bytes", 4096, "message length")
 		machine = flag.String("machine", "ncube2", "machine model: ncube2 or ncube3")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	cube := topology.New(*dim, topology.HighToLow)
@@ -59,6 +61,9 @@ func main() {
 		aggs[a] = &agg{}
 	}
 
+	if err := obs.Start("compare"); err != nil {
+		log.Fatal(err)
+	}
 	gen := workload.NewGenerator(cube, *seed)
 	for trial := 0; trial < *trials; trial++ {
 		src := gen.Source()
@@ -73,7 +78,7 @@ func main() {
 			g.steps1 = append(g.steps1, float64(core.NewSchedule(tr, core.OnePort).Steps()))
 			g.stepsN = append(g.stepsN, float64(core.NewSchedule(tr, core.AllPort).Steps()))
 			var rec trace.Recorder
-			r := ncube.RunWithTracer(params, tr, *bytes, &rec)
+			r := ncube.RunInstrumented(params, tr, *bytes, ncube.Instrumentation{Tracer: &rec, Metrics: obs.Registry})
 			avg, _ := r.Stats(dests)
 			g.delay = append(g.delay, float64(avg)/float64(event.Microsecond))
 			g.blocked = append(g.blocked, float64(r.TotalBlocked)/float64(event.Microsecond))
@@ -109,4 +114,7 @@ func main() {
 	fmt.Println("reuses: sender-side port collisions; blocked: header wait time in the")
 	fmt.Println("network; channels: distinct channels used; imbal: busiest channel's")
 	fmt.Println("occupancy over the mean (1.0 = perfectly even load).")
+	if err := obs.Finish(map[string]any{"dim": *dim, "m": *m, "trials": *trials, "machine": *machine}); err != nil {
+		log.Fatal(err)
+	}
 }

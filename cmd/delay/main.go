@@ -36,6 +36,7 @@ func main() {
 		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
 		sweep  = flag.Int("sweep", 0, "sweep message sizes at this fixed destination count instead of sweeping destinations")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	st, err := cliutil.ParseDelayStat(*stat)
@@ -51,6 +52,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if err := obs.Start("delay"); err != nil {
+		log.Fatal(err)
+	}
 	var tb *stats.Table
 	if *sweep > 0 {
 		tb = workload.SizeSweep(workload.SizeSweepConfig{
@@ -61,6 +65,7 @@ func main() {
 			Params:     ncube.NCube2(pm),
 			Stat:       st,
 			Algorithms: as,
+			Metrics:    obs.Registry,
 		})
 	} else {
 		tb = workload.Delay(workload.DelayConfig{
@@ -71,7 +76,11 @@ func main() {
 			Params:     ncube.NCube2(pm),
 			Stat:       st,
 			Algorithms: as,
+			Metrics:    obs.Registry,
 		})
 	}
 	fmt.Print(cliutil.RenderTable(tb, *csv, *plotIt))
+	if err := obs.Finish(map[string]any{"dim": *dim, "trials": *trials, "seed": *seed, "bytes": *bytes}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -44,6 +44,7 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	pm, err := cliutil.ParsePort(*port)
@@ -66,6 +67,10 @@ func main() {
 	if *m > cube.Nodes()-1 {
 		log.Fatalf("-m %d exceeds the %d addressable destinations", *m, cube.Nodes()-1)
 	}
+	if err := obs.Start("faultsweep"); err != nil {
+		log.Fatal(err)
+	}
+	ins := ncube.Instrumentation{Metrics: obs.Registry}
 	jp := ncube.JitterParams{Params: ncube.NCube2(pm)}
 	names := make([]string, len(as))
 	for i, a := range as {
@@ -107,7 +112,7 @@ func main() {
 					}
 					plan.DropRate = x
 				}
-				res, err := ncube.RunFaultTolerant(jp, cube, a, src, dests, *bytes, plan)
+				res, err := ncube.RunFaultTolerantInstrumented(jp, cube, a, src, dests, *bytes, plan, ins)
 				if err != nil {
 					log.Fatalf("%s at %s=%v: %v", a, xlabel, x, err)
 				}
@@ -140,5 +145,8 @@ func main() {
 	}
 	if *stat == "latency" || *stat == "both" {
 		fmt.Print(cliutil.RenderTable(latTb, *csv, *plotIt))
+	}
+	if err := obs.Finish(map[string]any{"dim": *dim, "trials": *trials, "mode": *mode, "seed": *seed}); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"hypercube/internal/cliutil"
 	"hypercube/internal/stats"
 	"hypercube/internal/workload"
 )
@@ -29,11 +30,16 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
 		seed  = flag.Int64("seed", 1993, "workload RNG seed")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
+	if err := obs.Start("figures"); err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.Registry
 	trials := func(full int) int {
 		if *quick {
 			if full >= 100 {
@@ -49,40 +55,43 @@ func main() {
 		run  func() *stats.Table
 	}{
 		{"fig09_stepwise_6cube.txt", func() *stats.Table {
-			return workload.Stepwise(workload.StepwiseConfig{Dim: 6, Trials: trials(100), Seed: *seed})
+			return workload.Stepwise(workload.StepwiseConfig{Dim: 6, Trials: trials(100), Seed: *seed, Metrics: reg})
 		}},
 		{"fig10_stepwise_10cube.txt", func() *stats.Table {
 			return workload.Stepwise(workload.StepwiseConfig{
 				Dim: 10, Trials: trials(100), Seed: *seed,
 				DestCounts: workload.DestCounts(10, 33),
+				Metrics:    reg,
 			})
 		}},
 		{"fig11_avg_delay_5cube.txt", func() *stats.Table {
-			return workload.Delay(workload.DelayConfig{Dim: 5, Trials: trials(20), Seed: *seed, Stat: workload.AvgDelay})
+			return workload.Delay(workload.DelayConfig{Dim: 5, Trials: trials(20), Seed: *seed, Stat: workload.AvgDelay, Metrics: reg})
 		}},
 		{"fig12_max_delay_5cube.txt", func() *stats.Table {
-			return workload.Delay(workload.DelayConfig{Dim: 5, Trials: trials(20), Seed: *seed, Stat: workload.MaxDelay})
+			return workload.Delay(workload.DelayConfig{Dim: 5, Trials: trials(20), Seed: *seed, Stat: workload.MaxDelay, Metrics: reg})
 		}},
 		{"fig13_avg_delay_10cube.txt", func() *stats.Table {
 			return workload.Delay(workload.DelayConfig{
 				Dim: 10, Trials: trials(100), Seed: *seed, Stat: workload.AvgDelay,
 				DestCounts: workload.DestCounts(10, 17),
+				Metrics:    reg,
 			})
 		}},
 		{"fig14_max_delay_10cube.txt", func() *stats.Table {
 			return workload.Delay(workload.DelayConfig{
 				Dim: 10, Trials: trials(100), Seed: *seed, Stat: workload.MaxDelay,
 				DestCounts: workload.DestCounts(10, 17),
+				Metrics:    reg,
 			})
 		}},
 		{"sweep_msgsize_5cube.txt", func() *stats.Table {
 			return workload.SizeSweep(workload.SizeSweepConfig{
-				Dim: 5, Dests: 12, Trials: trials(20), Seed: *seed,
+				Dim: 5, Dests: 12, Trials: trials(20), Seed: *seed, Metrics: reg,
 			})
 		}},
 		{"ext_concurrent_6cube.txt", func() *stats.Table {
 			return workload.Concurrent(workload.ConcurrentConfig{
-				Dim: 6, Dests: 12, Trials: trials(20), Seed: *seed,
+				Dim: 6, Dests: 12, Trials: trials(20), Seed: *seed, Metrics: reg,
 			})
 		}},
 	}
@@ -95,5 +104,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %-32s (%d rows, %s)\n", path, len(tb.Rows), time.Since(start).Round(time.Millisecond))
+	}
+	if err := obs.Finish(map[string]any{"dir": *dir, "quick": *quick, "seed": *seed}); err != nil {
+		log.Fatal(err)
 	}
 }

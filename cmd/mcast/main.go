@@ -37,6 +37,7 @@ func main() {
 		doTrace = flag.Bool("trace", false, "print a channel-occupancy Gantt chart of the simulated run")
 		doDOT   = flag.Bool("dot", false, "print the tree as a Graphviz digraph and exit")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	r, err := cliutil.ParseResolution(*res)
@@ -79,8 +80,11 @@ func main() {
 	fmt.Printf("tree metrics: %v\n", tree.ComputeMetrics(ds))
 
 	machine := ncube.NCube2(pm)
+	if err := obs.Start("mcast"); err != nil {
+		log.Fatal(err)
+	}
 	var rec trace.Recorder
-	run := ncube.RunWithTracer(machine, tree, *bytes, &rec)
+	run := ncube.RunInstrumented(machine, tree, *bytes, ncube.Instrumentation{Tracer: &rec, Metrics: obs.Registry})
 	avg, max := run.Stats(tree.Destinations())
 	fmt.Printf("simulated on nCUBE-2 model (%s, %d bytes): avg %.1fus, max %.1fus, blocked %s\n",
 		pm, *bytes,
@@ -89,5 +93,12 @@ func main() {
 		run.TotalBlocked.Micros())
 	if *doTrace {
 		fmt.Print(rec.Gantt(cube, 64))
+	}
+	if err := obs.Finish(map[string]any{
+		"dim": *dim, "alg": *alg, "bytes": *bytes,
+		"avg_us": float64(avg) / float64(event.Microsecond),
+		"max_us": float64(max) / float64(event.Microsecond),
+	}); err != nil {
+		log.Fatal(err)
 	}
 }

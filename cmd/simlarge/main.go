@@ -34,6 +34,7 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	st, err := cliutil.ParseDelayStat(*stat)
@@ -42,6 +43,9 @@ func main() {
 	}
 	as, err := cliutil.ParseAlgorithms(*algos)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.Start("simlarge"); err != nil {
 		log.Fatal(err)
 	}
 	tb := workload.Delay(workload.DelayConfig{
@@ -53,6 +57,10 @@ func main() {
 		Stat:       st,
 		Algorithms: as,
 		DestCounts: workload.DestCounts(*dim, *points),
+		Metrics:    obs.Registry,
 	})
 	fmt.Print(cliutil.RenderTable(tb, *csv, *plotIt))
+	if err := obs.Finish(map[string]any{"dim": *dim, "trials": *trials, "seed": *seed, "bytes": *bytes}); err != nil {
+		log.Fatal(err)
+	}
 }

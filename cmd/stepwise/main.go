@@ -34,6 +34,7 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
 	pm, err := cliutil.ParsePort(*port)
@@ -48,6 +49,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := obs.Start("stepwise"); err != nil {
+		log.Fatal(err)
+	}
 	tb := workload.Stepwise(workload.StepwiseConfig{
 		Dim:        *dim,
 		Trials:     *trials,
@@ -56,6 +60,10 @@ func main() {
 		DestCounts: workload.DestCounts(*dim, *points),
 		Port:       pm,
 		Stat:       st,
+		Metrics:    obs.Registry,
 	})
 	fmt.Print(cliutil.RenderTable(tb, *csv, *plotIt))
+	if err := obs.Finish(map[string]any{"dim": *dim, "trials": *trials, "seed": *seed}); err != nil {
+		log.Fatal(err)
+	}
 }

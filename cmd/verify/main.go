@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"os"
 
+	"hypercube/internal/cliutil"
 	"hypercube/internal/core"
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
@@ -30,8 +31,13 @@ func main() {
 		seed   = flag.Int64("seed", 1, "RNG seed")
 		sim    = flag.Bool("sim", true, "also run the physical simulator checks")
 	)
+	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
 
+	if err := obs.Start("verify"); err != nil {
+		log.Fatal(err)
+	}
+	ins := ncube.Instrumentation{Metrics: obs.Registry}
 	rng := rand.New(rand.NewSource(*seed))
 	failures := 0
 	for _, res := range []topology.Resolution{topology.HighToLow, topology.LowToHigh} {
@@ -41,16 +47,19 @@ func main() {
 			src := gen.Source()
 			m := 1 + rng.Intn(cube.Nodes()-1)
 			dests := gen.Dests(src, m)
-			failures += checkInstance(cube, src, dests, *sim)
+			failures += checkInstance(cube, src, dests, *sim, ins)
 			if failures > 0 {
 				os.Exit(1)
 			}
 		}
 	}
 	fmt.Printf("ok: %d instances per resolution on the %d-cube, all checks passed\n", *trials, *dim)
+	if err := obs.Finish(map[string]any{"dim": *dim, "trials": *trials, "seed": *seed}); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func checkInstance(cube topology.Cube, src topology.NodeID, dests []topology.NodeID, sim bool) int {
+func checkInstance(cube topology.Cube, src topology.NodeID, dests []topology.NodeID, sim bool, ins ncube.Instrumentation) int {
 	fail := func(format string, args ...interface{}) int {
 		log.Printf(format, args...)
 		log.Printf("reproducer: -n %d src=%d dests=%v", cube.Dim(), src, dests)
@@ -96,7 +105,7 @@ func checkInstance(cube topology.Cube, src topology.NodeID, dests []topology.Nod
 	}
 	if sim {
 		for _, a := range []core.Algorithm{core.Maxport, core.WSort} {
-			r := ncube.Run(ncube.NCube2(core.AllPort), core.Build(cube, a, src, dests), 1024)
+			r := ncube.RunInstrumented(ncube.NCube2(core.AllPort), core.Build(cube, a, src, dests), 1024, ins)
 			if r.TotalBlocked != 0 {
 				return fail("%v: physical blocking %v on the simulator", a, r.TotalBlocked)
 			}

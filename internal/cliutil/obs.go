@@ -1,0 +1,135 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"hypercube/internal/metrics"
+)
+
+// MetricsSchema identifies the per-run metrics JSON document emitted by
+// -metrics-json. Bump on incompatible layout changes.
+const MetricsSchema = "hypercube-metrics/v1"
+
+// MetricsDoc is the JSON document a driver writes for -metrics-json: one
+// run's metric snapshot plus enough provenance to compare documents across
+// commits.
+type MetricsDoc struct {
+	Schema      string           `json:"schema"`
+	Command     string           `json:"command"`
+	GoVersion   string           `json:"go"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Metrics     metrics.Snapshot `json:"metrics"`
+	Extra       map[string]any   `json:"extra,omitempty"`
+}
+
+// Observability bundles the cross-cutting diagnostics every driver exposes:
+// a metrics registry dumped as JSON, and CPU/heap profiles via runtime/pprof.
+// Register the flags, call Start after flag.Parse, run the experiment, then
+// Finish. All three sinks default to off and cost nothing when unused.
+type Observability struct {
+	MetricsJSON string
+	CPUProfile  string
+	MemProfile  string
+
+	// Registry is non-nil between Start and Finish iff -metrics-json was
+	// given; pass it into workload configs / ncube.Instrumentation.
+	Registry *metrics.Registry
+
+	command string
+	start   time.Time
+	cpuFile *os.File
+}
+
+// ObservabilityFlags registers the shared diagnostic flags on the default
+// flag set (drivers all use the flag package directly).
+func ObservabilityFlags() *Observability {
+	o := &Observability{}
+	flag.StringVar(&o.MetricsJSON, "metrics-json", "", "write a metrics snapshot as JSON to `file` (\"-\" for stdout)")
+	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile to `file`")
+	return o
+}
+
+// Start begins the requested collection: allocates the metrics registry and
+// starts the CPU profile. command names the driver in the JSON document.
+func (o *Observability) Start(command string) error {
+	o.command = command
+	o.start = time.Now()
+	if o.MetricsJSON != "" {
+		o.Registry = metrics.New()
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		o.cpuFile = f
+	}
+	return nil
+}
+
+// Finish flushes every active sink: stops the CPU profile, writes the heap
+// profile, and emits the metrics JSON document. extra lands verbatim in the
+// document's "extra" field (run parameters, headline numbers).
+func (o *Observability) Finish(extra map[string]any) error {
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := o.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %v", err)
+		}
+		o.cpuFile = nil
+	}
+	if o.MemProfile != "" {
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %v", err)
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %v", err)
+		}
+	}
+	if o.Registry != nil {
+		doc := MetricsDoc{
+			Schema:      MetricsSchema,
+			Command:     o.command,
+			GoVersion:   runtime.Version(),
+			WallSeconds: time.Since(o.start).Seconds(),
+			Metrics:     o.Registry.Snapshot(),
+			Extra:       extra,
+		}
+		if err := WriteJSON(o.MetricsJSON, doc); err != nil {
+			return fmt.Errorf("metrics-json: %v", err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON marshals v with indentation and writes it to path, or to stdout
+// when path is "-".
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -7,6 +7,8 @@ package event
 import (
 	"container/heap"
 	"fmt"
+
+	"hypercube/internal/metrics"
 )
 
 // Time is simulated time in nanoseconds from the start of the simulation.
@@ -59,6 +61,23 @@ type Queue struct {
 	now      Time
 	seq      uint64
 	diagnose func() string
+
+	// Observability instruments; nil (the default) keeps the hot loop at
+	// one pointer check per operation.
+	mSteps *metrics.Counter
+	mDepth *metrics.Gauge
+}
+
+// SetMetrics wires the queue into a metrics registry: every executed event
+// increments "event_steps" and the calendar's peak length lands in
+// "event_queue_depth_max". A nil registry disables instrumentation.
+func (q *Queue) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		q.mSteps, q.mDepth = nil, nil
+		return
+	}
+	q.mSteps = reg.Counter("event_steps")
+	q.mDepth = reg.Gauge("event_queue_depth_max")
 }
 
 // Now returns the current simulated time.
@@ -75,6 +94,9 @@ func (q *Queue) At(t Time, fn func()) {
 	}
 	q.seq++
 	heap.Push(&q.h, item{at: t, seq: q.seq, fn: fn})
+	if q.mDepth != nil {
+		q.mDepth.SetMax(int64(len(q.h)))
+	}
 }
 
 // After schedules fn to run d after the current time.
@@ -93,6 +115,9 @@ func (q *Queue) Step() bool {
 	}
 	it := heap.Pop(&q.h).(item)
 	q.now = it.at
+	if q.mSteps != nil {
+		q.mSteps.Inc()
+	}
 	it.fn()
 	return true
 }

@@ -17,6 +17,7 @@ package flitsim
 import (
 	"fmt"
 
+	"hypercube/internal/metrics"
 	"hypercube/internal/topology"
 )
 
@@ -39,18 +40,44 @@ type FaultHook interface {
 	Drop(from, to topology.NodeID, flits int, cycle int64) bool
 }
 
+// Tracer observes channel-level events of the flit-level model — the
+// cycle-granularity counterpart of wormhole.Tracer, carrying the current
+// cycle instead of an event time. trace.CycleRecorder adapts the shared
+// recorder to this interface, so both network models feed the same
+// utilization and Gantt analyses.
+type Tracer interface {
+	// ChannelAcquired fires the cycle a message's header wins arbitration
+	// for arc.
+	ChannelAcquired(arc topology.Arc, from, to topology.NodeID, cycle int64)
+	// ChannelReleased fires the cycle the owner's tail flit frees arc.
+	ChannelReleased(arc topology.Arc, cycle int64)
+	// HeaderBlocked fires once per (message, channel) on the first cycle
+	// the header loses arbitration for a busy arc — matching the
+	// message-level model, which records one incident per wait, not one
+	// per blocked cycle.
+	HeaderBlocked(arc topology.Arc, from, to topology.NodeID, cycle int64)
+}
+
+// finisher is the optional end-of-run hook of a Tracer (implemented by
+// trace.CycleRecorder): Finish flushes intervals still open when the run
+// stops, e.g. on a cycle-budget abort.
+type finisher interface {
+	Finish(cycle int64)
+}
+
 // Message is one unicast worm.
 type Message struct {
 	From, To topology.NodeID
 	Flits    int
 
-	path    []topology.Arc
-	start   int64 // injection-eligible cycle
-	fated   bool  // in-transit loss already drawn from the fault hook
-	crossed []int // crossed[i]: flits that have traversed channel i
-	owned   []bool
-	queued  []bool // queued[i]: waiting in channel i's arbitration queue
-	ejected int    // flits consumed by the destination
+	path     []topology.Arc
+	start    int64 // injection-eligible cycle
+	fated    bool  // in-transit loss already drawn from the fault hook
+	crossed  []int // crossed[i]: flits that have traversed channel i
+	owned    []bool
+	queued   []bool // queued[i]: waiting in channel i's arbitration queue
+	notified []bool // notified[i]: HeaderBlocked already fired for channel i
+	ejected  int    // flits consumed by the destination
 
 	// Done reports completion; DeliveredAt is the cycle the last flit
 	// was consumed; BlockedCycles counts cycles the header spent queued.
@@ -79,10 +106,35 @@ type Network struct {
 	cycle    int64
 	faults   FaultHook
 	failed   int
+	tracer   Tracer
+
+	// Observability instruments; nil until SetMetrics installs a registry.
+	mMoves   *metrics.Counter
+	mBlocked *metrics.Counter
+	mDeliv   *metrics.Counter
+	mFailed  *metrics.Counter
 }
 
 // SetFaults installs a fault hook (nil restores the fault-free network).
 func (n *Network) SetFaults(h FaultHook) { n.faults = h }
+
+// SetTracer installs a channel-event observer (nil disables tracing).
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// SetMetrics wires the network into a metrics registry: per-cycle flit
+// channel crossings ("flit_moves"), header-blocked cycles
+// ("flit_blocked_cycles"), and message fates ("flit_delivered",
+// "flit_failed"). A nil registry disables instrumentation.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.mMoves, n.mBlocked, n.mDeliv, n.mFailed = nil, nil, nil, nil
+		return
+	}
+	n.mMoves = reg.Counter("flit_moves")
+	n.mBlocked = reg.Counter("flit_blocked_cycles")
+	n.mDeliv = reg.Counter("flit_delivered")
+	n.mFailed = reg.Counter("flit_failed")
+}
 
 // Failed returns the number of messages the fault hook destroyed.
 func (n *Network) Failed() int { return n.failed }
@@ -111,14 +163,15 @@ func (n *Network) Send(from, to topology.NodeID, flits int, start int64) *Messag
 	}
 	path := n.cube.PathArcs(from, to)
 	m := &Message{
-		From:    from,
-		To:      to,
-		Flits:   flits,
-		path:    path,
-		start:   start,
-		crossed: make([]int, len(path)),
-		owned:   make([]bool, len(path)),
-		queued:  make([]bool, len(path)),
+		From:     from,
+		To:       to,
+		Flits:    flits,
+		path:     path,
+		start:    start,
+		crossed:  make([]int, len(path)),
+		owned:    make([]bool, len(path)),
+		queued:   make([]bool, len(path)),
+		notified: make([]bool, len(path)),
 	}
 	n.msgs = append(n.msgs, m)
 	return m
@@ -159,6 +212,7 @@ func (n *Network) RunBudget(maxCycles int64) (int64, error) {
 	idle := 0
 	for !n.allDone() {
 		if n.cycle >= maxCycles {
+			n.finishTrace()
 			return n.cycle, fmt.Errorf("flitsim: cycle budget %d exhausted (%d messages unfinished)", maxCycles, n.unfinished())
 		}
 		progressed := n.step()
@@ -181,9 +235,11 @@ func (n *Network) RunBudget(maxCycles int64) (int64, error) {
 		}
 		idle++
 		if idle > 4 {
+			n.finishTrace()
 			return n.cycle, fmt.Errorf("flitsim: no progress at cycle %d (%d messages unfinished)", n.cycle, n.unfinished())
 		}
 	}
+	n.finishTrace()
 	return n.cycle, nil
 }
 
@@ -203,11 +259,25 @@ func (n *Network) fail(m *Message) {
 	m.Done = true
 	m.Failed = true
 	n.failed++
+	if n.mFailed != nil {
+		n.mFailed.Inc()
+	}
 	for i, a := range m.path {
 		if m.owned[i] {
 			m.owned[i] = false
 			n.channel(a).owner = nil
+			if n.tracer != nil {
+				n.tracer.ChannelReleased(a, n.cycle)
+			}
 		}
+	}
+}
+
+// finishTrace flushes the tracer's open intervals at the current cycle
+// (end of every budgeted run, clean or aborted).
+func (n *Network) finishTrace() {
+	if f, ok := n.tracer.(finisher); ok {
+		f.Finish(n.cycle)
 	}
 }
 
@@ -264,8 +334,18 @@ func (n *Network) step() bool {
 				ch.queue = ch.queue[1:]
 				m.owned[i] = true
 				m.queued[i] = false
+				if n.tracer != nil {
+					n.tracer.ChannelAcquired(m.path[i], m.From, m.To, n.cycle)
+				}
 			} else {
 				m.BlockedCycles++
+				if n.mBlocked != nil {
+					n.mBlocked.Inc()
+				}
+				if n.tracer != nil && !m.notified[i] {
+					m.notified[i] = true
+					n.tracer.HeaderBlocked(m.path[i], m.From, m.To, n.cycle)
+				}
 			}
 		}
 	}
@@ -314,10 +394,16 @@ func (n *Network) step() bool {
 			}
 			m.crossed[i]++
 			progressed = true
+			if n.mMoves != nil {
+				n.mMoves.Inc()
+			}
 			if m.crossed[i] == m.Flits {
 				// Tail passed: release the channel.
 				m.owned[i] = false
 				n.channel(m.path[i]).owner = nil
+				if n.tracer != nil {
+					n.tracer.ChannelReleased(m.path[i], n.cycle)
+				}
 			}
 		}
 		if m.ejected >= m.Flits {
@@ -341,12 +427,18 @@ func (n *Network) headChannel(m *Message) int {
 func (n *Network) finish(m *Message) {
 	m.Done = true
 	m.DeliveredAt = n.cycle
+	if n.mDeliv != nil {
+		n.mDeliv.Inc()
+	}
 	for i, a := range m.path {
 		if m.owned[i] {
 			// Defensive: tails release channels as they pass, so
 			// nothing should remain owned here.
 			m.owned[i] = false
 			n.channel(a).owner = nil
+			if n.tracer != nil {
+				n.tracer.ChannelReleased(a, n.cycle)
+			}
 		}
 	}
 }

@@ -1,0 +1,299 @@
+// Package metrics is the simulator-wide observability registry: named
+// counters, gauges, and histograms that the event kernel, both network
+// models, the machine model, and the workload harness update as they run,
+// and that the drivers serialize as per-run JSON (-metrics-json) or the
+// bench harness folds into BENCH_*.json baselines.
+//
+// The package is built around two requirements of the simulation code:
+//
+//   - Disabled must be (nearly) free. A nil *Registry is a valid,
+//     permanently disabled registry: every instrument it hands out is nil,
+//     and every method of a nil instrument is a no-op guarded by a single
+//     pointer check. Hot loops additionally keep their instrument fields
+//     nil when no registry is installed, so the fast path pays one branch.
+//
+//   - Updates must be safe from concurrent experiment workers. All
+//     instruments use atomics, so the workload harness's point-parallel
+//     goroutines can share one registry under the race detector.
+//
+// Metrics never feed back into simulation state, so enabling them cannot
+// change any simulated result — a property the workload tests assert.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing sum. The nil Counter discards
+// updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum (0 for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-or-extreme value. The nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax stores v if it exceeds the current value — a running maximum
+// safe under concurrent updates.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for the nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket 0 holds
+// values <= 0, bucket i (1..64) holds values with i significant bits,
+// i.e. the power-of-two range [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates a distribution of int64 samples (times in
+// nanoseconds, cycle counts, queue depths) into exponential power-of-two
+// buckets. The nil Histogram discards updates.
+type Histogram struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	counts [histBuckets]atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.counts[b].Add(1)
+}
+
+// Count returns the number of samples (0 for the nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all samples (0 for the nil Histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one non-empty histogram bucket: N samples with value <= Le
+// (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(0)
+		if i > 0 {
+			if i >= 63 {
+				le = int64(^uint64(0) >> 1) // top buckets saturate at MaxInt64
+			} else {
+				le = int64(1)<<uint(i) - 1
+			}
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, N: n})
+	}
+	return s
+}
+
+// Registry is a named collection of instruments. Instruments are created
+// on first use and shared by name thereafter, so independent subsystems
+// naturally aggregate into one view. The nil *Registry is permanently
+// disabled: it hands out nil instruments and snapshots empty.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New creates an enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil when the
+// registry is disabled).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil when the
+// registry is disabled).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed (nil when
+// the registry is disabled).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry.
+// Maps marshal with sorted keys, so two snapshots of equal registries
+// encode identically.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. A nil registry
+// snapshots as the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Names returns the sorted instrument names of every kind, for diagnostics
+// and tests.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

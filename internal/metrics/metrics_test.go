@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("disabled registry handed out live instruments")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(9)
+	g.SetMax(11)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments retained values")
+	}
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("events")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("events") != c {
+		t.Error("counter not shared by name")
+	}
+	g := r.Gauge("depth")
+	g.SetMax(7)
+	g.SetMax(3)
+	if g.Value() != 7 {
+		t.Errorf("gauge max = %d, want 7", g.Value())
+	}
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Errorf("gauge set = %d, want 2", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("delay")
+	for _, v := range []int64{0, -5, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1005 {
+		t.Errorf("sum = %d, want 1005", h.Sum())
+	}
+	s := h.snapshot()
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.N
+	}
+	if n != h.Count() {
+		t.Errorf("buckets hold %d samples, want %d", n, h.Count())
+	}
+	// 0 and -5 land in the <=0 bucket; 1 in le=1; 2,3 in le=3; 4 in le=7;
+	// 1000 in le=1023.
+	want := map[int64]int64{0: 2, 1: 1, 3: 2, 7: 1, 1023: 1}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.N {
+			t.Errorf("bucket le=%d holds %d, want %d", b.Le, b.N, want[b.Le])
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(3)
+	r.Histogram("c").Observe(100)
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 2 || back.Gauges["b"] != 3 || back.Histograms["c"].Count != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+// Concurrent updates from many goroutines must be exact and race-free
+// (this test carries the -race guarantee for the workload harness's
+// shared-registry usage).
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("peak")
+			h := r.Histogram("dist")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("peak").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge max = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := r.Histogram("dist").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

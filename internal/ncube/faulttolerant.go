@@ -59,6 +59,15 @@ const maxBackoffShift = 10
 // event-loop budget trips. The Result is meaningful even when an error is
 // returned: it reports everything delivered up to the abort.
 func RunFaultTolerant(jp JitterParams, cube topology.Cube, a core.Algorithm, src topology.NodeID, dests []topology.NodeID, bytes int, plan faults.Plan) (Result, error) {
+	return RunFaultTolerantInstrumented(jp, cube, a, src, dests, bytes, plan, Instrumentation{})
+}
+
+// RunFaultTolerantInstrumented is RunFaultTolerant with observability
+// attached: tracer callbacks on every channel event (flushed at teardown
+// even when the watchdog aborts the run), and metrics covering the event
+// kernel, the interconnect, and the protocol's recovery work
+// ("mcast_retries", "mcast_repairs").
+func RunFaultTolerantInstrumented(jp JitterParams, cube topology.Cube, a core.Algorithm, src topology.NodeID, dests []topology.NodeID, bytes int, plan faults.Plan, ins Instrumentation) (Result, error) {
 	if err := jp.Err(); err != nil {
 		return Result{}, err
 	}
@@ -100,6 +109,8 @@ func RunFaultTolerant(jp JitterParams, cube topology.Cube, a core.Algorithm, src
 	r.net = wormhole.New(r.q, cube, wormhole.Config{THop: jp.THop, TByte: jp.TByte})
 	r.net.SetFaults(r.inj)
 	r.q.SetDiagnoser(r.net.Diagnose)
+	ins.instrument(r.q, r.net)
+	ins.Metrics.Counter("mcast_runs").Inc()
 	r.timeout = jp.AckTimeout
 	if r.timeout == 0 {
 		// Worst-case uncontended round trip of this machine, with slack
@@ -128,6 +139,12 @@ func RunFaultTolerant(jp JitterParams, cube topology.Cube, a core.Algorithm, src
 	r.forward(src, core.StartPayload(cube, a, src, dests), false)
 	end, werr := r.q.RunBudget(jp.WatchdogSteps, jp.WatchdogTime)
 	r.res.TotalBlocked = r.net.TotalBlocked()
+	// Flush open trace intervals even (especially) on a watchdog abort:
+	// a stall-mode fault run ends with channels still held, and those
+	// spans are exactly the utilization signal of interest.
+	finishTracer(ins.Tracer, end)
+	ins.Metrics.Counter("mcast_retries").Add(int64(r.res.Retries))
+	ins.Metrics.Counter("mcast_repairs").Add(int64(r.res.Repairs))
 	for d := range r.isDest {
 		if r.got[d] {
 			continue // status recorded at first arrival

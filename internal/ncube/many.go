@@ -19,6 +19,12 @@ import (
 // All trees must live on the same cube. The returned slice is indexed like
 // trees; TotalBlocked on each result carries the same network-wide total.
 func RunMany(p Params, trees []*core.Tree, bytes int) []Result {
+	return RunManyInstrumented(p, trees, bytes, Instrumentation{})
+}
+
+// RunManyInstrumented is RunMany with observability attached to the shared
+// interconnect and event queue (see Instrumentation).
+func RunManyInstrumented(p Params, trees []*core.Tree, bytes int, ins Instrumentation) []Result {
 	p.Validate()
 	if len(trees) == 0 {
 		return nil
@@ -31,6 +37,8 @@ func RunMany(p Params, trees []*core.Tree, bytes int) []Result {
 	}
 	q := &event.Queue{}
 	net := wormhole.New(q, cube, wormhole.Config{THop: p.THop, TByte: p.TByte})
+	ins.instrument(q, net)
+	ins.Metrics.Counter("mcast_runs").Add(int64(len(trees)))
 
 	results := make([]Result, len(trees))
 	for i, tr := range trees {
@@ -45,6 +53,7 @@ func RunMany(p Params, trees []*core.Tree, bytes int) []Result {
 	for i := range results {
 		results[i].TotalBlocked = net.TotalBlocked()
 	}
+	finishTracer(ins.Tracer, q.Now())
 	return results
 }
 

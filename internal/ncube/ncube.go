@@ -19,6 +19,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/event"
+	"hypercube/internal/metrics"
 	"hypercube/internal/topology"
 	"hypercube/internal/wormhole"
 )
@@ -220,21 +221,58 @@ type nodeState struct {
 	next  int // next send to set up
 }
 
+// Instrumentation bundles the optional observers of a simulation run: a
+// channel-event tracer (see the trace package) and a metrics registry
+// (event-queue, network, and protocol counters). The zero value runs
+// unobserved at full speed.
+type Instrumentation struct {
+	Tracer  wormhole.Tracer
+	Metrics *metrics.Registry
+}
+
+// finishTracer flushes intervals a tracer still holds open at simulation
+// teardown — without this, runs that end with channels held (stalled
+// faults, watchdog aborts) would undercount channel utilization. Tracers
+// without a Finish hook are left untouched.
+func finishTracer(t wormhole.Tracer, at event.Time) {
+	if f, ok := t.(interface{ Finish(event.Time) }); ok {
+		f.Finish(at)
+	}
+}
+
+// instrument attaches ins to a freshly built queue/network pair.
+func (ins Instrumentation) instrument(q *event.Queue, net *wormhole.Network) {
+	if ins.Tracer != nil {
+		net.SetTracer(ins.Tracer)
+	}
+	if ins.Metrics != nil {
+		q.SetMetrics(ins.Metrics)
+		net.SetMetrics(ins.Metrics)
+	}
+}
+
 // Run executes the multicast tree on the simulated machine and returns the
 // per-node receipt times. The message is bytes long.
 func Run(p Params, tr *core.Tree, bytes int) Result {
-	return RunWithTracer(p, tr, bytes, nil)
+	return RunInstrumented(p, tr, bytes, Instrumentation{})
 }
 
 // RunWithTracer is Run with a channel-event observer attached to the
 // interconnect (see the trace package).
 func RunWithTracer(p Params, tr *core.Tree, bytes int, tracer wormhole.Tracer) Result {
+	return RunInstrumented(p, tr, bytes, Instrumentation{Tracer: tracer})
+}
+
+// RunInstrumented is Run with full observability attached: tracer
+// callbacks on every channel event, and metrics from the event kernel, the
+// interconnect, and the multicast protocol. Instrumentation never alters
+// the simulation — results are bit-identical with and without it.
+func RunInstrumented(p Params, tr *core.Tree, bytes int, ins Instrumentation) Result {
 	p.Validate()
 	q := &event.Queue{}
 	net := wormhole.New(q, tr.Cube, wormhole.Config{THop: p.THop, TByte: p.TByte})
-	if tracer != nil {
-		net.SetTracer(tracer)
-	}
+	ins.instrument(q, net)
+	ins.Metrics.Counter("mcast_runs").Inc()
 	res := Result{
 		Algorithm: tr.Algorithm,
 		Bytes:     bytes,
@@ -293,6 +331,7 @@ func RunWithTracer(p Params, tr *core.Tree, bytes int, tracer wormhole.Tracer) R
 	launch(tr.Source)
 	q.MustRun(0, 0)
 	res.TotalBlocked = net.TotalBlocked()
+	finishTracer(ins.Tracer, q.Now())
 
 	return res
 }

@@ -6,16 +6,59 @@ import (
 	"sort"
 )
 
-// CI95 returns the half-width of the 95% confidence interval of the mean
-// using the normal approximation (1.96 · s/√n). The paper averages 20–100
-// random destination sets per point; the interval quantifies that
-// sampling noise. Samples of size < 2 return 0.
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// t(n-1) · s/√n with the Student-t critical value for the sample's actual
+// degrees of freedom. The paper averages 20–100 random destination sets
+// per point, but drivers also report tiny samples, where the old normal
+// approximation (a flat 1.96) understated the interval by up to 6.5×
+// (n=2). The critical value converges to 1.96 for large n. Samples of
+// size < 2 return 0.
 func CI95(xs []float64) float64 {
 	s := Summarize(xs)
 	if s.N < 2 {
 		return 0
 	}
-	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return tCrit95(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+}
+
+// tCrit95Table holds two-sided 95% Student-t critical values for degrees
+// of freedom 1..30 (index df-1).
+var tCrit95Table = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95Anchors extends the table past df=30 at the standard printed
+// anchor points; between anchors the critical value is interpolated
+// linearly in 1/df (the shape in which t-quantiles are nearly affine).
+var tCrit95Anchors = []struct {
+	df   float64
+	crit float64
+}{
+	{30, 2.042}, {40, 2.021}, {60, 2.000}, {120, 1.980},
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom, converging to the 1.96 normal quantile as df grows.
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= 30 {
+		return tCrit95Table[df-1]
+	}
+	x := 1 / float64(df)
+	for i := 1; i < len(tCrit95Anchors); i++ {
+		lo, hi := tCrit95Anchors[i], tCrit95Anchors[i-1]
+		if float64(df) <= lo.df {
+			frac := (x - 1/hi.df) / (1/lo.df - 1/hi.df)
+			return hi.crit + frac*(lo.crit-hi.crit)
+		}
+	}
+	// Past the last anchor, interpolate toward the df→∞ limit 1.96.
+	last := tCrit95Anchors[len(tCrit95Anchors)-1]
+	return 1.96 + x/(1/last.df)*(last.crit-1.96)
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of the sample using
@@ -48,22 +91,35 @@ func Median(xs []float64) float64 { return Percentile(xs, 0.5) }
 
 // Histogram bins the sample into n equal-width buckets spanning
 // [min, max] and returns the counts. Useful for delay distributions.
+// Non-finite samples (NaN, ±Inf) are skipped: they carry no position on
+// the axis, and the previous behavior — int(NaN) truncating to bucket 0 —
+// silently inflated the lowest bin.
 func Histogram(xs []float64, n int) []int {
 	if n < 1 {
 		panic("stats: histogram needs at least one bin")
 	}
 	counts := make([]int, n)
-	if len(xs) == 0 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	if math.IsInf(min, 1) { // no finite samples
 		return counts
 	}
-	s := Summarize(xs)
-	width := (s.Max - s.Min) / float64(n)
+	width := (max - min) / float64(n)
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
 		var b int
 		if width == 0 {
 			b = 0
 		} else {
-			b = int((x - s.Min) / width)
+			b = int((x - min) / width)
 			if b >= n {
 				b = n - 1
 			}

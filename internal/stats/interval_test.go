@@ -10,11 +10,42 @@ func TestCI95(t *testing.T) {
 	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
 		t.Error("degenerate CI should be 0")
 	}
+	// n=4 → 3 degrees of freedom → t-critical 3.182, not the normal 1.96.
 	xs := []float64{1, 2, 3, 4}
 	s := Summarize(xs)
-	want := 1.96 * s.Std / 2
+	want := 3.182 * s.Std / 2
 	if math.Abs(CI95(xs)-want) > 1e-12 {
 		t.Errorf("CI95 = %v, want %v", CI95(xs), want)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {19, 2.093}, {30, 2.042},
+		{40, 2.021}, {60, 2.000}, {120, 1.980},
+	}
+	for _, c := range cases {
+		if got := tCrit95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("tCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Monotone nonincreasing in df, and converging to the normal 1.96.
+	prev := math.Inf(1)
+	for df := 1; df <= 100000; df = df*3/2 + 1 {
+		cur := tCrit95(df)
+		if cur > prev+1e-12 {
+			t.Errorf("tCrit95 not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		if cur < 1.96-1e-9 {
+			t.Errorf("tCrit95(%d) = %v below the normal asymptote", df, cur)
+		}
+		prev = cur
+	}
+	if got := tCrit95(1 << 30); math.Abs(got-1.96) > 1e-4 {
+		t.Errorf("tCrit95 asymptote = %v, want ~1.96", got)
 	}
 }
 
@@ -95,6 +126,22 @@ func TestHistogram(t *testing.T) {
 	}
 	if sum(Histogram(nil, 3)) != 0 {
 		t.Error("empty histogram nonzero")
+	}
+}
+
+func TestHistogramSkipsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	// Non-finite values must not land in bucket 0 (int(NaN) truncates to
+	// 0) nor stretch the [min, max] range.
+	got := Histogram([]float64{nan, 0, 1, 2, 3, inf, -inf}, 4)
+	want := []int{1, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Histogram with non-finite samples = %v, want %v", got, want)
+		}
+	}
+	if sum(Histogram([]float64{nan, inf, -inf}, 3)) != 0 {
+		t.Error("all-non-finite sample should produce empty histogram")
 	}
 }
 

@@ -66,15 +66,56 @@ func (r *Recorder) HeaderBlocked(arc topology.Arc, from, to topology.NodeID, at 
 	r.Blocks = append(r.Blocks, Block{Arc: arc, From: from, To: to, At: at})
 }
 
-// Close finalizes any still-open intervals at the given end time (useful
-// when rendering before the simulation drains, normally a no-op).
-func (r *Recorder) Close(at event.Time) {
+// Finish flushes every interval still open at the given end time into
+// Intervals. Channels released normally close their own intervals, so on a
+// clean run this is a no-op — but a run that ends with channels still held
+// (a stall-mode fault wedging headers, a watchdog abort, rendering before
+// the queue drains) would otherwise silently lose those spans and
+// undercount utilization. Simulation teardown (ncube's run entry points)
+// calls it automatically; Finish is idempotent and safe on a fresh
+// Recorder.
+func (r *Recorder) Finish(at event.Time) {
 	for arc, iv := range r.open {
 		iv.End = at
 		r.Intervals = append(r.Intervals, *iv)
 		delete(r.open, arc)
 	}
 }
+
+// Close is Finish under its historical name.
+func (r *Recorder) Close(at event.Time) { r.Finish(at) }
+
+// OpenIntervals reports how many channels are recorded as still held —
+// nonzero between Finish calls only while traffic is in flight.
+func (r *Recorder) OpenIntervals() int { return len(r.open) }
+
+// CycleRecorder adapts a Recorder to cycle-granularity simulators: it
+// implements the flit-level model's tracer interface (internal/flitsim)
+// by mapping one cycle to one event.Time unit, so the same utilization,
+// Gantt, and channel-count analyses apply to both network models. The
+// zero value is ready to use.
+type CycleRecorder struct {
+	Rec Recorder
+}
+
+// ChannelAcquired implements flitsim.Tracer.
+func (c *CycleRecorder) ChannelAcquired(arc topology.Arc, from, to topology.NodeID, cycle int64) {
+	c.Rec.ChannelAcquired(arc, from, to, event.Time(cycle))
+}
+
+// ChannelReleased implements flitsim.Tracer.
+func (c *CycleRecorder) ChannelReleased(arc topology.Arc, cycle int64) {
+	c.Rec.ChannelReleased(arc, event.Time(cycle))
+}
+
+// HeaderBlocked implements flitsim.Tracer.
+func (c *CycleRecorder) HeaderBlocked(arc topology.Arc, from, to topology.NodeID, cycle int64) {
+	c.Rec.HeaderBlocked(arc, from, to, event.Time(cycle))
+}
+
+// Finish implements the flit-level finisher hook, flushing intervals still
+// open when the run ends.
+func (c *CycleRecorder) Finish(cycle int64) { c.Rec.Finish(event.Time(cycle)) }
 
 // Span returns the time range covered by the recording.
 func (r *Recorder) Span() (start, end event.Time) {

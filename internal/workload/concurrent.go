@@ -5,6 +5,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/event"
+	"hypercube/internal/metrics"
 	"hypercube/internal/ncube"
 	"hypercube/internal/stats"
 	"hypercube/internal/topology"
@@ -25,6 +26,9 @@ type ConcurrentConfig struct {
 	Counts     []int // numbers of concurrent multicasts; default 1,2,4,8,16
 	Algorithms []core.Algorithm
 	Workers    int
+	// Metrics, when non-nil, aggregates sweep-wide observability (see
+	// DelayConfig.Metrics).
+	Metrics *metrics.Registry
 }
 
 func (c *ConcurrentConfig) setDefaults() {
@@ -59,6 +63,9 @@ func Concurrent(cfg ConcurrentConfig) *stats.Table {
 		fmt.Sprintf("concurrent multicast interference (us), %d-cube, m=%d each, %d-byte messages, %d trials",
 			cfg.Dim, cfg.Dests, cfg.Bytes, cfg.Trials),
 		"multicasts", cols...)
+	ins := ncube.Instrumentation{Metrics: cfg.Metrics}
+	mTrials := cfg.Metrics.Counter("workload_trials")
+	mMakespan := cfg.Metrics.Histogram("workload_makespan_us")
 	rows := make([][]float64, len(cfg.Counts))
 	forEachPoint(len(cfg.Counts), cfg.Workers, func(pi int) {
 		k := cfg.Counts[pi]
@@ -71,19 +78,22 @@ func Concurrent(cfg ConcurrentConfig) *stats.Table {
 				srcs[j] = gen.Source()
 				dsts[j] = gen.Dests(srcs[j], cfg.Dests)
 			}
+			mTrials.Inc()
 			for i, a := range cfg.Algorithms {
 				trees := make([]*core.Tree, k)
 				for j := 0; j < k; j++ {
 					trees[j] = core.Build(cube, a, srcs[j], dsts[j])
 				}
-				results := ncube.RunMany(cfg.Params, trees, cfg.Bytes)
+				results := ncube.RunManyInstrumented(cfg.Params, trees, cfg.Bytes, ins)
 				var worst event.Time
 				for _, r := range results {
 					if r.Makespan > worst {
 						worst = r.Makespan
 					}
 				}
-				samples[i] = append(samples[i], float64(worst)/float64(event.Microsecond))
+				us := float64(worst) / float64(event.Microsecond)
+				mMakespan.Observe(int64(us))
+				samples[i] = append(samples[i], us)
 			}
 		}
 		cells := make([]float64, len(samples))

@@ -7,6 +7,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/event"
+	"hypercube/internal/metrics"
 	"hypercube/internal/ncube"
 	"hypercube/internal/stats"
 	"hypercube/internal/topology"
@@ -76,6 +77,10 @@ type StepwiseConfig struct {
 	Port       core.PortModel   // execution port model (paper: all-port)
 	Stat       StepStat         // per-set statistic (paper: MaxSteps)
 	Workers    int              // concurrent points; 0 = GOMAXPROCS, 1 = serial
+	// Metrics, when non-nil, aggregates sweep-wide observability: trial
+	// counts and per-schedule step distributions. Point workers update it
+	// concurrently (all instruments are atomic); it never affects results.
+	Metrics *metrics.Registry
 }
 
 func (c *StepwiseConfig) setDefaults() {
@@ -104,6 +109,9 @@ func Stepwise(cfg StepwiseConfig) *stats.Table {
 		fmt.Sprintf("stepwise comparison, %d-cube, %s, avg of %s steps over %d random sets",
 			cfg.Dim, cfg.Port, cfg.Stat, cfg.Trials),
 		"destinations", cols...)
+	mTrials := cfg.Metrics.Counter("workload_trials")
+	mSchedules := cfg.Metrics.Counter("workload_schedules")
+	mSteps := cfg.Metrics.Histogram("workload_steps")
 	rows := make([][]float64, len(cfg.DestCounts))
 	forEachPoint(len(cfg.DestCounts), cfg.Workers, func(pi int) {
 		m := cfg.DestCounts[pi]
@@ -112,8 +120,11 @@ func Stepwise(cfg StepwiseConfig) *stats.Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			src := gen.Source()
 			dests := gen.Dests(src, m)
+			mTrials.Inc()
 			for i, a := range cfg.Algorithms {
 				s := core.NewSchedule(core.Build(cube, a, src, dests), cfg.Port)
+				mSchedules.Inc()
+				mSteps.Observe(int64(s.Steps()))
 				v := float64(s.Steps())
 				if cfg.Stat == AvgSteps {
 					var sum float64
@@ -172,6 +183,11 @@ type DelayConfig struct {
 	Algorithms []core.Algorithm
 	DestCounts []int
 	Workers    int // concurrent points; 0 = GOMAXPROCS, 1 = serial
+	// Metrics, when non-nil, aggregates sweep-wide observability across
+	// every simulated run (event kernel, interconnect, and per-set delay
+	// distributions). Point workers update it concurrently; it never
+	// affects results.
+	Metrics *metrics.Registry
 }
 
 func (c *DelayConfig) setDefaults() {
@@ -204,6 +220,9 @@ type SizeSweepConfig struct {
 	Stat       DelayStat
 	Algorithms []core.Algorithm
 	Workers    int // concurrent sizes; 0 = GOMAXPROCS, 1 = serial
+	// Metrics, when non-nil, aggregates sweep-wide observability (see
+	// DelayConfig.Metrics).
+	Metrics *metrics.Registry
 }
 
 func (c *SizeSweepConfig) setDefaults() {
@@ -257,6 +276,8 @@ func SizeSweep(cfg SizeSweepConfig) *stats.Table {
 		}
 		trees[a] = ts
 	}
+	ins := ncube.Instrumentation{Metrics: cfg.Metrics}
+	mDelay := cfg.Metrics.Histogram("workload_delay_us")
 	rows := make([][]float64, len(cfg.Sizes))
 	forEachPoint(len(cfg.Sizes), cfg.Workers, func(pi int) {
 		size := cfg.Sizes[pi]
@@ -264,13 +285,15 @@ func SizeSweep(cfg SizeSweepConfig) *stats.Table {
 		for i, a := range cfg.Algorithms {
 			var xs []float64
 			for j, tr := range trees[a] {
-				r := ncube.Run(cfg.Params, tr, size)
+				r := ncube.RunInstrumented(cfg.Params, tr, size, ins)
 				avg, max := r.Stats(insts[j].dests)
 				v := avg
 				if cfg.Stat == MaxDelay {
 					v = max
 				}
-				xs = append(xs, float64(v)/float64(event.Microsecond))
+				us := float64(v) / float64(event.Microsecond)
+				mDelay.Observe(int64(us))
+				xs = append(xs, us)
 			}
 			cells[i] = stats.Mean(xs)
 		}
@@ -296,6 +319,9 @@ func Delay(cfg DelayConfig) *stats.Table {
 		fmt.Sprintf("%s delay (us), %d-cube, %d-byte messages, %s, %d random sets per point",
 			cfg.Stat, cfg.Dim, cfg.Bytes, cfg.Params.Port, cfg.Trials),
 		"destinations", cols...)
+	ins := ncube.Instrumentation{Metrics: cfg.Metrics}
+	mTrials := cfg.Metrics.Counter("workload_trials")
+	mDelay := cfg.Metrics.Histogram("workload_delay_us")
 	rows := make([][]float64, len(cfg.DestCounts))
 	forEachPoint(len(cfg.DestCounts), cfg.Workers, func(pi int) {
 		m := cfg.DestCounts[pi]
@@ -304,14 +330,17 @@ func Delay(cfg DelayConfig) *stats.Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			src := gen.Source()
 			dests := gen.Dests(src, m)
+			mTrials.Inc()
 			for i, a := range cfg.Algorithms {
-				r := ncube.Run(cfg.Params, core.Build(cube, a, src, dests), cfg.Bytes)
+				r := ncube.RunInstrumented(cfg.Params, core.Build(cube, a, src, dests), cfg.Bytes, ins)
 				avg, max := r.Stats(dests)
 				v := avg
 				if cfg.Stat == MaxDelay {
 					v = max
 				}
-				samples[i] = append(samples[i], float64(v)/float64(event.Microsecond))
+				us := float64(v) / float64(event.Microsecond)
+				mDelay.Observe(int64(us))
+				samples[i] = append(samples[i], us)
 			}
 		}
 		cells := make([]float64, len(samples))

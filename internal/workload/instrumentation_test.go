@@ -1,0 +1,90 @@
+package workload
+
+// Observability must be free: attaching a metrics registry to a sweep may
+// never change the results, and the atomic instruments must stay clean
+// when the point workers hammer them concurrently (these tests carry the
+// -race guarantee for the whole metrics path).
+
+import (
+	"testing"
+
+	"hypercube/internal/metrics"
+)
+
+func TestStepwiseDeterministicUnderMetrics(t *testing.T) {
+	run := func(reg *metrics.Registry) string {
+		return Stepwise(StepwiseConfig{
+			Dim: 5, Trials: 8, Seed: 7, Workers: 4,
+			DestCounts: []int{4, 12, 20, 28}, Metrics: reg,
+		}).Render()
+	}
+	reg := metrics.New()
+	if plain, observed := run(nil), run(reg); plain != observed {
+		t.Errorf("metrics changed stepwise results:\n%s\nvs\n%s", plain, observed)
+	}
+	snap := reg.Snapshot()
+	// 4 points × 8 trials; one schedule per algorithm per trial.
+	if got := snap.Counters["workload_trials"]; got != 32 {
+		t.Errorf("workload_trials = %d, want 32", got)
+	}
+	if got := snap.Counters["workload_schedules"]; got != 32*4 {
+		t.Errorf("workload_schedules = %d, want %d", got, 32*4)
+	}
+}
+
+func TestDelayDeterministicUnderMetrics(t *testing.T) {
+	run := func(reg *metrics.Registry) string {
+		return Delay(DelayConfig{
+			Dim: 5, Trials: 4, Seed: 7, Bytes: 1024, Workers: 4,
+			DestCounts: []int{4, 10, 16, 22}, Metrics: reg,
+		}).Render()
+	}
+	reg := metrics.New()
+	if plain, observed := run(nil), run(reg); plain != observed {
+		t.Errorf("metrics changed delay results:\n%s\nvs\n%s", plain, observed)
+	}
+	snap := reg.Snapshot()
+	// 4 points × 4 trials × 4 default algorithms simulated runs.
+	if got := snap.Counters["mcast_runs"]; got != 64 {
+		t.Errorf("mcast_runs = %d, want 64", got)
+	}
+	if got := snap.Counters["net_injected"]; got == 0 || got != snap.Counters["net_delivered"] {
+		t.Errorf("network counters inconsistent: injected %d, delivered %d",
+			got, snap.Counters["net_delivered"])
+	}
+	if h := snap.Histograms["workload_delay_us"]; h.Count != 64 {
+		t.Errorf("workload_delay_us count = %d, want 64", h.Count)
+	}
+	if snap.Counters["event_steps"] == 0 {
+		t.Error("event kernel not instrumented")
+	}
+}
+
+func TestSizeSweepAndConcurrentDeterministicUnderMetrics(t *testing.T) {
+	sweep := func(reg *metrics.Registry) string {
+		return SizeSweep(SizeSweepConfig{
+			Dim: 4, Dests: 6, Trials: 3, Seed: 7, Workers: 3,
+			Sizes: []int{256, 1024, 4096}, Metrics: reg,
+		}).Render()
+	}
+	conc := func(reg *metrics.Registry) string {
+		return Concurrent(ConcurrentConfig{
+			Dim: 5, Dests: 8, Trials: 3, Seed: 7, Workers: 2,
+			Counts: []int{1, 4}, Metrics: reg,
+		}).Render()
+	}
+	reg := metrics.New()
+	if plain, observed := sweep(nil), sweep(reg); plain != observed {
+		t.Error("metrics changed size-sweep results")
+	}
+	if plain, observed := conc(nil), conc(reg); plain != observed {
+		t.Error("metrics changed concurrent results")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["mcast_runs"] == 0 {
+		t.Error("no simulated runs counted")
+	}
+	if h := snap.Histograms["workload_makespan_us"]; h.Count == 0 {
+		t.Error("no makespans observed")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"hypercube/internal/event"
+	"hypercube/internal/metrics"
 	"hypercube/internal/topology"
 )
 
@@ -107,6 +108,7 @@ type channel struct {
 	busy    bool
 	owner   *message   // holder while busy (diagnostics)
 	waiters []*message // FIFO
+	since   event.Time // when the current owner claimed the channel
 }
 
 // Tracer observes channel-level events for visualization and utilization
@@ -137,6 +139,36 @@ type Network struct {
 	lost         int
 	inflight     int
 	wedged       []*message
+
+	// Observability instruments; all nil (one branch per update site)
+	// until SetMetrics installs a registry.
+	mInjected *metrics.Counter
+	mDeliv    *metrics.Counter
+	mLost     *metrics.Counter
+	mBlocks   *metrics.Counter
+	mAcquires *metrics.Counter
+	mHoldNs   *metrics.Histogram
+	mBlockNs  *metrics.Histogram
+}
+
+// SetMetrics wires the network into a metrics registry: message fates
+// ("net_injected", "net_delivered", "net_lost"), header blocking incidents
+// ("net_header_blocks") and per-wait blocked time ("net_block_time_ns"),
+// and channel occupancy ("net_channel_acquires", "net_channel_hold_ns").
+// A nil registry disables instrumentation.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.mInjected, n.mDeliv, n.mLost, n.mBlocks, n.mAcquires = nil, nil, nil, nil, nil
+		n.mHoldNs, n.mBlockNs = nil, nil
+		return
+	}
+	n.mInjected = reg.Counter("net_injected")
+	n.mDeliv = reg.Counter("net_delivered")
+	n.mLost = reg.Counter("net_lost")
+	n.mBlocks = reg.Counter("net_header_blocks")
+	n.mAcquires = reg.Counter("net_channel_acquires")
+	n.mHoldNs = reg.Histogram("net_channel_hold_ns")
+	n.mBlockNs = reg.Histogram("net_block_time_ns")
 }
 
 // SetTracer installs a channel-event observer (nil disables tracing).
@@ -261,11 +293,17 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 	if n.faults != nil {
 		if n.faults.NodeDown(from, n.q.Now()) {
 			n.lost++ // a dead node injects nothing
+			if n.mLost != nil {
+				n.mLost.Inc()
+			}
 			return
 		}
 		m.drop, m.truncate = n.faults.MessageFate(from, to, bytes, n.q.Now())
 	}
 	n.inflight++
+	if n.mInjected != nil {
+		n.mInjected.Inc()
+	}
 	if len(m.path) == 0 {
 		n.q.After(n.drain(bytes), func() { n.complete(m) })
 		return
@@ -302,6 +340,9 @@ func (n *Network) tryAcquire(m *message) {
 		n.releasePrefix(m, m.idx)
 		n.lost++
 		n.inflight--
+		if n.mLost != nil {
+			n.mLost.Inc()
+		}
 		return
 	}
 	ch := n.channel(arc)
@@ -314,6 +355,9 @@ func (n *Network) tryAcquire(m *message) {
 		if n.tracer != nil {
 			n.tracer.HeaderBlocked(arc, m.from, m.to, n.q.Now())
 		}
+		if n.mBlocks != nil {
+			n.mBlocks.Inc()
+		}
 		return
 	}
 	n.claim(m, ch)
@@ -323,8 +367,12 @@ func (n *Network) tryAcquire(m *message) {
 func (n *Network) claim(m *message, ch *channel) {
 	ch.busy = true
 	ch.owner = m
+	ch.since = n.q.Now()
 	if n.tracer != nil {
 		n.tracer.ChannelAcquired(m.path[m.idx], m.from, m.to, n.q.Now())
+	}
+	if n.mAcquires != nil {
+		n.mAcquires.Inc()
 	}
 	n.advance(m)
 }
@@ -357,6 +405,9 @@ func (n *Network) releasePrefix(m *message, upto int) {
 		if n.tracer != nil {
 			n.tracer.ChannelReleased(a, n.q.Now())
 		}
+		if n.mHoldNs != nil {
+			n.mHoldNs.Observe(int64(n.q.Now() - ch.since))
+		}
 		if len(ch.waiters) == 0 {
 			ch.busy = false
 			ch.owner = nil
@@ -365,10 +416,17 @@ func (n *Network) releasePrefix(m *message, upto int) {
 		next := ch.waiters[0]
 		ch.waiters = ch.waiters[1:]
 		next.blocked += n.q.Now() - next.waitFrom
+		if n.mBlockNs != nil {
+			n.mBlockNs.Observe(int64(n.q.Now() - next.waitFrom))
+		}
 		// Channel stays busy; ownership transfers to the waiter.
 		ch.owner = next
+		ch.since = n.q.Now()
 		if n.tracer != nil {
 			n.tracer.ChannelAcquired(a, next.from, next.to, n.q.Now())
+		}
+		if n.mAcquires != nil {
+			n.mAcquires.Inc()
 		}
 		n.advance(next)
 	}
@@ -378,10 +436,16 @@ func (n *Network) complete(m *message) {
 	n.inflight--
 	if n.faults != nil && (m.drop || n.faults.NodeDown(m.to, n.q.Now())) {
 		n.lost++ // lost in transit, or nobody alive to consume it
+		if n.mLost != nil {
+			n.mLost.Inc()
+		}
 		return
 	}
 	n.delivered++
 	n.totalBlocked += m.blocked
+	if n.mDeliv != nil {
+		n.mDeliv.Inc()
+	}
 	if m.done != nil {
 		bytes, trunc := m.bytes, false
 		if m.truncate >= 0 && m.truncate < m.bytes {

@@ -47,6 +47,19 @@ go run ./cmd/faultsweep -n 4 -trials 3 -points 4 > /dev/null
 go run ./cmd/faultsweep -n 4 -trials 3 -points 4 -mode drop -csv > /dev/null
 go run ./cmd/figures -quick -dir "$(mktemp -d)" > /dev/null
 
+echo '== bench harness + metrics JSON (smoke)'
+obsdir=$(mktemp -d)
+go run ./cmd/bench -smoke -date 1993-01-01 -dir "$obsdir" > /dev/null
+go run ./cmd/bench -check "$obsdir/BENCH_1993-01-01.json"
+go run ./cmd/delay -n 4 -trials 3 -metrics-json "$obsdir/delay.metrics.json" > /dev/null
+go run ./cmd/bench -check "$obsdir/delay.metrics.json"
+go run ./cmd/faultsweep -n 4 -trials 2 -points 3 -metrics-json "$obsdir/faultsweep.metrics.json" > /dev/null
+go run ./cmd/bench -check "$obsdir/faultsweep.metrics.json"
+for f in results/BENCH_*.json; do
+	[ -e "$f" ] || continue
+	go run ./cmd/bench -check "$f"
+done
+
 echo '== examples (smoke)'
 for e in quickstart broadcast datapar collectives protocol; do
 	go run "./examples/$e" > /dev/null
