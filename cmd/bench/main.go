@@ -262,8 +262,8 @@ func checkFile(path string) error {
 			}
 		}
 		return checkSnapshot(doc.Metrics)
-	case cliutil.MetricsSchema:
-		var doc cliutil.MetricsDoc
+	case metrics.DocSchema:
+		var doc metrics.Doc
 		if err := strictUnmarshal(data, &doc); err != nil {
 			return err
 		}

@@ -1,0 +1,212 @@
+// Command loadgen is a closed-loop load generator for cmd/serve: a fixed
+// number of workers each keep exactly one request outstanding, so offered
+// load adapts to the server instead of overrunning it (open-loop storms
+// measure the generator, not the service). It drives a deterministic mix
+// of endpoints with a bounded set of distinct request bodies — the
+// key-space size sets the achievable cache-hit rate — and reports latency
+// percentiles, error rate, and the X-Cache hit/dedup/miss split.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -c 8 -n 500
+//	loadgen -url http://127.0.0.1:8080 -c 16 -n 2000 -keys 10 -json report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypercube/internal/cliutil"
+)
+
+// request is one point in the deterministic workload mix.
+type request struct {
+	path string
+	body string
+}
+
+// buildMix enumerates keys distinct request bodies spread over the
+// simulate / collective / tree endpoints (4:2:1). Everything is derived
+// from the key index, so two loadgen runs against one server replay the
+// identical key sequence and the second run is all cache hits.
+func buildMix(keys int) []request {
+	ops := []string{"scatter", "gather", "allgather", "reduce", "barrier", "allreduce"}
+	algs := []string{"w-sort", "u-cube", "sf-binomial", "maxport"}
+	mix := make([]request, 0, keys)
+	for i := 0; len(mix) < keys; i++ {
+		switch i % 7 {
+		case 0, 1, 2, 3:
+			mix = append(mix, request{"/v1/simulate", fmt.Sprintf(
+				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d,"bytes":%d}`,
+				algs[i%len(algs)], 5+i%40, i, 256<<(i%4))})
+		case 4, 5:
+			mix = append(mix, request{"/v1/collective", fmt.Sprintf(
+				`{"op":%q,"dim":5,"root":0,"bytes":%d}`, ops[i%len(ops)], 512+128*(i%8))})
+		default:
+			mix = append(mix, request{"/v1/tree", fmt.Sprintf(
+				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d}`,
+				algs[i%len(algs)], 8+i%32, i)})
+		}
+	}
+	return mix
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	latency time.Duration
+	status  int
+	cache   string // hit | miss | dedup | "" (error before headers)
+}
+
+// Report is the machine-readable run summary (-json).
+type Report struct {
+	URL          string             `json:"url"`
+	Concurrency  int                `json:"concurrency"`
+	Requests     int                `json:"requests"`
+	Keys         int                `json:"keys"`
+	WallSeconds  float64            `json:"wall_seconds"`
+	Throughput   float64            `json:"requests_per_second"`
+	LatencyUS    map[string]float64 `json:"latency_us"`
+	Errors       int                `json:"errors"`
+	ErrorRate    float64            `json:"error_rate"`
+	StatusCounts map[string]int     `json:"status_counts"`
+	CacheCounts  map[string]int     `json:"cache_counts"`
+	CacheHitRate float64            `json:"cache_hit_rate"`
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "server base `URL`")
+		c        = flag.Int("c", 8, "closed-loop concurrency (outstanding requests)")
+		n        = flag.Int("n", 500, "total requests to issue")
+		keys     = flag.Int("keys", 50, "distinct request bodies in the mix (smaller = hotter cache)")
+		jsonPath = flag.String("json", "", "also write the report as JSON to `file` (\"-\" for stdout)")
+	)
+	flag.Parse()
+	if *c < 1 || *n < 1 || *keys < 1 {
+		log.Fatal("loadgen: -c, -n, and -keys must be positive")
+	}
+
+	base := strings.TrimRight(*url, "/")
+	mix := buildMix(*keys)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Fail fast if the server isn't there, rather than reporting n errors.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		log.Fatalf("loadgen: server unreachable: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	samples := make([]sample, *n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				req := mix[i%len(mix)]
+				t0 := time.Now()
+				resp, err := client.Post(base+req.path, "application/json", strings.NewReader(req.body))
+				if err != nil {
+					samples[i] = sample{latency: time.Since(t0), status: 0}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				samples[i] = sample{
+					latency: time.Since(t0),
+					status:  resp.StatusCode,
+					cache:   resp.Header.Get("X-Cache"),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	latencies := make([]time.Duration, 0, *n)
+	statusCounts := map[string]int{}
+	cacheCounts := map[string]int{}
+	errors := 0
+	for _, s := range samples {
+		latencies = append(latencies, s.latency)
+		statusCounts[fmt.Sprintf("%d", s.status)]++
+		if s.status != http.StatusOK {
+			errors++
+		}
+		if s.cache != "" {
+			cacheCounts[s.cache]++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	served := cacheCounts["hit"] + cacheCounts["dedup"] + cacheCounts["miss"]
+	hitRate := 0.0
+	if served > 0 {
+		hitRate = float64(cacheCounts["hit"]+cacheCounts["dedup"]) / float64(served)
+	}
+
+	rep := Report{
+		URL:         base,
+		Concurrency: *c,
+		Requests:    *n,
+		Keys:        *keys,
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(*n) / wall.Seconds(),
+		LatencyUS: map[string]float64{
+			"p50": float64(percentile(latencies, 0.50).Microseconds()),
+			"p95": float64(percentile(latencies, 0.95).Microseconds()),
+			"p99": float64(percentile(latencies, 0.99).Microseconds()),
+			"max": float64(percentile(latencies, 1.00).Microseconds()),
+		},
+		Errors:       errors,
+		ErrorRate:    float64(errors) / float64(*n),
+		StatusCounts: statusCounts,
+		CacheCounts:  cacheCounts,
+		CacheHitRate: hitRate,
+	}
+
+	fmt.Printf("loadgen: %d requests, %d workers, %d keys against %s\n", *n, *c, *keys, base)
+	fmt.Printf("  wall        %.2fs (%.0f req/s)\n", rep.WallSeconds, rep.Throughput)
+	fmt.Printf("  latency us  p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
+		rep.LatencyUS["p50"], rep.LatencyUS["p95"], rep.LatencyUS["p99"], rep.LatencyUS["max"])
+	fmt.Printf("  errors      %d (%.1f%%)  statuses %v\n", errors, 100*rep.ErrorRate, statusCounts)
+	fmt.Printf("  cache       hit-rate %.1f%% %v\n", 100*hitRate, cacheCounts)
+	if *jsonPath != "" {
+		if err := cliutil.WriteJSON(*jsonPath, rep); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+	}
+	if errors > 0 {
+		// Shed load (429) under deliberate overload is expected; anything
+		// else is a failure worth a non-zero exit for CI.
+		for status := range statusCounts {
+			if status != "200" && status != "429" {
+				log.Fatalf("loadgen: %d non-OK responses (statuses %v)", errors, statusCounts)
+			}
+		}
+	}
+}

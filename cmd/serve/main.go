@@ -1,0 +1,101 @@
+// Command serve runs the simulation-as-a-service HTTP server: the full
+// simulation surface (multicast, fault-tolerant delivery, collectives,
+// tree analysis, sweeps) behind a deterministic result cache and bounded
+// admission control. See internal/server for the API and semantics.
+//
+// Usage:
+//
+//	serve -addr :8080
+//	serve -addr 127.0.0.1:0 -port-file serve.addr   # ephemeral port for CI
+//
+// Shutdown is graceful: SIGTERM/SIGINT stop accepting connections, drain
+// in-flight simulations, then exit 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hypercube/internal/event"
+	"hypercube/internal/metrics"
+	"hypercube/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen `address` (host:port; port 0 picks one)")
+		portFile = flag.String("port-file", "", "write the actual listen address to `file` (for ephemeral ports)")
+		workers  = flag.Int("workers", 0, "simulation worker count (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue depth (-1 = no queue, admit only onto an idle worker)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock cap per request (queue wait + execution)")
+		wdSteps  = flag.Int("watchdog-steps", 0, "per-request event-loop step budget (0 = event.DefaultMaxSteps)")
+		wdTimeUS = flag.Int64("watchdog-us", 0, "per-request simulated-time budget in microseconds (0 = 30 sim seconds)")
+		entries  = flag.Int("cache-entries", 0, "result cache entry budget (0 = 4096)")
+		cacheMB  = flag.Int64("cache-mb", 0, "result cache byte budget in MiB (0 = 64)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("serve: unexpected arguments %q", flag.Args())
+	}
+
+	s := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Timeout:       *timeout,
+		WatchdogSteps: *wdSteps,
+		WatchdogTime:  event.Time(*wdTimeUS) * event.Microsecond,
+		CacheEntries:  *entries,
+		CacheBytes:    *cacheMB << 20,
+		Metrics:       metrics.New(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	if *portFile != "" {
+		// Written only once the socket is live, so a watcher that sees the
+		// file can connect immediately.
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("serve: writing -port-file: %v", err)
+		}
+	}
+	log.Printf("serve: listening on %s", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("serve: shutting down")
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Stop accepting connections, then drain the simulation pool, giving
+	// in-flight work the same budget it would have had under load.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("serve: shutdown: %v", err)
+	}
+	s.Drain()
+	snap := s.Registry().Snapshot()
+	fmt.Printf("serve: drained; %d requests, %d simulations executed, %d cache hits\n",
+		snap.Counters["server_requests"], snap.Counters["server_sims_executed"],
+		snap.Counters["simcache_hits"])
+}

@@ -12,22 +12,6 @@ import (
 	"hypercube/internal/metrics"
 )
 
-// MetricsSchema identifies the per-run metrics JSON document emitted by
-// -metrics-json. Bump on incompatible layout changes.
-const MetricsSchema = "hypercube-metrics/v1"
-
-// MetricsDoc is the JSON document a driver writes for -metrics-json: one
-// run's metric snapshot plus enough provenance to compare documents across
-// commits.
-type MetricsDoc struct {
-	Schema      string           `json:"schema"`
-	Command     string           `json:"command"`
-	GoVersion   string           `json:"go"`
-	WallSeconds float64          `json:"wall_seconds"`
-	Metrics     metrics.Snapshot `json:"metrics"`
-	Extra       map[string]any   `json:"extra,omitempty"`
-}
-
 // Observability bundles the cross-cutting diagnostics every driver exposes:
 // a metrics registry dumped as JSON, and CPU/heap profiles via runtime/pprof.
 // Register the flags, call Start after flag.Parse, run the experiment, then
@@ -104,14 +88,7 @@ func (o *Observability) Finish(extra map[string]any) error {
 		}
 	}
 	if o.Registry != nil {
-		doc := MetricsDoc{
-			Schema:      MetricsSchema,
-			Command:     o.command,
-			GoVersion:   runtime.Version(),
-			WallSeconds: time.Since(o.start).Seconds(),
-			Metrics:     o.Registry.Snapshot(),
-			Extra:       extra,
-		}
+		doc := o.Registry.Doc(o.command, time.Since(o.start).Seconds(), extra)
 		if err := WriteJSON(o.MetricsJSON, doc); err != nil {
 			return fmt.Errorf("metrics-json: %v", err)
 		}

@@ -1,0 +1,37 @@
+package metrics
+
+import "runtime"
+
+// DocSchema identifies the per-run metrics JSON document emitted by every
+// driver's -metrics-json flag and served by the HTTP server's
+// /metrics/json endpoint. Bump on incompatible layout changes.
+const DocSchema = "hypercube-metrics/v1"
+
+// Doc is the schema-stamped JSON document wrapping one registry snapshot:
+// enough provenance (command, Go version, wall time) to compare documents
+// across commits. All producers — the cmd/* drivers via
+// cliutil.Observability and the serving subsystem — share this one
+// encoder, and cmd/bench -check validates it.
+type Doc struct {
+	Schema      string         `json:"schema"`
+	Command     string         `json:"command"`
+	GoVersion   string         `json:"go"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Metrics     Snapshot       `json:"metrics"`
+	Extra       map[string]any `json:"extra,omitempty"`
+}
+
+// Doc snapshots the registry into a DocSchema document. command names the
+// producer, wallSeconds its elapsed wall time, and extra lands verbatim in
+// the document's "extra" field (run parameters, headline numbers). A nil
+// registry yields a document with an empty snapshot.
+func (r *Registry) Doc(command string, wallSeconds float64, extra map[string]any) Doc {
+	return Doc{
+		Schema:      DocSchema,
+		Command:     command,
+		GoVersion:   runtime.Version(),
+		WallSeconds: wallSeconds,
+		Metrics:     r.Snapshot(),
+		Extra:       extra,
+	}
+}

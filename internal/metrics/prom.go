@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-bucketed series with _sum and _count.
+// Instrument names pass through promName, which maps every character
+// outside [a-zA-Z0-9_:] to '_'. Output is sorted by name, so equal
+// snapshots render identically.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeSimple(w, promName(n), "counter", s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeSimple(w, promName(n), "gauge", s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeHistogram(w, promName(n), s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSimple(w io.Writer, name, typ string, v int64) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, v)
+	return err
+}
+
+func writeHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	// Snapshot buckets are disjoint counts per power-of-two range;
+	// Prometheus wants cumulative counts up to each bound.
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.N
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, h.Count, name, h.Sum, name, h.Count)
+	return err
+}
+
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,45 @@
+package ncube
+
+import (
+	"testing"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+)
+
+func TestRunInstrumentedBudgetTrips(t *testing.T) {
+	cube := topology.New(5, topology.HighToLow)
+	tr := core.Build(cube, core.WSort, 0, []topology.NodeID{1, 2, 3, 7, 12, 19, 31})
+
+	// A two-event budget cannot finish a 7-destination multicast.
+	res, err := RunInstrumentedBudget(NCube2(core.AllPort), tr, 4096, Instrumentation{}, 2, 0)
+	var diag *event.Diagnostic
+	if !asDiagnostic(err, &diag) {
+		t.Fatalf("err = %v, want *event.Diagnostic", err)
+	}
+	if diag.Steps == 0 {
+		t.Errorf("diagnostic records no steps: %+v", diag)
+	}
+	if len(res.Recv) >= 7 {
+		t.Errorf("budgeted run delivered everything (%d receipts) despite tripping", len(res.Recv))
+	}
+
+	// The same run under default budgets completes and matches Run.
+	full, err := RunInstrumentedBudget(NCube2(core.AllPort), tr, 4096, Instrumentation{}, 0, 0)
+	if err != nil {
+		t.Fatalf("unbudgeted run tripped: %v", err)
+	}
+	want := Run(NCube2(core.AllPort), tr, 4096)
+	if full.Makespan != want.Makespan || len(full.Recv) != len(want.Recv) {
+		t.Errorf("budgeted result diverges: makespan %v vs %v", full.Makespan, want.Makespan)
+	}
+}
+
+func asDiagnostic(err error, out **event.Diagnostic) bool {
+	d, ok := err.(*event.Diagnostic)
+	if ok {
+		*out = d
+	}
+	return ok
+}

@@ -268,6 +268,23 @@ func RunWithTracer(p Params, tr *core.Tree, bytes int, tracer wormhole.Tracer) R
 // interconnect, and the multicast protocol. Instrumentation never alters
 // the simulation — results are bit-identical with and without it.
 func RunInstrumented(p Params, tr *core.Tree, bytes int, ins Instrumentation) Result {
+	res, err := RunInstrumentedBudget(p, tr, bytes, ins, 0, 0)
+	if err != nil {
+		// With the default budgets only a simulator bug can trip the
+		// watchdog on a fault-free run; keep the panicking contract.
+		panic(err)
+	}
+	return res
+}
+
+// RunInstrumentedBudget is RunInstrumented under an explicit event-loop
+// watchdog (event.Queue.RunBudget): at most maxSteps events (<= 0 selects
+// event.DefaultMaxSteps) and no event beyond maxTime of simulated time
+// (<= 0 means unbounded). Exceeding either budget returns the partial
+// Result accumulated so far and a *event.Diagnostic carrying the network's
+// held-channel snapshot — the entry point the serving subsystem uses to
+// bound untrusted requests instead of trusting them to terminate.
+func RunInstrumentedBudget(p Params, tr *core.Tree, bytes int, ins Instrumentation, maxSteps int, maxTime event.Time) (Result, error) {
 	p.Validate()
 	q := &event.Queue{}
 	net := wormhole.New(q, tr.Cube, wormhole.Config{THop: p.THop, TByte: p.TByte})
@@ -329,9 +346,10 @@ func RunInstrumented(p Params, tr *core.Tree, bytes int, ins Instrumentation) Re
 	}
 
 	launch(tr.Source)
-	q.MustRun(0, 0)
+	q.SetDiagnoser(net.Diagnose)
+	_, err := q.RunBudget(maxSteps, maxTime)
 	res.TotalBlocked = net.TotalBlocked()
 	finishTracer(ins.Tracer, q.Now())
 
-	return res
+	return res, err
 }

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"net/http"
+
+	"hypercube/internal/collective"
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/ncube"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+	"hypercube/internal/workload"
+)
+
+// The run functions below execute on pool workers. Each must be a pure
+// function of its canonical request: no wall clock, no shared mutable
+// state, metrics only (instrumentation never alters simulated results) —
+// so the encoded response is byte-identical across cache misses, worker
+// interleavings, and server restarts. Each run re-derives its execution
+// inputs by re-normalizing the already-canonical request; normalization is
+// idempotent, and re-deriving is far cheaper than the simulation itself.
+
+func us(t event.Time) float64 { return float64(t) / float64(event.Microsecond) }
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	serveCached(s, "simulate", w, r,
+		func(req *SimulateRequest) error {
+			_, _, _, err := req.normalize(s.lim)
+			return err
+		},
+		s.runSimulate)
+}
+
+func (s *Server) runSimulate(req SimulateRequest) (any, error) {
+	cube, p, alg, err := req.normalize(s.lim)
+	if err != nil {
+		return nil, err
+	}
+	tr := core.Build(cube, alg, topology.NodeID(req.Src), toNodeIDs(req.Dests))
+	s.mSims.Inc()
+	res, err := ncube.RunInstrumentedBudget(p, tr, req.Bytes,
+		ncube.Instrumentation{Metrics: s.reg}, s.cfg.WatchdogSteps, s.cfg.WatchdogTime)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateResponse{
+		Request:        req,
+		MakespanNS:     int64(res.Makespan),
+		MakespanUS:     us(res.Makespan),
+		TotalBlockedNS: int64(res.TotalBlocked),
+		Recv:           sortedNodeTimes(res.Recv),
+	}, nil
+}
+
+func (s *Server) handleFaultTolerant(w http.ResponseWriter, r *http.Request) {
+	serveCached(s, "simulate/fault-tolerant", w, r,
+		func(req *FaultTolerantRequest) error {
+			_, _, _, _, err := req.normalize(s.lim)
+			return err
+		},
+		s.runFaultTolerant)
+}
+
+func (s *Server) runFaultTolerant(req FaultTolerantRequest) (any, error) {
+	cube, p, alg, plan, err := req.normalize(s.lim)
+	if err != nil {
+		return nil, err
+	}
+	// Per-request deadline: the server's watchdog budget, tightened (never
+	// widened) by the request's own limits.
+	p.WatchdogSteps = s.cfg.WatchdogSteps
+	if req.MaxSimSteps > 0 && (p.WatchdogSteps == 0 || req.MaxSimSteps < p.WatchdogSteps) {
+		p.WatchdogSteps = req.MaxSimSteps
+	}
+	p.WatchdogTime = s.cfg.WatchdogTime
+	if reqT := event.Time(req.MaxSimTimeUS) * event.Microsecond; reqT > 0 && (p.WatchdogTime == 0 || reqT < p.WatchdogTime) {
+		p.WatchdogTime = reqT
+	}
+	s.mSims.Inc()
+	res, err := ncube.RunFaultTolerantInstrumented(ncube.JitterParams{Params: p}, cube, alg,
+		topology.NodeID(req.Src), toNodeIDs(req.Dests), req.Bytes, plan,
+		ncube.Instrumentation{Metrics: s.reg})
+	if err != nil {
+		return nil, err
+	}
+	resp := FaultTolerantResponse{
+		Request:        req,
+		MakespanNS:     int64(res.Makespan),
+		MakespanUS:     us(res.Makespan),
+		TotalBlockedNS: int64(res.TotalBlocked),
+		Retries:        res.Retries,
+		Repairs:        res.Repairs,
+	}
+	for _, d := range req.Dests {
+		st := res.Status[topology.NodeID(d)]
+		if st.Reached() {
+			resp.Delivered++
+		}
+		resp.Status = append(resp.Status, NodeStatus{Node: d, Status: st.String()})
+	}
+	return resp, nil
+}
+
+func (s *Server) handleCollective(w http.ResponseWriter, r *http.Request) {
+	serveCached(s, "collective", w, r,
+		func(req *CollectiveRequest) error {
+			_, _, err := req.normalize(s.lim)
+			return err
+		},
+		s.runCollective)
+}
+
+func (s *Server) runCollective(req CollectiveRequest) (any, error) {
+	cube, p, err := req.normalize(s.lim)
+	if err != nil {
+		return nil, err
+	}
+	s.mSims.Inc()
+	root := topology.NodeID(req.Root)
+	tc := event.Time(req.TComputeNS)
+	var res collective.Result
+	switch req.Op {
+	case "scatter":
+		res = collective.Scatter(p, cube, root, req.Bytes)
+	case "gather":
+		res = collective.Gather(p, cube, root, req.Bytes)
+	case "reduce":
+		res = collective.Reduce(p, cube, root, req.Bytes, tc)
+	case "barrier":
+		res = collective.Barrier(p, cube)
+	case "allgather":
+		res = collective.AllGather(p, cube, req.Bytes)
+	case "allreduce":
+		res = collective.AllReduce(p, cube, req.Bytes, tc)
+	default:
+		return nil, badf("unknown op %q", req.Op)
+	}
+	resp := CollectiveResponse{
+		Request:        req,
+		MakespanNS:     int64(res.Makespan),
+		MakespanUS:     us(res.Makespan),
+		Messages:       res.Messages,
+		TotalBlockedNS: int64(res.TotalBlocked),
+	}
+	if req.IncludeFinish {
+		resp.Finish = sortedNodeTimes(res.Finish)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	serveCached(s, "tree", w, r,
+		func(req *TreeRequest) error {
+			_, _, _, err := req.normalize(s.lim)
+			return err
+		},
+		s.runTree)
+}
+
+func (s *Server) runTree(req TreeRequest) (any, error) {
+	cube, alg, pm, err := req.normalize(s.lim)
+	if err != nil {
+		return nil, err
+	}
+	dests := toNodeIDs(req.Dests)
+	tr := core.Build(cube, alg, topology.NodeID(req.Src), dests)
+	m := tr.ComputeMetrics(dests)
+	sch := core.NewSchedule(tr, pm)
+	cont := core.CheckContention(sch)
+	resp := TreeResponse{
+		Request:        req,
+		Unicasts:       m.Unicasts,
+		Height:         m.Height,
+		TotalHops:      m.TotalHops,
+		MaxOutDegree:   m.MaxOutDegree,
+		ChannelReuses:  m.ChannelReuses,
+		Relays:         m.Relays,
+		Steps:          sch.Steps(),
+		StepLowerBound: core.StepLowerBound(pm, req.Dim, len(req.Dests)),
+		Contentions:    len(cont),
+	}
+	for i, c := range cont {
+		if i == 8 {
+			break
+		}
+		resp.ContentionSample = append(resp.ContentionSample, c.String())
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	serveCached(s, "sweep", w, r,
+		func(req *SweepRequest) error { return req.normalize(s.lim) },
+		s.runSweep)
+}
+
+// sweepGrid spaces points destination counts evenly across [1, 2^dim-1] —
+// unlike workload.DestCounts it honors the cap even on small cubes, so
+// service sweeps stay service-sized.
+func sweepGrid(dim, points int) []int {
+	max := 1<<dim - 1
+	if points > max {
+		points = max
+	}
+	if points < 2 || max < 2 {
+		return []int{max}
+	}
+	out := make([]int, 0, points)
+	for i := 0; i < points; i++ {
+		v := 1 + i*(max-1)/(points-1)
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *Server) runSweep(req SweepRequest) (any, error) {
+	if err := req.normalize(s.lim); err != nil {
+		return nil, err
+	}
+	algs := make([]core.Algorithm, len(req.Algorithms))
+	for i, name := range req.Algorithms {
+		a, err := core.ParseAlgorithm(name)
+		if err != nil {
+			return nil, badf("%v", err)
+		}
+		algs[i] = a
+	}
+	pm, err := parsePort(req.Port)
+	if err != nil {
+		return nil, err
+	}
+	grid := sweepGrid(req.Dim, req.Points)
+	s.mSims.Inc()
+	var tb *stats.Table
+	switch req.Kind {
+	case "stepwise":
+		stat := workload.MaxSteps
+		if req.Stat == "avg" {
+			stat = workload.AvgSteps
+		}
+		// Workers: 1 — one pool worker per request; fan-out inside a job
+		// would let one sweep starve the admission controller.
+		tb = workload.Stepwise(workload.StepwiseConfig{
+			Dim: req.Dim, Trials: req.Trials, Seed: req.Seed,
+			Algorithms: algs, DestCounts: grid, Port: pm, Stat: stat,
+			Workers: 1, Metrics: s.reg,
+		})
+	case "delay":
+		p, err := parseMachine(req.Machine, pm)
+		if err != nil {
+			return nil, err
+		}
+		stat := workload.MaxDelay
+		if req.Stat == "avg" {
+			stat = workload.AvgDelay
+		}
+		tb = workload.Delay(workload.DelayConfig{
+			Dim: req.Dim, Trials: req.Trials, Seed: req.Seed, Bytes: req.Bytes,
+			Params: p, Stat: stat, Algorithms: algs, DestCounts: grid,
+			Workers: 1, Metrics: s.reg,
+		})
+	default:
+		return nil, badf("unknown sweep kind %q", req.Kind)
+	}
+	resp := SweepResponse{
+		Request: req,
+		Title:   tb.Title,
+		XLabel:  tb.XLabel,
+		Columns: tb.Columns,
+	}
+	for _, row := range tb.Rows {
+		resp.Rows = append(resp.Rows, SweepRow{X: row.X, Cells: row.Cells})
+	}
+	return resp, nil
+}

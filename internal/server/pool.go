@@ -1,0 +1,93 @@
+package server
+
+import (
+	"errors"
+	"sync"
+
+	"hypercube/internal/metrics"
+)
+
+// errQueueFull is load shedding: the bounded queue is at capacity, so the
+// request is rejected immediately (HTTP 429) instead of growing an
+// unbounded backlog. In-flight and queued work is untouched.
+var errQueueFull = errors.New("server: queue full")
+
+// errDraining rejects work submitted after shutdown began (HTTP 503).
+var errDraining = errors.New("server: draining")
+
+// pool is the admission controller of the serving subsystem: a fixed set
+// of worker goroutines consuming one bounded queue. Admission is a
+// non-blocking enqueue — the only outcomes are "accepted" and an
+// immediate, cheap rejection — so a traffic spike converts into fast 429s
+// rather than memory growth or collapsing latency for accepted requests.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex // guards draining and the send into jobs vs. close
+	draining bool
+
+	mAccepted, mShed, mDone *metrics.Counter
+	gQueue                  *metrics.Gauge
+}
+
+// newPool starts workers goroutines over a queue of the given depth.
+// depth 0 is valid: a job is admitted only if a worker is free to take it
+// immediately (the channel handoff still buffers nothing).
+func newPool(workers, depth int, reg *metrics.Registry) *pool {
+	p := &pool{
+		jobs:      make(chan func(), depth),
+		mAccepted: reg.Counter("server_jobs_accepted"),
+		mShed:     reg.Counter("server_jobs_shed"),
+		mDone:     reg.Counter("server_jobs_done"),
+		gQueue:    reg.Gauge("server_queue_depth_max"),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+				p.mDone.Inc()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues job without blocking. It returns errQueueFull when the
+// queue is at capacity and errDraining after drain has begun.
+func (p *pool) submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return errDraining
+	}
+	select {
+	case p.jobs <- job:
+		p.mAccepted.Inc()
+		p.gQueue.SetMax(int64(len(p.jobs)))
+		return nil
+	default:
+		p.mShed.Inc()
+		return errQueueFull
+	}
+}
+
+// queueLen reports the current backlog (queued, not yet picked up).
+func (p *pool) queueLen() int { return len(p.jobs) }
+
+// drain stops admission and waits for every accepted job — queued or
+// in-flight — to finish. Safe to call once.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.draining = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"hypercube/internal/metrics"
+)
+
+func TestPoolShedsWhenFullAndKeepsInflight(t *testing.T) {
+	reg := metrics.New()
+	p := newPool(1, 1, reg)
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	done := make(chan int, 2)
+
+	// Job A occupies the single worker.
+	if err := p.submit(func() { entered <- struct{}{}; <-release; done <- 1 }); err != nil {
+		t.Fatalf("submit A: %v", err)
+	}
+	<-entered
+	// Job B fills the queue slot.
+	if err := p.submit(func() { done <- 2 }); err != nil {
+		t.Fatalf("submit B: %v", err)
+	}
+	// Job C must be shed immediately.
+	if err := p.submit(func() { t.Error("shed job ran") }); err != errQueueFull {
+		t.Fatalf("submit C = %v, want errQueueFull", err)
+	}
+	// Shedding C must not have disturbed A or B.
+	close(release)
+	got := map[int]bool{<-done: true, <-done: true}
+	if !got[1] || !got[2] {
+		t.Fatalf("in-flight jobs did not both complete: %v", got)
+	}
+	s := reg.Snapshot()
+	if s.Counters["server_jobs_accepted"] != 2 || s.Counters["server_jobs_shed"] != 1 {
+		t.Errorf("counters = %v, want 2 accepted / 1 shed", s.Counters)
+	}
+}
+
+func TestPoolDrainWaitsAndRejects(t *testing.T) {
+	p := newPool(2, 4, metrics.New())
+	slow := make(chan struct{})
+	done := make(chan struct{}, 1)
+	if err := p.submit(func() { <-slow; done <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(slow)
+	}()
+	p.drain()
+	select {
+	case <-done:
+	default:
+		t.Error("drain returned before the accepted job finished")
+	}
+	if err := p.submit(func() {}); err != errDraining {
+		t.Errorf("submit after drain = %v, want errDraining", err)
+	}
+}
+
+func TestPoolZeroDepthAdmitsOnlyIdleWorker(t *testing.T) {
+	p := newPool(1, 0, metrics.New())
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	// With an unbuffered queue, admission needs the worker to be parked in
+	// its receive already — retry until the goroutine has spun up.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.submit(func() { close(entered); <-release }) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-entered
+	if err := p.submit(func() {}); err != errQueueFull {
+		t.Errorf("second submit = %v, want errQueueFull", err)
+	}
+	close(release)
+	p.drain()
+}

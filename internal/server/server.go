@@ -1,0 +1,382 @@
+// Package server exposes the whole simulation surface of this repository
+// — multicast execution, the fault-tolerant protocol, the collective
+// suite, tree/schedule/contention analysis, and small figure-style sweeps
+// — as a JSON-over-HTTP service.
+//
+// The serving path is built for determinism and load:
+//
+//   - Every simulation here is a pure function of its canonicalized
+//     request, so responses are encoded once and cached by content hash
+//     (internal/simcache). Repeated and concurrent identical requests get
+//     byte-identical bodies; N identical concurrent requests run exactly
+//     one simulation (singleflight). The X-Cache response header reports
+//     hit, miss, or dedup.
+//
+//   - Admission control is a bounded worker pool over a bounded queue: a
+//     full queue sheds load with an immediate 429 instead of queuing
+//     without bound, and in-flight work is never disturbed.
+//
+//   - Per-request deadlines ride the discrete-event watchdog
+//     (event.Queue.RunBudget): a simulation that exceeds the server's
+//     step or simulated-time budget aborts with a structured watchdog
+//     error instead of holding a worker hostage. A wall-clock timeout
+//     backstops the watchdog.
+//
+//   - Observability: /healthz for liveness, /metrics in Prometheus text
+//     format, /metrics/json as a hypercube-metrics/v1 document; the
+//     registry aggregates cache, pool, HTTP, and simulator instruments.
+//
+// Shutdown is graceful: Drain stops admission (503 for new work) and
+// waits for accepted jobs; cmd/serve wires it to SIGTERM behind
+// http.Server.Shutdown.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hypercube/internal/event"
+	"hypercube/internal/metrics"
+	"hypercube/internal/simcache"
+)
+
+// Config sizes the server. The zero value selects every default.
+type Config struct {
+	// Workers is the simulation worker count (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of admitted-but-not-running jobs
+	// (default 64; <0 means 0, i.e. admit only onto an idle worker).
+	QueueDepth int
+	// CacheEntries / CacheBytes bound the result cache (defaults from
+	// simcache: 4096 entries, 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// Timeout is the wall-clock cap on one request's queue wait plus
+	// execution (default 30s).
+	Timeout time.Duration
+	// WatchdogSteps / WatchdogTime are the per-request discrete-event
+	// budgets (defaults: event.DefaultMaxSteps, 30 simulated seconds).
+	WatchdogSteps int
+	WatchdogTime  event.Time
+	// MaxDim / MaxBytes bound a single simulation request (defaults 12
+	// and 1 MiB). Sweep endpoints are tighter: MaxSweepDim (default 8),
+	// MaxSweepTrials (default 50), MaxSweepPoints (default 16).
+	MaxDim         int
+	MaxBytes       int
+	MaxSweepDim    int
+	MaxSweepTrials int
+	MaxSweepPoints int
+	// Metrics receives every instrument; nil allocates a private
+	// registry (the server always measures itself).
+	Metrics *metrics.Registry
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.WatchdogTime == 0 {
+		c.WatchdogTime = 30 * event.Second
+	}
+	if c.MaxDim == 0 {
+		c.MaxDim = 12
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 1 << 20
+	}
+	if c.MaxSweepDim == 0 {
+		c.MaxSweepDim = 8
+	}
+	if c.MaxSweepTrials == 0 {
+		c.MaxSweepTrials = 50
+	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 16
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.New()
+	}
+}
+
+// errTimeout is the wall-clock backstop tripping (HTTP 503): the request
+// waited in queue plus ran longer than Config.Timeout.
+var errTimeout = errors.New("server: request timed out")
+
+// Server is the serving subsystem. Create with New, expose with Handler,
+// stop with Drain.
+type Server struct {
+	cfg      Config
+	lim      limits
+	reg      *metrics.Registry
+	cache    *simcache.Cache
+	pool     *pool
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
+
+	mRequests, mOK, mErrors *metrics.Counter
+	mWatchdog               *metrics.Counter
+	mSims                   *metrics.Counter
+	hLatency                *metrics.Histogram
+
+	// testHook, when set by tests, runs at the start of every pooled
+	// job — it lets tests hold jobs in flight deterministically.
+	testHook func()
+}
+
+// New creates a server from cfg.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	reg := cfg.Metrics
+	s := &Server{
+		cfg: cfg,
+		lim: limits{
+			maxDim:         cfg.MaxDim,
+			maxBytes:       cfg.MaxBytes,
+			maxSweepDim:    cfg.MaxSweepDim,
+			maxSweepTrials: cfg.MaxSweepTrials,
+			maxSweepPoints: cfg.MaxSweepPoints,
+		},
+		reg: reg,
+		cache: simcache.New(simcache.Config{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+			Metrics:    reg,
+		}),
+		pool:  newPool(cfg.Workers, cfg.QueueDepth, reg),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+
+		mRequests: reg.Counter("server_requests"),
+		mOK:       reg.Counter("server_responses_ok"),
+		mErrors:   reg.Counter("server_responses_error"),
+		mWatchdog: reg.Counter("server_watchdog_aborts"),
+		mSims:     reg.Counter("server_sims_executed"),
+		hLatency:  reg.Histogram("server_request_us"),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/simulate/fault-tolerant", s.handleFaultTolerant)
+	s.mux.HandleFunc("/v1/collective", s.handleCollective)
+	s.mux.HandleFunc("/v1/tree", s.handleTree)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Drain stops admitting simulation work (new requests get 503) and blocks
+// until every accepted job has finished. Call after http.Server.Shutdown
+// has stopped accepting connections.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pool.drain()
+}
+
+// runOnPool submits job through admission control and waits for its
+// result or the wall-clock timeout. Panics inside job are converted to
+// errors (watchdog diagnostics keep their type) so one poisonous request
+// cannot kill a worker.
+func (s *Server) runOnPool(job func() ([]byte, error)) ([]byte, error) {
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan outcome, 1) // buffered: the worker never blocks on an abandoned request
+	wrapped := func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if d, ok := v.(*event.Diagnostic); ok {
+					ch <- outcome{nil, d}
+					return
+				}
+				ch <- outcome{nil, fmt.Errorf("server: simulation panicked: %v", v)}
+			}
+		}()
+		if s.testHook != nil {
+			s.testHook()
+		}
+		body, err := job()
+		ch <- outcome{body, err}
+	}
+	if err := s.pool.submit(wrapped); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(s.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.body, o.err
+	case <-timer.C:
+		return nil, errTimeout
+	}
+}
+
+// serveCached is the shared POST pipeline: decode strictly, normalize into
+// canonical form, then answer from the cache — computing at most once per
+// key via the pool. run receives the canonical request and returns the
+// response value to encode; its encoded bytes are what gets cached, so
+// hits, dedup joins, and misses all serve identical bodies.
+func serveCached[Req any](s *Server, kind string, w http.ResponseWriter, r *http.Request,
+	normalize func(*Req) error, run func(Req) (any, error)) {
+	started := time.Now()
+	s.mRequests.Inc()
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "bad_request", fmt.Sprintf("%s requires POST", kind), nil)
+		return
+	}
+	var req Req
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding request: %v", err), nil)
+		return
+	}
+	if err := normalize(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error(), nil)
+		return
+	}
+	key, err := simcache.Key(kind, req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", errDraining.Error(), nil)
+		return
+	}
+	body, src, err := s.cache.Do(key, func() ([]byte, error) {
+		return s.runOnPool(func() ([]byte, error) {
+			resp, err := run(req)
+			if err != nil {
+				return nil, err
+			}
+			return encodeBody(resp)
+		})
+	})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", src.String())
+	w.Write(body)
+	s.mOK.Inc()
+	s.hLatency.Observe(time.Since(started).Microseconds())
+}
+
+// encodeBody is the single response encoder: indented JSON with a trailing
+// newline. One encoder, deterministic field order, no maps — the
+// foundation of the byte-identical guarantee.
+func encodeBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding response: %v", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// writeRunError maps an execution failure onto the error taxonomy.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	var diag *event.Diagnostic
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "queue_full", err.Error(), nil)
+	case errors.Is(err, errDraining):
+		s.writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), nil)
+	case errors.Is(err, errTimeout):
+		s.writeError(w, http.StatusServiceUnavailable, "deadline", err.Error(), nil)
+	case errors.As(err, &diag):
+		s.mWatchdog.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "watchdog",
+			"simulation exceeded its event-loop budget", &WatchdogInfo{
+				Reason:  diag.Reason,
+				Steps:   diag.Steps,
+				NowNS:   int64(diag.Now),
+				Pending: diag.Pending,
+				Detail:  diag.Detail,
+			})
+	default:
+		var bad badRequestError
+		if errors.As(err, &bad) {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err.Error(), nil)
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string, wd *WatchdogInfo) {
+	s.mErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := encodeBody(ErrorResponse{Error: msg, Code: code, Watchdog: wd})
+	w.Write(body)
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueCap      int     `json:"queue_cap"`
+	QueueLen      int     `json:"queue_len"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheBytes    int64   `json:"cache_bytes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	resp := healthzResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueCap:      s.cfg.QueueDepth,
+		QueueLen:      s.pool.queueLen(),
+		CacheEntries:  s.cache.Len(),
+		CacheBytes:    s.cache.Bytes(),
+	}
+	body, _ := encodeBody(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WritePrometheus(w, s.reg.Snapshot())
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	doc := s.reg.Doc("serve", time.Since(s.start).Seconds(), nil)
+	body, err := encodeBody(doc)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

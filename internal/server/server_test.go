@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hypercube/internal/metrics"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", path, err)
+	}
+	return resp, b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}
+
+const simReq = `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,3,5,7,12,19,31],"bytes":4096}`
+
+func TestRepeatedRequestByteIdenticalAndCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	r1, b1 := post(t, ts.URL, "/v1/simulate", simReq)
+	if r1.StatusCode != 200 {
+		t.Fatalf("first request: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	r2, b2 := post(t, ts.URL, "/v1/simulate", simReq)
+	if r2.StatusCode != 200 {
+		t.Fatalf("second request: %d %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("repeated request bodies differ:\n%s\nvs\n%s", b1, b2)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatalf("body is not a SimulateResponse: %v", err)
+	}
+	if resp.MakespanNS <= 0 || len(resp.Recv) != 7 {
+		t.Errorf("suspicious result: makespan=%d recv=%d", resp.MakespanNS, len(resp.Recv))
+	}
+}
+
+func TestCanonicalizationSharesCacheEntry(t *testing.T) {
+	// Same request phrased differently: unsorted duplicated dests,
+	// defaults spelled out vs omitted.
+	_, ts := newTestServer(t, Config{})
+	_, b1 := post(t, ts.URL, "/v1/simulate", simReq)
+	r2, b2 := post(t, ts.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"w-sort","machine":"ncube2","port":"all-port","src":0,"dests":[31,19,12,7,5,3,1,1],"bytes":4096}`)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("equivalent request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("equivalent requests returned different bodies")
+	}
+}
+
+func TestSingleflightConcurrentIdenticalRequests(t *testing.T) {
+	// N identical concurrent requests must execute exactly one simulation
+	// and return byte-identical bodies.
+	reg := metrics.New()
+	s, ts := newTestServer(t, Config{Workers: 4, Metrics: reg})
+	const N = 16
+	release := make(chan struct{})
+	s.testHook = func() { <-release }
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, N)
+	caches := make([]string, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(simReq))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+			caches[i] = resp.Header.Get("X-Cache")
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d: %s", resp.StatusCode, bodies[i])
+			}
+		}(i)
+	}
+	// All requests join one flight: exactly one leader computes (held at
+	// the hook), the other N-1 register as dedup joins.
+	waitFor(t, "dedup joins", func() bool {
+		return reg.Snapshot().Counters["simcache_dedup_joins"] >= N-1
+	})
+	close(release)
+	wg.Wait()
+
+	if sims := reg.Snapshot().Counters["server_sims_executed"]; sims != 1 {
+		t.Fatalf("executed %d simulations for %d identical requests, want 1", sims, N)
+	}
+	miss, dedup := 0, 0
+	for i := 1; i < N; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("concurrent identical requests returned different bodies")
+		}
+	}
+	for _, c := range caches {
+		switch c {
+		case "miss":
+			miss++
+		case "dedup":
+			dedup++
+		}
+	}
+	if miss != 1 || dedup != N-1 {
+		t.Errorf("X-Cache: %d miss / %d dedup, want 1 / %d", miss, dedup, N-1)
+	}
+}
+
+func TestQueueFullSheds429WithoutDisturbingInflight(t *testing.T) {
+	reg := metrics.New()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.testHook = func() { entered <- struct{}{}; <-release }
+
+	distinct := func(m int) string {
+		return fmt.Sprintf(`{"dim":5,"algorithm":"u-cube","src":0,"dest_count":%d,"seed":9,"bytes":1024}`, m)
+	}
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	launch := func(body string) {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				results <- result{0, nil}
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			results <- result{resp.StatusCode, b}
+		}()
+	}
+
+	// A occupies the only worker (held at the hook); B fills the queue.
+	launch(distinct(3))
+	<-entered
+	launch(distinct(4))
+	waitFor(t, "B accepted", func() bool {
+		return reg.Snapshot().Counters["server_jobs_accepted"] >= 2
+	})
+
+	// C must be shed with a structured 429 while A and B stay undisturbed.
+	r3, b3 := post(t, ts.URL, "/v1/simulate", distinct(5))
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d (%s), want 429", r3.StatusCode, b3)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(b3, &e); err != nil || e.Code != "queue_full" {
+		t.Errorf("shed body = %s, want code queue_full", b3)
+	}
+	if r3.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if r := <-results; r.status != 200 {
+			t.Errorf("in-flight request finished %d (%s), want 200", r.status, r.body)
+		}
+	}
+	if shed := reg.Snapshot().Counters["server_jobs_shed"]; shed != 1 {
+		t.Errorf("shed = %d, want 1", shed)
+	}
+}
+
+func TestWatchdogDeadlineStructuredError(t *testing.T) {
+	// A two-event budget cannot finish any simulation: the watchdog must
+	// abort and surface a structured error, not hang or 500.
+	reg := metrics.New()
+	_, ts := newTestServer(t, Config{WatchdogSteps: 2, Metrics: reg})
+	resp, body := post(t, ts.URL, "/v1/simulate", simReq)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, body)
+	}
+	if e.Code != "watchdog" || e.Watchdog == nil {
+		t.Fatalf("error = %+v, want code watchdog with diagnostic", e)
+	}
+	if e.Watchdog.Reason == "" || e.Watchdog.Steps == 0 {
+		t.Errorf("diagnostic incomplete: %+v", e.Watchdog)
+	}
+	if reg.Snapshot().Counters["server_watchdog_aborts"] != 1 {
+		t.Error("watchdog abort not counted")
+	}
+	// Errors are not cached: a retry under the same key still runs (and
+	// trips again) rather than serving a poisoned entry.
+	resp2, _ := post(t, ts.URL, "/v1/simulate", simReq)
+	if resp2.Header.Get("X-Cache") == "hit" {
+		t.Error("watchdog error was served from cache")
+	}
+}
+
+func TestFaultTolerantEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"dim":4,"algorithm":"w-sort","src":0,"dest_count":8,"seed":3,"bytes":512,"link_faults":4,"fault_seed":11}`
+	resp, body := post(t, ts.URL, "/v1/simulate/fault-tolerant", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var ftr FaultTolerantResponse
+	if err := json.Unmarshal(body, &ftr); err != nil {
+		t.Fatal(err)
+	}
+	if len(ftr.Status) != 8 {
+		t.Errorf("status entries = %d, want 8", len(ftr.Status))
+	}
+	if ftr.Delivered == 0 {
+		t.Error("nothing delivered under 4 link faults in a 4-cube")
+	}
+	// Byte-identical across repetition despite retries/repairs inside.
+	resp2, body2 := post(t, ts.URL, "/v1/simulate/fault-tolerant", req)
+	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, body2) {
+		t.Error("fault-tolerant responses not cached byte-identically")
+	}
+}
+
+func TestCollectiveTreeAndSweepEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL, "/v1/collective", `{"op":"scatter","dim":5,"root":0,"bytes":2048}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("collective: %d %s", resp.StatusCode, body)
+	}
+	var cr CollectiveResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.MakespanNS <= 0 || cr.Messages != 31 {
+		t.Errorf("scatter on a 5-cube: makespan=%d messages=%d, want 31 messages", cr.MakespanNS, cr.Messages)
+	}
+
+	resp, body = post(t, ts.URL, "/v1/tree", `{"dim":5,"algorithm":"w-sort","src":0,"dest_count":12,"seed":5}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("tree: %d %s", resp.StatusCode, body)
+	}
+	var tr TreeResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Unicasts == 0 || tr.Steps < tr.StepLowerBound {
+		t.Errorf("tree response inconsistent: %+v", tr)
+	}
+	if tr.Contentions != 0 {
+		t.Errorf("w-sort tree has %d contentions, want 0", tr.Contentions)
+	}
+
+	resp, body = post(t, ts.URL, "/v1/sweep", `{"kind":"stepwise","dim":5,"trials":3,"points":4}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Columns) != 4 || len(sw.Rows) == 0 {
+		t.Errorf("sweep table shape: %d columns, %d rows", len(sw.Columns), len(sw.Rows))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		path, body, wantSub string
+	}{
+		{"/v1/simulate", `{"dim":25,"algorithm":"w-sort","src":0,"dests":[1]}`, "dim"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"bogus","src":0,"dests":[1]}`, "algorithm"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0}`, "empty destination"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"unknown_field":1}`, "unknown"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[32]}`, "outside"},
+		{"/v1/collective", `{"op":"sort","dim":5}`, "unknown op"},
+		{"/v1/sweep", `{"kind":"stepwise","dim":5,"trials":9999}`, "trials"},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL, c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", c.path, c.body, resp.StatusCode)
+			continue
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Code != "bad_request" {
+			t.Errorf("%s: body %s, want code bad_request", c.path, body)
+		}
+		if !strings.Contains(strings.ToLower(e.Error), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.path, e.Error, c.wantSub)
+		}
+	}
+}
+
+func TestHealthzMetricsAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post(t, ts.URL, "/v1/simulate", simReq)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthzResponse
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.CacheEntries != 1 {
+		t.Errorf("healthz = %+v, want ok with 1 cache entry", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"# TYPE server_requests counter", "simcache_misses 1", "# TYPE server_request_us histogram"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc metrics.Doc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("metrics/json: %v", err)
+	}
+	if doc.Schema != metrics.DocSchema || doc.Command != "serve" {
+		t.Errorf("doc = schema %q command %q", doc.Schema, doc.Command)
+	}
+	if doc.Metrics.Counters["server_sims_executed"] != 1 {
+		t.Errorf("doc counters = %v", doc.Metrics.Counters)
+	}
+
+	// Drain: simulation endpoints refuse, cached reads would too (uniform
+	// drain), healthz reports draining.
+	s.Drain()
+	resp2, body2 := post(t, ts.URL, "/v1/simulate", simReq)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain status = %d (%s), want 503", resp2.StatusCode, body2)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "draining") {
+		t.Error("healthz does not report draining")
+	}
+}

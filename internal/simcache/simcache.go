@@ -1,0 +1,284 @@
+// Package simcache is the deterministic result cache of the serving
+// subsystem. Every simulation in this repository is a pure function of its
+// canonicalized request (seeded RNG, discrete-event kernel), so a response
+// computed once can be replayed byte-for-byte forever: the cache stores
+// encoded response bodies keyed by a content hash of the canonical
+// request.
+//
+// Three properties drive the design:
+//
+//   - Canonical keys. Key hashes the request's canonical JSON encoding
+//     (struct field order is fixed; the server normalizes set-valued
+//     fields before keying), so equal requests collide onto one entry no
+//     matter how the client phrased them.
+//
+//   - Singleflight. N identical concurrent requests execute the
+//     simulation exactly once: the first caller becomes the leader and
+//     computes, the rest join its flight and receive the same bytes (or
+//     the same error — errors are broadcast but never cached).
+//
+//   - Bounded memory. Entries live in a sharded LRU with per-shard entry
+//     and byte budgets; shards keep lock hold times short under
+//     concurrent serving load.
+//
+// Hit/miss/dedup/eviction counters and entry/byte/inflight gauges land on
+// an optional metrics.Registry.
+package simcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hypercube/internal/metrics"
+)
+
+// Key canonically encodes req as JSON, prefixes the request kind, and
+// returns the hex SHA-256 content hash. Two requests get the same key iff
+// kind and the canonical encoding agree; the kind prefix keeps equal
+// payloads of different endpoints apart.
+func Key(kind string, req any) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("simcache: encoding request: %v", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Source says how Do obtained the returned bytes.
+type Source int
+
+const (
+	// Miss: this call was the flight leader and ran compute.
+	Miss Source = iota
+	// Hit: the bytes were already cached.
+	Hit
+	// Dedup: an identical request was already in flight; this call
+	// joined it and received the leader's bytes without computing.
+	Dedup
+)
+
+func (s Source) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Dedup:
+		return "dedup"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Config sizes a Cache. The zero value selects the defaults.
+type Config struct {
+	// Shards is the number of independent LRU shards (default 16,
+	// rounded up to a power of two).
+	Shards int
+	// MaxEntries bounds the total cached entry count (default 4096).
+	MaxEntries int
+	// MaxBytes bounds the total cached value bytes (default 64 MiB).
+	MaxBytes int64
+	// Metrics, when non-nil, receives simcache_* instruments.
+	Metrics *metrics.Registry
+}
+
+// Cache is a sharded LRU of immutable response bodies with singleflight
+// deduplication. Safe for concurrent use. Values handed out are shared:
+// callers must treat them as read-only.
+type Cache struct {
+	shards    []shard
+	mask      uint64
+	inflightN atomic.Int64
+	entriesN  atomic.Int64
+	bytesN    atomic.Int64
+
+	mHits, mMisses, mDedup, mEvictions *metrics.Counter
+	gInflight, gEntries, gBytes        *metrics.Gauge
+}
+
+type shard struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	lru        *list.List // front = most recently used
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+	inflight   map[string]*flight
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress computation; joiners block on done.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New creates a cache from cfg.
+func New(cfg Config) *Cache {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	c := &Cache{
+		shards: make([]shard, shards),
+		mask:   uint64(shards - 1),
+
+		mHits:      cfg.Metrics.Counter("simcache_hits"),
+		mMisses:    cfg.Metrics.Counter("simcache_misses"),
+		mDedup:     cfg.Metrics.Counter("simcache_dedup_joins"),
+		mEvictions: cfg.Metrics.Counter("simcache_evictions"),
+		gInflight:  cfg.Metrics.Gauge("simcache_inflight"),
+		gEntries:   cfg.Metrics.Gauge("simcache_entries"),
+		gBytes:     cfg.Metrics.Gauge("simcache_bytes"),
+	}
+	perEntries := (cfg.MaxEntries + shards - 1) / shards
+	if perEntries < 1 {
+		perEntries = 1
+	}
+	perBytes := (cfg.MaxBytes + int64(shards) - 1) / int64(shards)
+	for i := range c.shards {
+		c.shards[i] = shard{
+			entries:    make(map[string]*list.Element),
+			lru:        list.New(),
+			maxEntries: perEntries,
+			maxBytes:   perBytes,
+			inflight:   make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+// shardOf picks the shard by the key's leading hex bytes — Key output is a
+// uniform hash, so any fixed slice of it balances the shards.
+func (c *Cache) shardOf(key string) *shard {
+	var h uint64
+	for i := 0; i < len(key) && i < 16; i++ {
+		h = h*16 + uint64(hexVal(key[i]))
+	}
+	return &c.shards[h&c.mask]
+}
+
+func hexVal(b byte) byte {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0'
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10
+	case b >= 'A' && b <= 'F':
+		return b - 'A' + 10
+	}
+	return b
+}
+
+// Do returns the cached bytes for key, or computes them. On a miss the
+// caller becomes the flight leader: compute runs exactly once no matter
+// how many identical calls arrive while it is in flight, and its non-error
+// result is inserted into the LRU. Errors (and panics, which re-raise in
+// the leader after unblocking joiners) are broadcast to joiners but never
+// cached, so a failed request does not poison the key.
+func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Source, error) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.mHits.Inc()
+		return val, Hit, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.mDedup.Inc()
+		<-f.done
+		return f.val, Dedup, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+	c.mMisses.Inc()
+	c.gInflight.Set(c.inflightN.Add(1))
+
+	finished := false
+	defer func() {
+		// Reached panicking only: release joiners with an error, then
+		// let the panic continue in the leader.
+		if !finished {
+			c.settle(s, key, f, nil, fmt.Errorf("simcache: compute panicked"))
+		}
+	}()
+	val, err := compute()
+	finished = true
+	c.settle(s, key, f, val, err)
+	return val, Miss, err
+}
+
+// settle publishes the flight's outcome, caches successful values, and
+// unblocks joiners.
+func (c *Cache) settle(s *shard, key string, f *flight, val []byte, err error) {
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		c.insertLocked(s, key, val)
+	}
+	s.mu.Unlock()
+	c.gInflight.Set(c.inflightN.Add(-1))
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+func (c *Cache) insertLocked(s *shard, key string, val []byte) {
+	if el, ok := s.entries[key]; ok {
+		// A concurrent leader of the same key settled first; identical
+		// bytes, keep the existing entry.
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
+	s.bytes += int64(len(val))
+	c.entriesN.Add(1)
+	c.bytesN.Add(int64(len(val)))
+	for s.lru.Len() > s.maxEntries || s.bytes > s.maxBytes {
+		if s.lru.Len() <= 1 {
+			break // never evict the entry just inserted
+		}
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.bytes -= int64(len(e.val))
+		c.entriesN.Add(-1)
+		c.bytesN.Add(-int64(len(e.val)))
+		c.mEvictions.Inc()
+	}
+	c.gEntries.Set(c.entriesN.Load())
+	c.gBytes.Set(c.bytesN.Load())
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return int(c.entriesN.Load()) }
+
+// Bytes returns the total cached value bytes.
+func (c *Cache) Bytes() int64 { return c.bytesN.Load() }

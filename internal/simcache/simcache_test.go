@@ -1,0 +1,225 @@
+package simcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hypercube/internal/metrics"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	type req struct {
+		Dim   int   `json:"dim"`
+		Dests []int `json:"dests"`
+	}
+	k1, err := Key("simulate", req{Dim: 5, Dests: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("simulate", req{Dim: 5, Dests: []int{1, 2, 3}})
+	if k1 != k2 {
+		t.Errorf("equal requests keyed differently: %s vs %s", k1, k2)
+	}
+	k3, _ := Key("simulate", req{Dim: 6, Dests: []int{1, 2, 3}})
+	if k1 == k3 {
+		t.Error("different requests share a key")
+	}
+	k4, _ := Key("tree", req{Dim: 5, Dests: []int{1, 2, 3}})
+	if k1 == k4 {
+		t.Error("different kinds share a key")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key %q is not a hex SHA-256", k1)
+	}
+}
+
+func TestDoHitMissAndCounters(t *testing.T) {
+	reg := metrics.New()
+	c := New(Config{Metrics: reg})
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("payload"), nil }
+
+	v, src, err := c.Do("k", compute)
+	if err != nil || src != Miss || string(v) != "payload" {
+		t.Fatalf("first Do = %q, %v, %v; want payload, miss, nil", v, src, err)
+	}
+	v, src, err = c.Do("k", compute)
+	if err != nil || src != Hit || string(v) != "payload" {
+		t.Fatalf("second Do = %q, %v, %v; want payload, hit, nil", v, src, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	s := reg.Snapshot()
+	if s.Counters["simcache_hits"] != 1 || s.Counters["simcache_misses"] != 1 {
+		t.Errorf("counters = %v, want 1 hit / 1 miss", s.Counters)
+	}
+	if s.Gauges["simcache_entries"] != 1 {
+		t.Errorf("entries gauge = %d, want 1", s.Gauges["simcache_entries"])
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(Config{})
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do("k", func() ([]byte, error) { calls++; return nil, boom })
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, src, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	if err != nil || src != Miss || string(v) != "ok" {
+		t.Fatalf("retry = %q, %v, %v; want ok, miss, nil", v, src, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	// N concurrent identical requests: exactly one compute, identical
+	// bytes everywhere, one miss, N-1 dedup joins.
+	reg := metrics.New()
+	c := New(Config{Metrics: reg})
+	const N = 32
+	var computes atomic.Int64
+	release := make(chan struct{})
+	joined := make(chan struct{}, N)
+
+	var wg sync.WaitGroup
+	results := make([][]byte, N)
+	sources := make([]Source, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			joined <- struct{}{}
+			v, src, err := c.Do("k", func() ([]byte, error) {
+				computes.Add(1)
+				<-release // hold the flight open until all joiners pile in
+				return []byte("body"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], sources[i] = v, src
+		}(i)
+	}
+	for i := 0; i < N; i++ {
+		<-joined
+	}
+	// All goroutines launched; wait until everyone but the leader has
+	// registered on the flight, then let the leader finish.
+	for reg.Snapshot().Counters["simcache_dedup_joins"] < N-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	misses, dedups, hits := 0, 0, 0
+	for i := range results {
+		if !bytes.Equal(results[i], []byte("body")) {
+			t.Fatalf("result %d = %q, want body", i, results[i])
+		}
+		switch sources[i] {
+		case Miss:
+			misses++
+		case Dedup:
+			dedups++
+		case Hit:
+			hits++
+		}
+	}
+	if misses != 1 || dedups != N-1 || hits != 0 {
+		t.Errorf("sources: %d miss / %d dedup / %d hit, want 1/%d/0", misses, dedups, hits, N-1)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	reg := metrics.New()
+	// One shard so the LRU order is globally observable.
+	c := New(Config{Shards: 1, MaxEntries: 3, Metrics: reg})
+	val := func(k string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(k), nil }
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		c.Do(k, val(k))
+	}
+	c.Do("a", val("a")) // touch a: b is now least recent
+	c.Do("d", val("d")) // evicts b
+	if _, src, _ := c.Do("b", val("b")); src != Miss {
+		t.Errorf("b after eviction: %v, want miss", src)
+	}
+	if _, src, _ := c.Do("a", val("a")); src != Hit {
+		t.Errorf("a should have survived: got %v", src)
+	}
+	if n := reg.Snapshot().Counters["simcache_evictions"]; n < 1 {
+		t.Errorf("evictions = %d, want >= 1", n)
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	c := New(Config{Shards: 1, MaxEntries: 1000, MaxBytes: 100})
+	big := make([]byte, 60)
+	c.Do("a", func() ([]byte, error) { return big, nil })
+	c.Do("b", func() ([]byte, error) { return big, nil }) // 120 > 100: evicts a
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+	if c.Bytes() != 60 {
+		t.Errorf("bytes = %d, want 60", c.Bytes())
+	}
+	if _, src, _ := c.Do("b", func() ([]byte, error) { return big, nil }); src != Hit {
+		t.Errorf("b evicted instead of a: %v", src)
+	}
+}
+
+func TestPanicReleasesJoiners(t *testing.T) {
+	reg := metrics.New()
+	c := New(Config{Metrics: reg})
+	started := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Do("k", func() ([]byte, error) {
+			close(started)
+			// Panic only once the joiner has attached to the flight.
+			for reg.Snapshot().Counters["simcache_dedup_joins"] < 1 {
+				runtime.Gosched()
+			}
+			panic("kernel bug")
+		})
+	}()
+	<-started
+	if _, _, err := c.Do("k", func() ([]byte, error) { return []byte("x"), nil }); err == nil {
+		t.Fatal("joiner of a panicked flight got nil error")
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	// Race-detector stress: many goroutines over overlapping keys.
+	c := New(Config{Shards: 4, MaxEntries: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%24)
+				v, _, err := c.Do(k, func() ([]byte, error) { return []byte(k), nil })
+				if err != nil || string(v) != k {
+					t.Errorf("Do(%s) = %q, %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"hypercube/internal/core"
@@ -18,6 +19,12 @@ import (
 // self-contained and seeded independently, so the results are identical to
 // a serial run — parallelism only shortens the wall clock, in keeping with
 // the experiments' determinism guarantees.
+//
+// A panic inside work is recovered in the worker goroutine, annotated with
+// the failing point index, and re-raised exactly once from forEachPoint's
+// caller — a bare goroutine panic would kill the process without saying
+// which sweep point's configuration failed. When a point has panicked,
+// not-yet-started points are skipped; in-flight points run to completion.
 func forEachPoint(points, workers int, work func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -25,28 +32,76 @@ func forEachPoint(points, workers int, work func(i int)) {
 	if workers > points {
 		workers = points
 	}
-	if workers <= 1 {
-		for i := 0; i < points; i++ {
-			work(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				work(i)
+	var (
+		failedMu sync.Mutex
+		failed   *pointPanic
+	)
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				failedMu.Lock()
+				if failed == nil {
+					failed = &pointPanic{point: i, value: v, stack: debug.Stack()}
+				}
+				failedMu.Unlock()
 			}
 		}()
+		work(i)
 	}
-	for i := 0; i < points; i++ {
-		next <- i
+	aborted := func() bool {
+		failedMu.Lock()
+		defer failedMu.Unlock()
+		return failed != nil
 	}
-	close(next)
-	wg.Wait()
+	if workers <= 1 {
+		for i := 0; i < points && !aborted(); i++ {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if !aborted() {
+						run(i)
+					}
+				}
+			}()
+		}
+		for i := 0; i < points; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	if failed != nil {
+		panic(failed)
+	}
+}
+
+// pointPanic wraps a panic recovered from one sweep point's worker with
+// the point index and the original goroutine's stack.
+type pointPanic struct {
+	point int
+	value any
+	stack []byte
+}
+
+func (p *pointPanic) Error() string {
+	return fmt.Sprintf("workload: sweep point %d panicked: %v\n%s", p.point, p.value, p.stack)
+}
+
+func (p *pointPanic) String() string { return p.Error() }
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *pointPanic) Unwrap() error {
+	if err, ok := p.value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // StepStat selects the per-set statistic of a stepwise experiment.

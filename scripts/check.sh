@@ -60,6 +60,36 @@ for f in results/BENCH_*.json; do
 	go run ./cmd/bench -check "$f"
 done
 
+echo '== serving subsystem (smoke)'
+srvdir=$(mktemp -d)
+go build -o "$srvdir/serve" ./cmd/serve
+go build -o "$srvdir/loadgen" ./cmd/loadgen
+"$srvdir/serve" -addr 127.0.0.1:0 -port-file "$srvdir/addr" > "$srvdir/serve.log" 2>&1 &
+srvpid=$!
+i=0
+while [ ! -s "$srvdir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo 'serve never wrote -port-file'
+		cat "$srvdir/serve.log"
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$srvdir/addr")
+curl -sf "http://$addr/healthz" | grep -q '"status": "ok"'
+req='{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,3,5,7,12],"bytes":4096}'
+curl -sf -X POST "http://$addr/v1/simulate" -d "$req" -D "$srvdir/h1" -o "$srvdir/b1"
+curl -sf -X POST "http://$addr/v1/simulate" -d "$req" -D "$srvdir/h2" -o "$srvdir/b2"
+cmp "$srvdir/b1" "$srvdir/b2"   # cached re-request must be byte-identical
+grep -qi 'x-cache: miss' "$srvdir/h1"
+grep -qi 'x-cache: hit' "$srvdir/h2"
+curl -sf "http://$addr/metrics" | grep -q '# TYPE server_requests counter'
+curl -sf "http://$addr/metrics/json" | grep -q '"schema": "hypercube-metrics/v1"'
+"$srvdir/loadgen" -url "http://$addr" -c 4 -n 100 -keys 10 > /dev/null
+kill -TERM "$srvpid"
+wait "$srvpid"                  # graceful drain must exit 0
+
 echo '== examples (smoke)'
 for e in quickstart broadcast datapar collectives protocol; do
 	go run "./examples/$e" > /dev/null
