@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -131,6 +132,7 @@ type Server struct {
 	mRequests, mOK, mErrors *metrics.Counter
 	mWatchdog               *metrics.Counter
 	mSims                   *metrics.Counter
+	mLate                   *metrics.Counter
 	hLatency                *metrics.Histogram
 
 	// testHook, when set by tests, runs at the start of every pooled
@@ -166,6 +168,7 @@ func New(cfg Config) *Server {
 		mErrors:   reg.Counter("server_responses_error"),
 		mWatchdog: reg.Counter("server_watchdog_aborts"),
 		mSims:     reg.Counter("server_sims_executed"),
+		mLate:     reg.Counter("server_late_cache_inserts"),
 		hLatency:  reg.Histogram("server_request_us"),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -195,9 +198,10 @@ func (s *Server) Drain() {
 
 // runOnPool submits job through admission control and waits for its
 // result or the wall-clock timeout. Panics inside job are converted to
-// errors (watchdog diagnostics keep their type) so one poisonous request
+// errors (watchdog diagnostics keep their type, even when wrapped by an
+// intermediate layer such as a workload sweep) so one poisonous request
 // cannot kill a worker.
-func (s *Server) runOnPool(job func() ([]byte, error)) ([]byte, error) {
+func (s *Server) runOnPool(key string, job func() ([]byte, error)) ([]byte, error) {
 	type outcome struct {
 		body []byte
 		err  error
@@ -206,11 +210,7 @@ func (s *Server) runOnPool(job func() ([]byte, error)) ([]byte, error) {
 	wrapped := func() {
 		defer func() {
 			if v := recover(); v != nil {
-				if d, ok := v.(*event.Diagnostic); ok {
-					ch <- outcome{nil, d}
-					return
-				}
-				ch <- outcome{nil, fmt.Errorf("server: simulation panicked: %v", v)}
+				ch <- outcome{nil, panicError(v)}
 			}
 		}()
 		if s.testHook != nil {
@@ -228,8 +228,40 @@ func (s *Server) runOnPool(job func() ([]byte, error)) ([]byte, error) {
 	case o := <-ch:
 		return o.body, o.err
 	case <-timer.C:
+		// The job keeps running on its worker; this request is abandoned,
+		// and Cache.Do settles the flight with errTimeout. Salvage the
+		// eventual result so later identical requests hit the cache instead
+		// of stacking duplicate work on an already-busy pool.
+		go func() {
+			if o := <-ch; o.err == nil && o.body != nil {
+				s.cache.Put(key, o.body)
+				s.mLate.Inc()
+			}
+		}()
 		return nil, errTimeout
 	}
+}
+
+// panicError maps a recovered panic value onto the error taxonomy: watchdog
+// diagnostics keep their type — even when an intermediate layer repanicked
+// with a wrapper error (errors.As walks Unwrap) — and everything else
+// becomes a one-line error with any goroutine stack trimmed off, so raw
+// stacks never reach a client-facing body.
+func panicError(v any) error {
+	if d, ok := v.(*event.Diagnostic); ok {
+		return d
+	}
+	if err, ok := v.(error); ok {
+		var d *event.Diagnostic
+		if errors.As(err, &d) {
+			return d
+		}
+	}
+	msg := fmt.Sprintf("%v", v)
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return fmt.Errorf("server: simulation panicked: %s", msg)
 }
 
 // serveCached is the shared POST pipeline: decode strictly, normalize into
@@ -241,6 +273,9 @@ func serveCached[Req any](s *Server, kind string, w http.ResponseWriter, r *http
 	normalize func(*Req) error, run func(Req) (any, error)) {
 	started := time.Now()
 	s.mRequests.Inc()
+	// Latency covers every outcome — shed, timed-out, and errored requests
+	// included — so the histogram stays honest under load.
+	defer func() { s.hLatency.Observe(time.Since(started).Microseconds()) }()
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "bad_request", fmt.Sprintf("%s requires POST", kind), nil)
 		return
@@ -266,7 +301,7 @@ func serveCached[Req any](s *Server, kind string, w http.ResponseWriter, r *http
 		return
 	}
 	body, src, err := s.cache.Do(key, func() ([]byte, error) {
-		return s.runOnPool(func() ([]byte, error) {
+		return s.runOnPool(key, func() ([]byte, error) {
 			resp, err := run(req)
 			if err != nil {
 				return nil, err
@@ -282,7 +317,6 @@ func serveCached[Req any](s *Server, kind string, w http.ResponseWriter, r *http
 	w.Header().Set("X-Cache", src.String())
 	w.Write(body)
 	s.mOK.Inc()
-	s.hLatency.Observe(time.Since(started).Microseconds())
 }
 
 // encodeBody is the single response encoder: indented JSON with a trailing

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"hypercube/internal/event"
 	"hypercube/internal/metrics"
 )
 
@@ -336,6 +338,121 @@ func TestValidationErrors(t *testing.T) {
 		if !strings.Contains(strings.ToLower(e.Error), c.wantSub) {
 			t.Errorf("%s: error %q does not mention %q", c.path, e.Error, c.wantSub)
 		}
+	}
+}
+
+func TestDestsContainingSrc(t *testing.T) {
+	// Regression: when the sorted dests list starts with src (src=0,
+	// dests=[0,1]) the dedup guard used to index out[-1] and panic,
+	// dropping the connection instead of serving the request.
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"w-sort","src":0,"dests":[0,1]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("src in dests: status = %d (%s), want 200", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Request.Dests) != 1 || sr.Request.Dests[0] != 1 {
+		t.Errorf("canonical dests = %v, want [1]", sr.Request.Dests)
+	}
+	// A set that reduces to nothing after stripping src is a 400, not a crash.
+	resp, body = post(t, ts.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"w-sort","src":0,"dests":[0,0]}`)
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte("only the source")) {
+		t.Errorf("src-only dests: %d (%s), want 400 mentioning only the source", resp.StatusCode, body)
+	}
+}
+
+// diagWrapper mimics an intermediate layer (e.g. a workload sweep point)
+// repanicking with an error that wraps the watchdog diagnostic and embeds a
+// goroutine stack in its message.
+type diagWrapper struct{ d *event.Diagnostic }
+
+func (w diagWrapper) Error() string {
+	return "sweep point 3 panicked: budget\ngoroutine 7 [running]:\nfake stack"
+}
+func (w diagWrapper) Unwrap() error { return w.d }
+
+func TestPanicErrorTaxonomy(t *testing.T) {
+	d := &event.Diagnostic{Reason: "max steps", Steps: 2}
+	if got := panicError(d); got != error(d) {
+		t.Errorf("bare diagnostic: got %v", got)
+	}
+	if got := panicError(diagWrapper{d}); got != error(d) {
+		t.Errorf("wrapped diagnostic not unwrapped: got %v", got)
+	}
+	got := panicError(errors.New("boom\ngoroutine 1 [running]:\nfake stack"))
+	if strings.Contains(got.Error(), "stack") || !strings.Contains(got.Error(), "boom") {
+		t.Errorf("panic message not trimmed to one line: %q", got.Error())
+	}
+}
+
+func TestPanicResponsesSanitizedAndWatchdogTyped(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.testHook = func() { panic(fmt.Errorf("kaboom\ngoroutine 9 [running]:\nfake stack")) }
+	resp, body := post(t, ts.URL, "/v1/simulate", simReq)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking job: status = %d (%s), want 500", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != "internal" {
+		t.Fatalf("panic body = %s, want code internal", body)
+	}
+	if strings.Contains(e.Error, "stack") {
+		t.Errorf("client-facing error echoes a goroutine stack: %q", e.Error)
+	}
+
+	// A diagnostic repanicked through a wrapper (the workload sweep shape)
+	// still maps to the structured 504, not a 500.
+	s2, ts2 := newTestServer(t, Config{})
+	s2.testHook = func() { panic(diagWrapper{&event.Diagnostic{Reason: "max steps", Steps: 7}}) }
+	resp, body = post(t, ts2.URL, "/v1/simulate", simReq)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("wrapped diagnostic: status = %d (%s), want 504", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != "watchdog" || e.Watchdog == nil || e.Watchdog.Reason != "max steps" {
+		t.Errorf("wrapped diagnostic body = %s, want watchdog reason %q", body, "max steps")
+	}
+}
+
+func TestTimeoutSalvagesLateResultAndRecordsLatency(t *testing.T) {
+	reg := metrics.New()
+	s, ts := newTestServer(t, Config{Workers: 1, Timeout: 20 * time.Millisecond, Metrics: reg})
+	release := make(chan struct{})
+	s.testHook = func() { <-release }
+
+	resp, body := post(t, ts.URL, "/v1/simulate", simReq)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request: status = %d (%s), want 503", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != "deadline" {
+		t.Fatalf("timeout body = %s, want code deadline", body)
+	}
+	// Errored requests land in the latency histogram too.
+	if n := reg.Snapshot().Histograms["server_request_us"].Count; n != 1 {
+		t.Errorf("latency observations after timeout = %d, want 1", n)
+	}
+
+	// The abandoned job keeps running; once it finishes, its result is
+	// salvaged into the cache so identical requests stop recomputing.
+	close(release)
+	waitFor(t, "late cache insert", func() bool {
+		return reg.Snapshot().Counters["server_late_cache_inserts"] == 1
+	})
+	r2, b2 := post(t, ts.URL, "/v1/simulate", simReq)
+	if r2.StatusCode != 200 {
+		t.Fatalf("post-salvage request: status = %d (%s), want 200", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("post-salvage X-Cache = %q, want hit", got)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(b2, &sr); err != nil || sr.MakespanNS <= 0 {
+		t.Errorf("salvaged body not a valid response: %v\n%s", err, b2)
 	}
 }
 

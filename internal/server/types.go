@@ -83,11 +83,11 @@ func normalizeDests(cube topology.Cube, src topology.NodeID, dests []int, destCo
 	}
 	sort.Ints(dests)
 	out := dests[:0]
-	for i, d := range dests {
+	for _, d := range dests {
 		if d < 0 || d >= n {
 			return nil, badf("destination %d outside the %d-node cube", d, n)
 		}
-		if topology.NodeID(d) == src || (i > 0 && d == out[len(out)-1]) {
+		if topology.NodeID(d) == src || (len(out) > 0 && d == out[len(out)-1]) {
 			continue
 		}
 		out = append(out, d)

@@ -277,6 +277,18 @@ func (c *Cache) insertLocked(s *shard, key string, val []byte) {
 	c.gBytes.Set(c.bytesN.Load())
 }
 
+// Put inserts val for key directly, bypassing singleflight. It exists for
+// results that finish after their flight was abandoned (e.g. a wall-clock
+// timeout settled the flight with an error while the computation kept
+// running): salvaging the late value lets subsequent identical requests
+// hit the cache instead of recomputing.
+func (c *Cache) Put(key string, val []byte) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	c.insertLocked(s, key, val)
+	s.mu.Unlock()
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return int(c.entriesN.Load()) }
 

@@ -38,6 +38,29 @@ func TestKeyCanonical(t *testing.T) {
 	}
 }
 
+func TestPutInsertsDirectly(t *testing.T) {
+	// Put is the late-result salvage path: a value inserted outside any
+	// flight serves subsequent Dos as plain hits without recomputing.
+	c := New(Config{})
+	c.Put("k", []byte("late"))
+	if c.Len() != 1 || c.Bytes() != 4 {
+		t.Fatalf("after Put: %d entries / %d bytes, want 1 / 4", c.Len(), c.Bytes())
+	}
+	v, src, err := c.Do("k", func() ([]byte, error) {
+		t.Error("compute ran despite Put")
+		return nil, nil
+	})
+	if err != nil || src != Hit || string(v) != "late" {
+		t.Fatalf("Do after Put = %q, %v, %v; want late, hit, nil", v, src, err)
+	}
+	// Put on an existing key keeps the original bytes (identical by
+	// construction) rather than double-counting.
+	c.Put("k", []byte("late"))
+	if c.Len() != 1 || c.Bytes() != 4 {
+		t.Errorf("after duplicate Put: %d entries / %d bytes, want 1 / 4", c.Len(), c.Bytes())
+	}
+}
+
 func TestDoHitMissAndCounters(t *testing.T) {
 	reg := metrics.New()
 	c := New(Config{Metrics: reg})
