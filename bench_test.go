@@ -39,6 +39,7 @@ func midpointMetrics(b *testing.B, tb *stats.Table, unit string) {
 // BenchmarkFig09Stepwise6Cube regenerates Figure 9: average of maximum
 // steps on a 6-cube, all-port.
 func BenchmarkFig09Stepwise6Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Stepwise(workload.StepwiseConfig{
@@ -52,6 +53,7 @@ func BenchmarkFig09Stepwise6Cube(b *testing.B) {
 // BenchmarkFig10Stepwise10Cube regenerates Figure 10: average of maximum
 // steps on a 10-cube, all-port.
 func BenchmarkFig10Stepwise10Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Stepwise(workload.StepwiseConfig{
@@ -65,6 +67,7 @@ func BenchmarkFig10Stepwise10Cube(b *testing.B) {
 // BenchmarkFig11AvgDelay5Cube regenerates Figure 11: average delay of
 // 4096-byte multicasts on the 5-cube nCUBE-2 model.
 func BenchmarkFig11AvgDelay5Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Delay(workload.DelayConfig{
@@ -78,6 +81,7 @@ func BenchmarkFig11AvgDelay5Cube(b *testing.B) {
 // BenchmarkFig12MaxDelay5Cube regenerates Figure 12: maximum delay on the
 // 5-cube nCUBE-2 model.
 func BenchmarkFig12MaxDelay5Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Delay(workload.DelayConfig{
@@ -91,6 +95,7 @@ func BenchmarkFig12MaxDelay5Cube(b *testing.B) {
 // BenchmarkFig13AvgDelay10Cube regenerates Figure 13: average delay on the
 // simulated 1024-node system.
 func BenchmarkFig13AvgDelay10Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Delay(workload.DelayConfig{
@@ -104,6 +109,7 @@ func BenchmarkFig13AvgDelay10Cube(b *testing.B) {
 // BenchmarkFig14MaxDelay10Cube regenerates Figure 14: maximum delay on the
 // simulated 1024-node system.
 func BenchmarkFig14MaxDelay10Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Delay(workload.DelayConfig{
@@ -117,6 +123,7 @@ func BenchmarkFig14MaxDelay10Cube(b *testing.B) {
 // BenchmarkSizeSweep5Cube regenerates the Section 5.2 "messages of various
 // sizes" measurement at a fixed 12-destination load.
 func BenchmarkSizeSweep5Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.SizeSweep(workload.SizeSweepConfig{
@@ -130,6 +137,7 @@ func BenchmarkSizeSweep5Cube(b *testing.B) {
 // BenchmarkExtConcurrent6Cube regenerates the interference extension
 // experiment (not in the paper): k simultaneous multicasts on one network.
 func BenchmarkExtConcurrent6Cube(b *testing.B) {
+	b.ReportAllocs()
 	var tb *stats.Table
 	for i := 0; i < b.N; i++ {
 		tb = workload.Concurrent(workload.ConcurrentConfig{
@@ -150,10 +158,22 @@ func benchBuild(b *testing.B, a hypercube.Algorithm, n, m int) {
 	}
 }
 
-func BenchmarkBuildUCube10Cube512(b *testing.B)   { benchBuild(b, hypercube.UCube, 10, 512) }
-func BenchmarkBuildMaxport10Cube512(b *testing.B) { benchBuild(b, hypercube.Maxport, 10, 512) }
-func BenchmarkBuildCombine10Cube512(b *testing.B) { benchBuild(b, hypercube.Combine, 10, 512) }
-func BenchmarkBuildWSort10Cube512(b *testing.B)   { benchBuild(b, hypercube.WSort, 10, 512) }
+func BenchmarkBuildUCube10Cube512(b *testing.B) {
+	b.ReportAllocs()
+	benchBuild(b, hypercube.UCube, 10, 512)
+}
+func BenchmarkBuildMaxport10Cube512(b *testing.B) {
+	b.ReportAllocs()
+	benchBuild(b, hypercube.Maxport, 10, 512)
+}
+func BenchmarkBuildCombine10Cube512(b *testing.B) {
+	b.ReportAllocs()
+	benchBuild(b, hypercube.Combine, 10, 512)
+}
+func BenchmarkBuildWSort10Cube512(b *testing.B) {
+	b.ReportAllocs()
+	benchBuild(b, hypercube.WSort, 10, 512)
+}
 
 // Weighted sort: centralized Figure 7 procedure vs the O(m log m) variant.
 func benchWeightedSort(b *testing.B, fast bool, n, m int) {
@@ -171,11 +191,15 @@ func benchWeightedSort(b *testing.B, fast bool, n, m int) {
 	}
 }
 
-func BenchmarkWeightedSortCentralized(b *testing.B) { benchWeightedSort(b, false, 12, 2048) }
-func BenchmarkWeightedSortFast(b *testing.B)        { benchWeightedSort(b, true, 12, 2048) }
+func BenchmarkWeightedSortCentralized(b *testing.B) {
+	b.ReportAllocs()
+	benchWeightedSort(b, false, 12, 2048)
+}
+func BenchmarkWeightedSortFast(b *testing.B) { b.ReportAllocs(); benchWeightedSort(b, true, 12, 2048) }
 
 // Stepwise scheduling of a large tree.
 func BenchmarkScheduleAllPort(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(10, hypercube.HighToLow)
 	tree := hypercube.Multicast(cube, hypercube.WSort, 0, hypercube.RandomDests(cube, 3, 0, 512))
 	b.ResetTimer()
@@ -186,6 +210,7 @@ func BenchmarkScheduleAllPort(b *testing.B) {
 
 // Full machine simulation of one 1024-node broadcast.
 func BenchmarkSimulateBroadcast10Cube(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(10, hypercube.HighToLow)
 	tree := hypercube.Broadcast(cube, hypercube.WSort, 0)
 	params := hypercube.NCube2Params(hypercube.AllPort)
@@ -197,6 +222,7 @@ func BenchmarkSimulateBroadcast10Cube(b *testing.B) {
 
 // Definition 4 contention checking (quadratic in unicasts).
 func BenchmarkCheckContention(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(8, hypercube.HighToLow)
 	tree := hypercube.Multicast(cube, hypercube.WSort, 0, hypercube.RandomDests(cube, 11, 0, 128))
 	s := hypercube.Schedule(tree, hypercube.AllPort)
@@ -211,6 +237,7 @@ func BenchmarkCheckContention(b *testing.B) {
 // Ablation: the cost/benefit of the weighted sort, reported as the step
 // advantage of W-sort over plain Maxport at a mid-load point.
 func BenchmarkAblationWeightedSortBenefit(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(8, hypercube.HighToLow)
 	var gain float64
 	for i := 0; i < b.N; i++ {
@@ -229,6 +256,7 @@ func BenchmarkAblationWeightedSortBenefit(b *testing.B) {
 
 // Collective operations on the 64-node machine model.
 func BenchmarkCollectiveScatter6Cube(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(6, hypercube.HighToLow)
 	p := hypercube.NCube2Params(hypercube.AllPort)
 	for i := 0; i < b.N; i++ {
@@ -237,6 +265,7 @@ func BenchmarkCollectiveScatter6Cube(b *testing.B) {
 }
 
 func BenchmarkCollectiveBarrier8Cube(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(8, hypercube.HighToLow)
 	p := hypercube.NCube2Params(hypercube.AllPort)
 	for i := 0; i < b.N; i++ {
@@ -247,6 +276,7 @@ func BenchmarkCollectiveBarrier8Cube(b *testing.B) {
 // Flit-level simulation of one 4 KB unicast across a 10-cube (4096 cycles
 // of pipeline per message) — the cost of the high-fidelity backend.
 func BenchmarkFlitLevelUnicast(b *testing.B) {
+	b.ReportAllocs()
 	cube := topology.New(10, topology.HighToLow)
 	for i := 0; i < b.N; i++ {
 		nw := flitsim.New(cube, flitsim.Config{BufFlits: 2})
@@ -257,6 +287,7 @@ func BenchmarkFlitLevelUnicast(b *testing.B) {
 
 // Concurrent goroutine-per-node emulation of a 128-node broadcast.
 func BenchmarkEmulatorBroadcast7Cube(b *testing.B) {
+	b.ReportAllocs()
 	cube := topology.New(7, topology.HighToLow)
 	e := emulator.New(cube)
 	defer e.Close()
@@ -274,6 +305,7 @@ func BenchmarkEmulatorBroadcast7Cube(b *testing.B) {
 // Interference study: four overlapping 20-destination W-sort multicasts on
 // one 64-node network.
 func BenchmarkSimulateManyConcurrent(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(6, hypercube.HighToLow)
 	p := hypercube.NCube2Params(hypercube.AllPort)
 	var trees []*hypercube.Tree
@@ -290,6 +322,7 @@ func BenchmarkSimulateManyConcurrent(b *testing.B) {
 
 // Exact-optimal search on the paper's Figure 3 instance.
 func BenchmarkOptimalSearchFig3(b *testing.B) {
+	b.ReportAllocs()
 	cube := topology.New(4, topology.HighToLow)
 	dests := []topology.NodeID{1, 3, 5, 7, 11, 12, 14, 15}
 	for i := 0; i < b.N; i++ {
@@ -301,6 +334,7 @@ func BenchmarkOptimalSearchFig3(b *testing.B) {
 
 // Baseline for context: one ncube.Run on a mid-size 6-cube multicast.
 func BenchmarkSimulateMulticast6Cube(b *testing.B) {
+	b.ReportAllocs()
 	cube := hypercube.New(6, hypercube.HighToLow)
 	tree := hypercube.Multicast(cube, hypercube.UCube, 0, hypercube.RandomDests(cube, 13, 0, 32))
 	params := ncube.NCube2(core.AllPort)

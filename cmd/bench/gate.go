@@ -1,0 +1,177 @@
+// The bench gate: pinned Go-benchmark measurements (ns/op, allocs/op,
+// bytes/op) recorded next to the experiment headlines in every full
+// BENCH_<date>.json, and a compare mode that fails when the current build
+// regresses against the committed baseline beyond a statistical tolerance.
+//
+// The pinned subset deliberately mirrors bench_test.go benchmark bodies
+// one-for-one (same names, same fidelities), so `go test -bench` output and
+// gate documents are directly comparable. It is kept small — one tree/
+// schedule workload, one machine-delay workload, one raw simulation — so
+// the gate stays seconds-fast and stable on shared runners.
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"hypercube"
+	"hypercube/internal/core"
+	"hypercube/internal/workload"
+)
+
+// GateResult is one pinned benchmark measurement. AllocsPerOp is the
+// regression signal the gate weights most: allocation counts are nearly
+// deterministic for this codebase's fixed-seed workloads, while wall time
+// varies with runner load.
+type GateResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	BytesPerOp  float64 `json:"bytes_op"`
+}
+
+// gateBenchmarks mirrors the like-named benchmarks of bench_test.go. Keep
+// the bodies in sync — the names are the contract between `go test -bench`
+// numbers and gate documents.
+func gateBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BenchmarkFig09Stepwise6Cube", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				workload.Stepwise(workload.StepwiseConfig{
+					Dim: 6, Trials: 20, Seed: 1993, Port: core.AllPort,
+					DestCounts: workload.DestCounts(6, 16),
+				})
+			}
+		}},
+		{"BenchmarkFig11AvgDelay5Cube", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				workload.Delay(workload.DelayConfig{
+					Dim: 5, Trials: 10, Seed: 1993, Bytes: 4096,
+					Stat: workload.AvgDelay, DestCounts: workload.DestCounts(5, 8),
+				})
+			}
+		}},
+		{"BenchmarkSimulateBroadcast10Cube", func(b *testing.B) {
+			cube := hypercube.New(10, hypercube.HighToLow)
+			tree := hypercube.Broadcast(cube, hypercube.WSort, 0)
+			params := hypercube.NCube2Params(hypercube.AllPort)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hypercube.Simulate(params, tree, 4096)
+			}
+		}},
+	}
+}
+
+// runGate measures every pinned benchmark once via testing.Benchmark
+// (default 1s target per benchmark) and returns the results in definition
+// order.
+func runGate() []GateResult {
+	var out []GateResult
+	for _, g := range gateBenchmarks() {
+		r := testing.Benchmark(g.fn)
+		out = append(out, GateResult{
+			Name:        g.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		})
+		fmt.Printf("gate %-34s %12.0f ns/op %10.0f allocs/op\n",
+			g.name, out[len(out)-1].NsPerOp, out[len(out)-1].AllocsPerOp)
+	}
+	return out
+}
+
+// latestBaseline returns the lexicographically last results/BENCH_*.json
+// that carries a gate section — dated names sort chronologically, so this
+// is the most recently committed baseline.
+func latestBaseline(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	for i := len(paths) - 1; i >= 0; i-- {
+		doc, err := readBenchDoc(paths[i])
+		if err != nil {
+			return "", fmt.Errorf("%s: %v", paths[i], err)
+		}
+		if len(doc.Gate) > 0 {
+			return paths[i], nil
+		}
+	}
+	return "", fmt.Errorf("no BENCH_*.json with a gate section under %s", dir)
+}
+
+// gateCompare runs the pinned benchmarks and compares them against the
+// baseline document with the given relative tolerances. It prints a
+// benchstat-style before/after table and returns an error describing every
+// regression, or nil when the gate passes.
+//
+// Allocation counts additionally get a small absolute slack (a handful of
+// allocs) so runtime-internal jitter on a nearly-allocation-free benchmark
+// cannot flip the gate.
+func gateCompare(baselinePath string, tolNs, tolAllocs float64) error {
+	doc, err := readBenchDoc(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %v", baselinePath, err)
+	}
+	if len(doc.Gate) == 0 {
+		return fmt.Errorf("baseline %s has no gate section (refresh it with a full `bench` run)", baselinePath)
+	}
+	base := make(map[string]GateResult, len(doc.Gate))
+	for _, g := range doc.Gate {
+		base[g.Name] = g
+	}
+	cur := runGate()
+
+	const allocSlack = 8.0
+	fmt.Printf("\ngate vs %s (tolerance: ns %+.0f%%, allocs %+.0f%%)\n", baselinePath, tolNs*100, tolAllocs*100)
+	fmt.Printf("%-34s %14s %14s %8s %14s %14s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	var failures []string
+	for _, c := range cur {
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %8s %14s %14.0f %8s\n",
+				c.Name, "-", c.NsPerOp, "new", "-", c.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %7.1f%% %14.0f %14.0f %7.1f%%\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pct(b.NsPerOp, c.NsPerOp),
+			b.AllocsPerOp, c.AllocsPerOp, pct(b.AllocsPerOp, c.AllocsPerOp))
+		if c.NsPerOp > b.NsPerOp*(1+tolNs) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				c.Name, c.NsPerOp, b.NsPerOp, tolNs*100))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+tolAllocs)+allocSlack {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp, tolAllocs*100))
+		}
+	}
+	if len(failures) > 0 {
+		msg := "performance regression:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Println("gate passed")
+	return nil
+}
+
+// pct renders the relative change from old to new as a percentage.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}

@@ -39,13 +39,17 @@ const BenchSchema = "hypercube-bench/v1"
 
 // BenchDoc is the BENCH_<date>.json layout.
 type BenchDoc struct {
-	Schema     string           `json:"schema"`
-	Date       string           `json:"date"`
-	GoVersion  string           `json:"go"`
-	Smoke      bool             `json:"smoke"`
-	Seed       int64            `json:"seed"`
-	Benchmarks []BenchResult    `json:"benchmarks"`
-	Metrics    metrics.Snapshot `json:"metrics"`
+	Schema     string        `json:"schema"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go"`
+	Smoke      bool          `json:"smoke"`
+	Seed       int64         `json:"seed"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	// Gate holds the pinned Go-benchmark measurements (see gate.go) that
+	// the regression gate compares across commits. Full runs record it;
+	// smoke runs omit it to stay seconds-fast.
+	Gate    []GateResult     `json:"gate,omitempty"`
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 // BenchResult is one experiment's entry: wall-clock cost plus the headline
@@ -61,11 +65,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		dir   = flag.String("dir", "results", "output directory")
-		date  = flag.String("date", "", "date stamp for the output file (YYYY-MM-DD, default today)")
-		smoke = flag.Bool("smoke", false, "seconds-fast reduced fidelities (CI smoke mode)")
-		check = flag.String("check", "", "validate a bench or metrics JSON `file` and exit")
-		seed  = flag.Int64("seed", 1993, "workload RNG seed")
+		dir       = flag.String("dir", "results", "output directory")
+		date      = flag.String("date", "", "date stamp for the output file (YYYY-MM-DD, default today)")
+		smoke     = flag.Bool("smoke", false, "seconds-fast reduced fidelities (CI smoke mode)")
+		check     = flag.String("check", "", "validate a bench or metrics JSON `file` and exit")
+		seed      = flag.Int64("seed", 1993, "workload RNG seed")
+		gate      = flag.Bool("gate", false, "run the pinned benchmark gate against the committed baseline and exit")
+		baseline  = flag.String("baseline", "", "baseline `file` for -gate (default: latest results/BENCH_*.json with gate data)")
+		tolNs     = flag.Float64("tol-ns", 0.40, "relative ns/op regression tolerance for -gate")
+		tolAllocs = flag.Float64("tol-allocs", 0.15, "relative allocs/op regression tolerance for -gate")
 	)
 	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
@@ -75,6 +83,19 @@ func main() {
 			log.Fatalf("%s: %v", *check, err)
 		}
 		fmt.Printf("ok: %s\n", *check)
+		return
+	}
+	if *gate {
+		path := *baseline
+		if path == "" {
+			var err error
+			if path, err = latestBaseline(*dir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := gateCompare(path, *tolNs, *tolAllocs); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *date == "" {
@@ -106,6 +127,9 @@ func main() {
 			Headline:    midpointHeadline(tb, bm.unit),
 		})
 		fmt.Printf("ran %-24s %8s\n", bm.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !*smoke {
+		doc.Gate = runGate()
 	}
 	doc.Metrics = reg.Snapshot()
 
@@ -261,6 +285,17 @@ func checkFile(path string) error {
 				}
 			}
 		}
+		for _, g := range doc.Gate {
+			if g.Name == "" {
+				return fmt.Errorf("gate entry with empty name")
+			}
+			if !finite(g.NsPerOp) || g.NsPerOp < 0 ||
+				!finite(g.AllocsPerOp) || g.AllocsPerOp < 0 ||
+				!finite(g.BytesPerOp) || g.BytesPerOp < 0 {
+				return fmt.Errorf("gate %s: bad measurement (%v ns/op, %v allocs/op, %v B/op)",
+					g.Name, g.NsPerOp, g.AllocsPerOp, g.BytesPerOp)
+			}
+		}
 		return checkSnapshot(doc.Metrics)
 	case metrics.DocSchema:
 		var doc metrics.Doc
@@ -288,6 +323,22 @@ func checkSnapshot(s metrics.Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// readBenchDoc loads and strictly parses one BENCH_<date>.json document.
+func readBenchDoc(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := strictUnmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != BenchSchema {
+		return nil, fmt.Errorf("unexpected schema %q", doc.Schema)
+	}
+	return &doc, nil
 }
 
 func strictUnmarshal(data []byte, v any) error {

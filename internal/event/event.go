@@ -5,7 +5,6 @@
 package event
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hypercube/internal/metrics"
@@ -30,34 +29,42 @@ func (t Time) Micros() string {
 // Seconds returns t in seconds as a float.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Op is a pre-bound event: an object that knows how to run itself when its
+// time comes. Scheduling an Op (AtOp/AfterOp) allocates nothing — the
+// calendar stores the two interface words inline — whereas scheduling a
+// closure (At/After) allocates the closure. Simulators on the hot path
+// (wormhole's per-hop header advance and tail-drain events, ncube's
+// per-send software setup) implement Op on objects they already own.
+type Op interface {
+	// RunEvent executes the event at its scheduled time.
+	RunEvent()
+}
+
+// item is one calendar entry. Exactly one of op and fn is set.
 type item struct {
 	at  Time
 	seq uint64
+	op  Op
 	fn  func()
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the calendar's total order: time, then FIFO sequence. It has no
+// ties, so the execution order is unique and independent of the heap shape.
+func before(a, b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return a.seq < b.seq
 }
 
 // Queue is a single-threaded event calendar. The zero value is ready to use.
+//
+// The calendar is a typed binary min-heap grown in place: no interface{}
+// boxing per push (the container/heap API costs one heap allocation per
+// scheduled event), no per-pop unboxing, and the backing array's capacity
+// survives Reset for pooled reuse across simulation runs.
 type Queue struct {
-	h        eventHeap
+	h        []item
 	now      Time
 	seq      uint64
 	diagnose func() string
@@ -66,6 +73,48 @@ type Queue struct {
 	// one pointer check per operation.
 	mSteps *metrics.Counter
 	mDepth *metrics.Gauge
+}
+
+// push inserts it and restores the heap order by sifting up.
+func (q *Queue) push(it item) {
+	q.h = append(q.h, it)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest entry. The vacated slot is zeroed so
+// the backing array does not retain the event's closure or Op.
+func (q *Queue) pop() item {
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = item{}
+	q.h = q.h[:n]
+	// Sift the relocated entry down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && before(q.h[r], q.h[l]) {
+			min = r
+		}
+		if !before(q.h[min], q.h[i]) {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	return top
 }
 
 // SetMetrics wires the queue into a metrics registry: every executed event
@@ -86,25 +135,39 @@ func (q *Queue) Now() Time { return q.now }
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would silently corrupt causality.
-func (q *Queue) At(t Time, fn func()) {
+// schedule validates t and inserts one calendar entry.
+func (q *Queue) schedule(t Time, op Op, fn func()) {
 	if t < q.now {
 		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, q.now))
 	}
 	q.seq++
-	heap.Push(&q.h, item{at: t, seq: q.seq, fn: fn})
+	q.push(item{at: t, seq: q.seq, op: op, fn: fn})
 	if q.mDepth != nil {
 		q.mDepth.SetMax(int64(len(q.h)))
 	}
 }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (q *Queue) At(t Time, fn func()) { q.schedule(t, nil, fn) }
 
 // After schedules fn to run d after the current time.
 func (q *Queue) After(d Time, fn func()) {
 	if d < 0 {
 		panic("event: negative delay")
 	}
-	q.At(q.now+d, fn)
+	q.schedule(q.now+d, nil, fn)
+}
+
+// AtOp schedules op to run at absolute time t without allocating.
+func (q *Queue) AtOp(t Time, op Op) { q.schedule(t, op, nil) }
+
+// AfterOp schedules op to run d after the current time without allocating.
+func (q *Queue) AfterOp(d Time, op Op) {
+	if d < 0 {
+		panic("event: negative delay")
+	}
+	q.schedule(q.now+d, op, nil)
 }
 
 // Step runs the single earliest event, advancing the clock. It reports
@@ -113,13 +176,32 @@ func (q *Queue) Step() bool {
 	if len(q.h) == 0 {
 		return false
 	}
-	it := heap.Pop(&q.h).(item)
+	it := q.pop()
 	q.now = it.at
 	if q.mSteps != nil {
 		q.mSteps.Inc()
 	}
-	it.fn()
+	if it.op != nil {
+		it.op.RunEvent()
+	} else {
+		it.fn()
+	}
 	return true
+}
+
+// Reset returns the queue to its zero state while keeping the calendar's
+// backing array, so pooled runs reuse its capacity. Pending entries are
+// zeroed (a watchdog-aborted run leaves events behind; their references
+// must not outlive the run), and instruments and the diagnoser are
+// detached — reattach them per run.
+func (q *Queue) Reset() {
+	for i := range q.h {
+		q.h[i] = item{}
+	}
+	q.h = q.h[:0]
+	q.now, q.seq = 0, 0
+	q.diagnose = nil
+	q.mSteps, q.mDepth = nil, nil
 }
 
 // Run executes events until the calendar is empty and returns the final

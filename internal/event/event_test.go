@@ -122,6 +122,83 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// countOp is a minimal pre-bound event for the Op scheduling paths.
+type countOp struct {
+	q     *Queue
+	fired []Time
+}
+
+func (c *countOp) RunEvent() { c.fired = append(c.fired, c.q.Now()) }
+
+func TestOpSchedulingInterleavesWithClosures(t *testing.T) {
+	var q Queue
+	op := &countOp{q: &q}
+	var closures []Time
+	q.AtOp(20, op)
+	q.At(10, func() { closures = append(closures, q.Now()) })
+	q.AfterOp(30, op)
+	q.After(25, func() { closures = append(closures, q.Now()) })
+	q.MustRun(100, 0)
+	if !reflect.DeepEqual(op.fired, []Time{20, 30}) {
+		t.Errorf("op fired at %v", op.fired)
+	}
+	if !reflect.DeepEqual(closures, []Time{10, 25}) {
+		t.Errorf("closures fired at %v", closures)
+	}
+}
+
+func TestOpFIFOTieBreakWithClosures(t *testing.T) {
+	// Ops and closures scheduled at one instant run in scheduling order.
+	var q Queue
+	var got []int
+	rec := &orderOp{sink: &got, tag: 1}
+	q.At(5, func() { got = append(got, 0) })
+	q.AtOp(5, rec)
+	q.At(5, func() { got = append(got, 2) })
+	q.MustRun(100, 0)
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+type orderOp struct {
+	sink *[]int
+	tag  int
+}
+
+func (o *orderOp) RunEvent() { *o.sink = append(*o.sink, o.tag) }
+
+func TestOpNegativeDelayPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Error("negative AfterOp delay did not panic")
+		}
+	}()
+	q.AfterOp(-1, &countOp{q: &q})
+}
+
+func TestResetClearsStateKeepsCapacity(t *testing.T) {
+	var q Queue
+	for i := Time(1); i <= 100; i++ {
+		q.At(i, func() {})
+	}
+	q.RunUntil(50) // leave half the calendar pending
+	if q.Len() == 0 || q.Now() == 0 {
+		t.Fatal("setup failed")
+	}
+	q.Reset()
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Errorf("after Reset: len=%d now=%v", q.Len(), q.Now())
+	}
+	// The queue is immediately reusable and behaves like a fresh one.
+	ran := 0
+	q.At(7, func() { ran++ })
+	if end := q.MustRun(100, 0); end != 7 || ran != 1 {
+		t.Errorf("reused queue: end=%v ran=%d", end, ran)
+	}
+}
+
 func TestTimeFormatting(t *testing.T) {
 	if (163840 * Nanosecond).Micros() != "163.84us" {
 		t.Errorf("Micros = %q", (163840 * Nanosecond).Micros())

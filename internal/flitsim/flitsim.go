@@ -65,19 +65,28 @@ type finisher interface {
 	Finish(cycle int64)
 }
 
+// hop is the per-channel state of one message, consolidated into a single
+// slice entry (instead of five parallel slices) with the channel pointer
+// resolved once at injection — the per-cycle loops never touch the channel
+// map.
+type hop struct {
+	arc      topology.Arc
+	ch       *channelState
+	crossed  int  // flits that have traversed this channel
+	owned    bool // header owns this channel
+	queued   bool // waiting in this channel's arbitration queue
+	notified bool // HeaderBlocked already fired for this channel
+}
+
 // Message is one unicast worm.
 type Message struct {
 	From, To topology.NodeID
 	Flits    int
 
-	path     []topology.Arc
-	start    int64 // injection-eligible cycle
-	fated    bool  // in-transit loss already drawn from the fault hook
-	crossed  []int // crossed[i]: flits that have traversed channel i
-	owned    []bool
-	queued   []bool // queued[i]: waiting in channel i's arbitration queue
-	notified []bool // notified[i]: HeaderBlocked already fired for channel i
-	ejected  int    // flits consumed by the destination
+	hops    []hop
+	start   int64 // injection-eligible cycle
+	fated   bool  // in-transit loss already drawn from the fault hook
+	ejected int   // flits consumed by the destination
 
 	// Done reports completion; DeliveredAt is the cycle the last flit
 	// was consumed; BlockedCycles counts cycles the header spent queued.
@@ -107,6 +116,13 @@ type Network struct {
 	faults   FaultHook
 	failed   int
 	tracer   Tracer
+
+	// Per-run scratch: finished messages return their hop slices here for
+	// reuse by later injections (the network is single-threaded, so a
+	// plain freelist beats sync.Pool), and arcScratch carries path
+	// computation without a per-send allocation.
+	hopFree    [][]hop
+	arcScratch []topology.Arc
 
 	// Observability instruments; nil until SetMetrics installs a registry.
 	mMoves   *metrics.Counter
@@ -161,20 +177,39 @@ func (n *Network) Send(from, to topology.NodeID, flits int, start int64) *Messag
 	if start < n.cycle {
 		panic("flitsim: injection in the past")
 	}
-	path := n.cube.PathArcs(from, to)
+	n.arcScratch = n.cube.AppendPathArcs(n.arcScratch[:0], from, to)
 	m := &Message{
-		From:     from,
-		To:       to,
-		Flits:    flits,
-		path:     path,
-		start:    start,
-		crossed:  make([]int, len(path)),
-		owned:    make([]bool, len(path)),
-		queued:   make([]bool, len(path)),
-		notified: make([]bool, len(path)),
+		From:  from,
+		To:    to,
+		Flits: flits,
+		hops:  n.getHops(len(n.arcScratch)),
+		start: start,
+	}
+	for i, a := range n.arcScratch {
+		m.hops[i] = hop{arc: a, ch: n.channel(a)}
 	}
 	n.msgs = append(n.msgs, m)
 	return m
+}
+
+// getHops returns a zeroed-by-caller hop slice of length k, reusing a
+// freelisted slice when one with enough capacity is available.
+func (n *Network) getHops(k int) []hop {
+	if l := len(n.hopFree); l > 0 {
+		hs := n.hopFree[l-1]
+		n.hopFree = n.hopFree[:l-1]
+		if cap(hs) >= k {
+			return hs[:k]
+		}
+	}
+	return make([]hop, k)
+}
+
+// putHops returns a finished message's hop slice to the freelist.
+func (n *Network) putHops(hs []hop) {
+	if cap(hs) > 0 {
+		n.hopFree = append(n.hopFree, hs[:0])
+	}
 }
 
 func (n *Network) channel(a topology.Arc) *channelState {
@@ -262,15 +297,18 @@ func (n *Network) fail(m *Message) {
 	if n.mFailed != nil {
 		n.mFailed.Inc()
 	}
-	for i, a := range m.path {
-		if m.owned[i] {
-			m.owned[i] = false
-			n.channel(a).owner = nil
+	for i := range m.hops {
+		h := &m.hops[i]
+		if h.owned {
+			h.owned = false
+			h.ch.owner = nil
 			if n.tracer != nil {
-				n.tracer.ChannelReleased(a, n.cycle)
+				n.tracer.ChannelReleased(h.arc, n.cycle)
 			}
 		}
 	}
+	n.putHops(m.hops)
+	m.hops = nil
 }
 
 // finishTrace flushes the tracer's open intervals at the current cycle
@@ -309,17 +347,17 @@ func (n *Network) step() bool {
 			}
 		}
 		i := n.headChannel(m)
-		if i < 0 || m.queued[i] {
+		if i < 0 || m.hops[i].queued {
 			continue
 		}
-		if i == 0 || m.crossed[i-1] > 0 {
-			if n.faults != nil && n.faults.LinkDown(m.path[i], n.cycle) {
+		if i == 0 || m.hops[i-1].crossed > 0 {
+			h := &m.hops[i]
+			if n.faults != nil && n.faults.LinkDown(h.arc, n.cycle) {
 				n.fail(m) // fail-fast: dead channel destroys the worm
 				continue
 			}
-			ch := n.channel(m.path[i])
-			ch.queue = append(ch.queue, m)
-			m.queued[i] = true
+			h.ch.queue = append(h.ch.queue, m)
+			h.queued = true
 		}
 	}
 	for _, m := range n.msgs {
@@ -327,24 +365,25 @@ func (n *Network) step() bool {
 			continue
 		}
 		i := n.headChannel(m)
-		if i >= 0 && m.queued[i] {
-			ch := n.channel(m.path[i])
+		if i >= 0 && m.hops[i].queued {
+			h := &m.hops[i]
+			ch := h.ch
 			if ch.owner == nil && len(ch.queue) > 0 && ch.queue[0] == m {
 				ch.owner = m
 				ch.queue = ch.queue[1:]
-				m.owned[i] = true
-				m.queued[i] = false
+				h.owned = true
+				h.queued = false
 				if n.tracer != nil {
-					n.tracer.ChannelAcquired(m.path[i], m.From, m.To, n.cycle)
+					n.tracer.ChannelAcquired(h.arc, m.From, m.To, n.cycle)
 				}
 			} else {
 				m.BlockedCycles++
 				if n.mBlocked != nil {
 					n.mBlocked.Inc()
 				}
-				if n.tracer != nil && !m.notified[i] {
-					m.notified[i] = true
-					n.tracer.HeaderBlocked(m.path[i], m.From, m.To, n.cycle)
+				if n.tracer != nil && !h.notified {
+					h.notified = true
+					n.tracer.HeaderBlocked(h.arc, m.From, m.To, n.cycle)
 				}
 			}
 		}
@@ -359,7 +398,7 @@ func (n *Network) step() bool {
 		if m.Done || n.cycle < m.start+1 {
 			continue
 		}
-		h := len(m.path)
+		h := len(m.hops)
 		if h == 0 {
 			// Self delivery: one flit per cycle straight to the sink.
 			m.ejected++
@@ -370,39 +409,40 @@ func (n *Network) step() bool {
 			continue
 		}
 		// Ejection: consume one flit if the last buffer holds one.
-		if m.crossed[h-1] > m.ejected {
+		if m.hops[h-1].crossed > m.ejected {
 			m.ejected++
 			progressed = true
 		}
 		for i := h - 1; i >= 0; i-- {
-			if !m.owned[i] || m.crossed[i] >= m.Flits {
+			hp := &m.hops[i]
+			if !hp.owned || hp.crossed >= m.Flits {
 				continue
 			}
 			avail := m.Flits // source holds all flits
 			if i > 0 {
-				avail = m.crossed[i-1] // not yet updated this cycle
+				avail = m.hops[i-1].crossed // not yet updated this cycle
 			}
-			if avail <= m.crossed[i] {
+			if avail <= hp.crossed {
 				continue // no flit waiting upstream
 			}
 			downstream := m.ejected
 			if i < h-1 {
-				downstream = m.crossed[i+1]
+				downstream = m.hops[i+1].crossed
 			}
-			if m.crossed[i]-downstream >= n.cfg.BufFlits {
+			if hp.crossed-downstream >= n.cfg.BufFlits {
 				continue // downstream buffer full
 			}
-			m.crossed[i]++
+			hp.crossed++
 			progressed = true
 			if n.mMoves != nil {
 				n.mMoves.Inc()
 			}
-			if m.crossed[i] == m.Flits {
+			if hp.crossed == m.Flits {
 				// Tail passed: release the channel.
-				m.owned[i] = false
-				n.channel(m.path[i]).owner = nil
+				hp.owned = false
+				hp.ch.owner = nil
 				if n.tracer != nil {
-					n.tracer.ChannelReleased(m.path[i], n.cycle)
+					n.tracer.ChannelReleased(hp.arc, n.cycle)
 				}
 			}
 		}
@@ -416,8 +456,8 @@ func (n *Network) step() bool {
 // headChannel returns the first channel the header has not yet crossed and
 // does not own, or -1 when the header has acquired its full path.
 func (n *Network) headChannel(m *Message) int {
-	for i := range m.path {
-		if !m.owned[i] && m.crossed[i] == 0 {
+	for i := range m.hops {
+		if h := &m.hops[i]; !h.owned && h.crossed == 0 {
 			return i
 		}
 	}
@@ -430,17 +470,20 @@ func (n *Network) finish(m *Message) {
 	if n.mDeliv != nil {
 		n.mDeliv.Inc()
 	}
-	for i, a := range m.path {
-		if m.owned[i] {
+	for i := range m.hops {
+		h := &m.hops[i]
+		if h.owned {
 			// Defensive: tails release channels as they pass, so
 			// nothing should remain owned here.
-			m.owned[i] = false
-			n.channel(a).owner = nil
+			h.owned = false
+			h.ch.owner = nil
 			if n.tracer != nil {
-				n.tracer.ChannelReleased(a, n.cycle)
+				n.tracer.ChannelReleased(h.arc, n.cycle)
 			}
 		}
 	}
+	n.putHops(m.hops)
+	m.hops = nil
 }
 
 // TotalBlocked sums header blocking across all messages.

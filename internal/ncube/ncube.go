@@ -16,6 +16,7 @@ package ncube
 
 import (
 	"fmt"
+	"sync"
 
 	"hypercube/internal/core"
 	"hypercube/internal/event"
@@ -216,9 +217,133 @@ func (r Result) Stats(dests []topology.NodeID) (avg, max event.Time) {
 }
 
 // nodeState tracks the software/injection state of one node during a run.
+// It doubles as the node's pre-bound calendar event (event.Op): a node has
+// at most one software event pending at any instant — its receive overhead
+// completing, or the CPU setup of one send — so the node object itself
+// carries the dispatch stage and rides the calendar without per-event
+// closures.
 type nodeState struct {
+	env   *runEnv
 	sends []core.Send
 	next  int // next send to set up
+	stage int8
+}
+
+const (
+	nodeRecvDone  int8 = iota // TRecv paid; begin forwarding
+	nodeSetupDone             // TStartup paid; inject sends[next-1]
+)
+
+// RunEvent dispatches the node's pending software event.
+func (st *nodeState) RunEvent() {
+	if st.stage == nodeRecvDone {
+		st.env.issueNext(st)
+		return
+	}
+	st.env.setupDone(st)
+}
+
+// runEnv is the pooled per-run scratch of a simulation: the event calendar,
+// the interconnect (with its channel table), the per-node software states,
+// and cached callback values. Runs borrow one from envPool, so experiment
+// drivers and the serving worker pool amortize these structures across
+// runs; everything run-specific is rebound in getEnv.
+type runEnv struct {
+	q      event.Queue
+	net    *wormhole.Network
+	p      Params
+	bytes  int
+	states []nodeState
+	res    *Result
+
+	// Method values cached once per env so the hot paths do not allocate
+	// one per send (deliver) or per run (the diagnoser).
+	deliverFn func(wormhole.Delivery)
+	diagFn    func() string
+}
+
+var envPool = sync.Pool{New: func() any { return new(runEnv) }}
+
+// getEnv borrows an env and rebinds it to one run's machine and tree.
+func getEnv(p Params, tr *core.Tree, res *Result, bytes int) *runEnv {
+	env := envPool.Get().(*runEnv)
+	cfg := wormhole.Config{THop: p.THop, TByte: p.TByte}
+	env.q.Reset()
+	if env.net == nil {
+		env.net = wormhole.New(&env.q, tr.Cube, cfg)
+		env.deliverFn = env.deliver
+		env.diagFn = env.net.Diagnose
+	} else {
+		env.net.Reset(&env.q, tr.Cube, cfg)
+	}
+	env.p, env.bytes, env.res = p, bytes, res
+	n := tr.Cube.Nodes()
+	if cap(env.states) < n {
+		env.states = make([]nodeState, n)
+	}
+	env.states = env.states[:n]
+	for i := range env.states {
+		env.states[i] = nodeState{env: env}
+	}
+	for v, sends := range tr.Sends {
+		env.states[v].sends = sends
+	}
+	return env
+}
+
+// release scrubs run-specific references and returns the env to the pool.
+// Callers skip it when the run panicked — a half-torn-down env must not be
+// reused.
+func (env *runEnv) release() {
+	for i := range env.states {
+		env.states[i].sends = nil
+	}
+	env.res = nil
+	envPool.Put(env)
+}
+
+// issueNext sets up node st's next pending unicast; under the one-port
+// model the following send is issued only after this one's tail has drained
+// into the network (single DMA pair), while the all-port model overlaps
+// transmissions and is limited only by the serial per-send CPU setup.
+func (env *runEnv) issueNext(st *nodeState) {
+	if st.next >= len(st.sends) {
+		return
+	}
+	st.next++
+	st.stage = nodeSetupDone
+	env.q.AfterOp(env.p.TStartup, st)
+}
+
+// setupDone injects the unicast whose CPU setup just completed.
+func (env *runEnv) setupDone(st *nodeState) {
+	snd := st.sends[st.next-1]
+	switch env.p.Port {
+	case core.AllPort:
+		env.net.Send(snd.From, snd.To, env.bytes, env.deliverFn)
+		env.issueNext(st)
+	case core.OnePort:
+		env.net.Send(snd.From, snd.To, env.bytes, func(d wormhole.Delivery) {
+			env.deliver(d)
+			env.issueNext(st)
+		})
+	}
+}
+
+// deliver records a completed unicast and starts the receiver's software
+// overhead, after which the receiver begins its own forwarding work.
+func (env *runEnv) deliver(d wormhole.Delivery) {
+	res := env.res
+	if _, dup := res.Recv[d.To]; dup {
+		panic(fmt.Sprintf("ncube: node %v received twice", d.To))
+	}
+	res.Recv[d.To] = d.Arrived
+	if d.Arrived > res.Makespan {
+		res.Makespan = d.Arrived
+	}
+	st := &env.states[d.To]
+	st.stage = nodeRecvDone
+	env.q.AfterOp(env.p.TRecv, st)
 }
 
 // Instrumentation bundles the optional observers of a simulation run: a
@@ -286,70 +411,21 @@ func RunInstrumented(p Params, tr *core.Tree, bytes int, ins Instrumentation) Re
 // bound untrusted requests instead of trusting them to terminate.
 func RunInstrumentedBudget(p Params, tr *core.Tree, bytes int, ins Instrumentation, maxSteps int, maxTime event.Time) (Result, error) {
 	p.Validate()
-	q := &event.Queue{}
-	net := wormhole.New(q, tr.Cube, wormhole.Config{THop: p.THop, TByte: p.TByte})
-	ins.instrument(q, net)
-	ins.Metrics.Counter("mcast_runs").Inc()
 	res := Result{
 		Algorithm: tr.Algorithm,
 		Bytes:     bytes,
 		Recv:      make(map[topology.NodeID]event.Time),
 	}
+	env := getEnv(p, tr, &res, bytes)
+	ins.instrument(&env.q, env.net)
+	ins.Metrics.Counter("mcast_runs").Inc()
 
-	states := make(map[topology.NodeID]*nodeState, len(tr.Sends))
-	for v, sends := range tr.Sends {
-		states[v] = &nodeState{sends: sends}
-	}
-
-	var deliver func(d wormhole.Delivery)
-	// launch starts node v's forwarding work at the current time.
-	var launch func(v topology.NodeID)
-
-	// issueNext sets up and injects node v's next pending unicast; under
-	// the one-port model the following send is issued only after this
-	// one's tail has drained into the network (single DMA pair), while
-	// the all-port model overlaps transmissions and is limited only by
-	// the serial per-send CPU setup.
-	var issueNext func(v topology.NodeID)
-	issueNext = func(v topology.NodeID) {
-		st := states[v]
-		if st == nil || st.next >= len(st.sends) {
-			return
-		}
-		snd := st.sends[st.next]
-		st.next++
-		q.After(p.TStartup, func() {
-			switch p.Port {
-			case core.AllPort:
-				net.Send(snd.From, snd.To, bytes, deliver)
-				issueNext(v)
-			case core.OnePort:
-				net.Send(snd.From, snd.To, bytes, func(d wormhole.Delivery) {
-					deliver(d)
-					issueNext(v)
-				})
-			}
-		})
-	}
-
-	launch = func(v topology.NodeID) { issueNext(v) }
-
-	deliver = func(d wormhole.Delivery) {
-		if _, dup := res.Recv[d.To]; dup {
-			panic(fmt.Sprintf("ncube: node %v received twice", d.To))
-		}
-		res.Recv[d.To] = d.Arrived
-		if d.Arrived > res.Makespan {
-			res.Makespan = d.Arrived
-		}
-		q.After(p.TRecv, func() { launch(d.To) })
-	}
-
-	launch(tr.Source)
-	q.SetDiagnoser(net.Diagnose)
-	_, err := q.RunBudget(maxSteps, maxTime)
-	res.TotalBlocked = net.TotalBlocked()
-	finishTracer(ins.Tracer, q.Now())
+	env.issueNext(&env.states[tr.Source])
+	env.q.SetDiagnoser(env.diagFn)
+	_, err := env.q.RunBudget(maxSteps, maxTime)
+	res.TotalBlocked = env.net.TotalBlocked()
+	finishTracer(ins.Tracer, env.q.Now())
+	env.release()
 
 	return res, err
 }

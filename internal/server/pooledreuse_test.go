@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reuseRequests builds a set of mutually distinct simulation requests
+// spanning dimensions, algorithms, port models, and payload sizes — every
+// one a cache miss, so a concurrent burst drives that many simultaneous
+// simulations through the worker pool and the pooled run environments
+// (event queues, networks, message and node-state scratch) they borrow.
+func reuseRequests() []string {
+	algos := []string{"w-sort", "maxport", "u-cube", "combine", "sf-binomial", "separate"}
+	ports := []string{"all-port", "one-port"}
+	var reqs []string
+	for i := 0; i < 24; i++ {
+		dim := 4 + i%3 // 4..6: distinct cube shapes force Network reshaping
+		nodes := 1 << dim
+		var dests []string
+		for v := 1 + i%5; v < nodes; v += 1 + i%7 {
+			dests = append(dests, fmt.Sprint(v))
+		}
+		reqs = append(reqs, fmt.Sprintf(
+			`{"dim":%d,"algorithm":"%s","port":"%s","src":%d,"dests":[%s],"bytes":%d}`,
+			dim, algos[i%len(algos)], ports[i%len(ports)], i%nodes,
+			strings.Join(dests, ","), 256+128*i))
+	}
+	return reqs
+}
+
+// TestConcurrentDistinctRequestsMatchSequential is the pooled-reuse wall:
+// the same request set answered by a sequential server (worker pool of one,
+// no two simulations ever alive at once) and by a wide concurrent burst
+// must produce byte-identical bodies. Any state leaking between recycled
+// objects — a message, channel table, calendar, or node-state slice
+// crossing runs — would perturb some concurrent result; under -race this
+// also proves the pools are data-race-free.
+func TestConcurrentDistinctRequestsMatchSequential(t *testing.T) {
+	reqs := reuseRequests()
+
+	_, seq := newTestServer(t, Config{Workers: 1})
+	want := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		resp, b := post(t, seq.URL, "/v1/simulate", r)
+		if resp.StatusCode != 200 {
+			t.Fatalf("sequential request %d: %d %s", i, resp.StatusCode, b)
+		}
+		want[i] = b
+	}
+
+	_, conc := newTestServer(t, Config{Workers: 8})
+	for round := 0; round < 3; round++ {
+		got := make([][]byte, len(reqs))
+		var wg sync.WaitGroup
+		for i, r := range reqs {
+			wg.Add(1)
+			go func(i int, r string) {
+				defer wg.Done()
+				resp, err := http.Post(conc.URL+"/v1/simulate", "application/json", strings.NewReader(r))
+				if err != nil {
+					t.Errorf("round %d request %d: %v", round, i, err)
+					return
+				}
+				defer resp.Body.Close()
+				got[i], _ = io.ReadAll(resp.Body)
+				if resp.StatusCode != 200 {
+					t.Errorf("round %d request %d: status %d: %s", round, i, resp.StatusCode, got[i])
+				}
+			}(i, r)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		for i := range reqs {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("round %d: concurrent result %d diverged from sequential baseline:\n%s\nvs\n%s",
+					round, i, want[i], got[i])
+			}
+		}
+	}
+}

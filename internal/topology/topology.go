@@ -194,14 +194,32 @@ func (c Cube) PathDims(u, v NodeID) []int {
 
 // PathArcs returns the directed channels used by P(u,v), in traversal order.
 func (c Cube) PathArcs(u, v NodeID) []Arc {
-	dims := c.PathDims(u, v)
-	arcs := make([]Arc, 0, len(dims))
-	cur := u
-	for _, d := range dims {
-		arcs = append(arcs, Arc{From: cur, Dim: d})
-		cur = c.Neighbor(cur, d)
+	return c.AppendPathArcs(make([]Arc, 0, Distance(u, v)), u, v)
+}
+
+// AppendPathArcs appends the directed channels of P(u,v) to dst, in
+// traversal order, and returns the extended slice. It is the
+// allocation-free form of PathArcs for hot paths that recycle a scratch
+// slice (append to dst[:0] to reuse its capacity).
+func (c Cube) AppendPathArcs(dst []Arc, u, v NodeID) []Arc {
+	diff := uint32(u) ^ uint32(v)
+	cur := uint32(u)
+	if c.res == HighToLow {
+		for d := c.n - 1; d >= 0; d-- {
+			if diff&(1<<uint(d)) != 0 {
+				dst = append(dst, Arc{From: NodeID(cur), Dim: d})
+				cur = bits.FlipBit(cur, d)
+			}
+		}
+	} else {
+		for d := 0; d < c.n; d++ {
+			if diff&(1<<uint(d)) != 0 {
+				dst = append(dst, Arc{From: NodeID(cur), Dim: d})
+				cur = bits.FlipBit(cur, d)
+			}
+		}
 	}
-	return arcs
+	return dst
 }
 
 // ArcsDisjoint reports whether P(u,v) and P(x,y) share no directed channel.

@@ -1,0 +1,86 @@
+package workload
+
+// Golden determinism wall for the performance work on the simulation core:
+// every Figure 9–14 table shape, regenerated at reduced scale, must be
+// byte-identical to the committed fixture — and byte-identical again with
+// full Instrumentation attached. Any event-kernel or pooling change that
+// perturbs results (reordered events, reused state leaking between runs,
+// instrumentation affecting timing) breaks these before it can reach the
+// full-fidelity figures. Regenerate with: go test ./internal/workload -update
+// (only legitimate after a deliberate, reviewed change to the experiments).
+
+import (
+	"testing"
+
+	"hypercube/internal/core"
+	"hypercube/internal/metrics"
+)
+
+// figureTables lists the Figure 9–14 experiments at fixture scale: the
+// exact configuration shapes of cmd/figures with trial counts and point
+// grids cut down to keep the whole wall under a few seconds.
+func figureTables(reg *metrics.Registry) []struct {
+	fixture string
+	render  func() string
+} {
+	return []struct {
+		fixture string
+		render  func() string
+	}{
+		{"fig09_stepwise_6cube.golden", func() string {
+			return Stepwise(StepwiseConfig{
+				Dim: 6, Trials: 5, Seed: 1993, Port: core.AllPort,
+				DestCounts: DestCounts(6, 8), Metrics: reg,
+			}).Render()
+		}},
+		{"fig10_stepwise_10cube.golden", func() string {
+			return Stepwise(StepwiseConfig{
+				Dim: 10, Trials: 2, Seed: 1993, Port: core.AllPort,
+				DestCounts: DestCounts(10, 4), Metrics: reg,
+			}).Render()
+		}},
+		{"fig11_avg_delay_5cube.golden", func() string {
+			return Delay(DelayConfig{
+				Dim: 5, Trials: 3, Seed: 1993, Bytes: 4096,
+				Stat: AvgDelay, DestCounts: DestCounts(5, 4), Metrics: reg,
+			}).Render()
+		}},
+		{"fig12_max_delay_5cube.golden", func() string {
+			return Delay(DelayConfig{
+				Dim: 5, Trials: 3, Seed: 1993, Bytes: 4096,
+				Stat: MaxDelay, DestCounts: DestCounts(5, 4), Metrics: reg,
+			}).Render()
+		}},
+		{"fig13_avg_delay_10cube.golden", func() string {
+			return Delay(DelayConfig{
+				Dim: 10, Trials: 1, Seed: 1993, Bytes: 4096,
+				Stat: AvgDelay, DestCounts: DestCounts(10, 3), Metrics: reg,
+			}).Render()
+		}},
+		{"fig14_max_delay_10cube.golden", func() string {
+			return Delay(DelayConfig{
+				Dim: 10, Trials: 1, Seed: 1993, Bytes: 4096,
+				Stat: MaxDelay, DestCounts: DestCounts(10, 3), Metrics: reg,
+			}).Render()
+		}},
+	}
+}
+
+func TestFigureTablesGolden(t *testing.T) {
+	for _, fig := range figureTables(nil) {
+		compareGolden(t, fig.fixture, fig.render())
+	}
+}
+
+func TestFigureTablesGoldenInstrumented(t *testing.T) {
+	// Same wall with the full observability stack attached (event-kernel,
+	// interconnect, and workload instruments all live): the tables must
+	// still match the fixtures byte for byte.
+	reg := metrics.New()
+	for _, fig := range figureTables(reg) {
+		compareGolden(t, fig.fixture, fig.render())
+	}
+	if reg.Snapshot().Counters["mcast_runs"] == 0 {
+		t.Error("instrumented pass recorded no simulated runs")
+	}
+}

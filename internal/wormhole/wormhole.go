@@ -14,6 +14,7 @@ package wormhole
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hypercube/internal/event"
 	"hypercube/internal/metrics"
@@ -91,6 +92,12 @@ type Delivery struct {
 // Latency is the in-network time of the unicast.
 func (d Delivery) Latency() event.Time { return d.Arrived - d.Injected }
 
+// message states for the pre-bound event dispatch in RunEvent.
+const (
+	stageHop   int8 = iota // header is crossing channel path[idx]
+	stageDrain             // path established; tail pipeline draining
+)
+
 type message struct {
 	from, to topology.NodeID
 	bytes    int
@@ -102,7 +109,28 @@ type message struct {
 	done     func(Delivery)
 	drop     bool // fault injection: lost in transit
 	truncate int  // fault injection: deliver only this prefix (< 0: full)
+
+	// Pre-bound event state: the message schedules itself on the calendar
+	// (no per-hop closures), dispatching on stage when it fires.
+	net   *Network
+	stage int8
 }
+
+// RunEvent advances the message's pending event: a header hop crossing or
+// the tail drain. This lets hop and drain events ride the calendar without
+// allocating a closure per event.
+func (m *message) RunEvent() {
+	if m.stage == stageHop {
+		m.net.hopCrossed(m)
+	} else {
+		m.net.tailDrained(m)
+	}
+}
+
+// msgPool recycles completed messages (and their path scratch) across sends
+// and across pooled simulation runs. Wedged messages are never recycled —
+// they hold channels forever by design.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
 
 type channel struct {
 	busy    bool
@@ -110,6 +138,22 @@ type channel struct {
 	waiters []*message // FIFO
 	since   event.Time // when the current owner claimed the channel
 }
+
+// reset clears one channel in place, dropping waiter references but keeping
+// the queue's backing array for reuse.
+func (ch *channel) reset() {
+	for i := range ch.waiters {
+		ch.waiters[i] = nil
+	}
+	*ch = channel{waiters: ch.waiters[:0]}
+}
+
+// maxDenseChannels bounds the dense channel table: cubes with at most this
+// many directed channels (dim <= 13) index a flat slice; larger cubes — legal
+// up to bits.MaxDim, where a dense table would be gigabytes — fall back to a
+// lazily populated map. Every paper workload and the serving soak sit well
+// inside the dense regime.
+const maxDenseChannels = 1 << 17
 
 // Tracer observes channel-level events for visualization and utilization
 // analysis. All callbacks fire at the current simulated time.
@@ -125,12 +169,18 @@ type Tracer interface {
 
 // Network simulates one hypercube interconnect attached to an event queue.
 type Network struct {
-	cube     topology.Cube
-	q        *event.Queue
-	cfg      Config
-	channels map[topology.Arc]*channel
-	tracer   Tracer
-	faults   FaultModel
+	cube topology.Cube
+	q    *event.Queue
+	cfg  Config
+	dim  int
+
+	// Channel state: dense (indexed From*dim+Dim) for cubes within
+	// maxDenseChannels, else a sparse map. Exactly one is non-nil.
+	dense  []channel
+	sparse map[topology.Arc]*channel
+
+	tracer Tracer
+	faults FaultModel
 
 	// Aggregate statistics.
 	delivered    int
@@ -180,12 +230,53 @@ func (n *Network) SetFaults(f FaultModel) { n.faults = f }
 // New creates a network for cube attached to queue q.
 func New(q *event.Queue, cube topology.Cube, cfg Config) *Network {
 	cfg.Validate()
-	return &Network{
-		cube:     cube,
-		q:        q,
-		cfg:      cfg,
-		channels: make(map[topology.Arc]*channel),
+	n := &Network{cube: cube, q: q, cfg: cfg}
+	n.initChannels()
+	return n
+}
+
+// initChannels sizes the channel table for n.cube.
+func (n *Network) initChannels() {
+	n.dim = n.cube.Dim()
+	if total := n.cube.Nodes() * n.dim; total <= maxDenseChannels {
+		n.dense = make([]channel, total)
+		n.sparse = nil
+		return
 	}
+	n.dense = nil
+	n.sparse = make(map[topology.Arc]*channel)
+}
+
+// Reset returns the network to its freshly constructed state for cube and
+// cfg — as if built by New(q, cube, cfg) — while retaining allocated
+// capacity: a dense channel table of the same shape is kept (with its
+// waiter-queue arrays), so pooled simulation runs amortize the table across
+// runs. The tracer, fault model, and metrics are detached; reattach per
+// run. The event queue is rebound but not reset — callers own its
+// lifecycle.
+func (n *Network) Reset(q *event.Queue, cube topology.Cube, cfg Config) {
+	cfg.Validate()
+	// A run that completed cleanly (nothing in flight) released every
+	// channel on its way out, so the table needs no sweep; an aborted or
+	// wedged run leaves owners and waiters behind and must be scrubbed.
+	dirty := n.inflight != 0
+	sameShape := n.dense != nil && cube.Nodes()*cube.Dim() == len(n.dense)
+	n.q, n.cube, n.cfg = q, cube, cfg
+	if !sameShape {
+		n.initChannels()
+	} else {
+		n.dim = cube.Dim()
+		if dirty {
+			for i := range n.dense {
+				n.dense[i].reset()
+			}
+		}
+	}
+	n.tracer, n.faults = nil, nil
+	n.delivered, n.lost, n.inflight = 0, 0, 0
+	n.totalBlocked, n.maxQueueLen = 0, 0
+	n.wedged = nil
+	n.SetMetrics(nil)
 }
 
 // Cube returns the simulated topology.
@@ -226,6 +317,20 @@ type HeldChannel struct {
 	Wedged bool
 }
 
+// forEachChannel visits every materialized channel with its arc, in no
+// particular order. Diagnostics-only: the dense walk touches every slot.
+func (n *Network) forEachChannel(fn func(a topology.Arc, ch *channel)) {
+	if n.dense != nil {
+		for i := range n.dense {
+			fn(topology.Arc{From: topology.NodeID(i / n.dim), Dim: i % n.dim}, &n.dense[i])
+		}
+		return
+	}
+	for a, ch := range n.sparse {
+		fn(a, ch)
+	}
+}
+
 // Held snapshots every busy channel, in deterministic arc order.
 func (n *Network) Held() []HeldChannel {
 	wedgedSet := make(map[*message]bool, len(n.wedged))
@@ -233,9 +338,9 @@ func (n *Network) Held() []HeldChannel {
 		wedgedSet[m] = true
 	}
 	var out []HeldChannel
-	for a, ch := range n.channels {
+	n.forEachChannel(func(a topology.Arc, ch *channel) {
 		if !ch.busy || ch.owner == nil {
-			continue
+			return
 		}
 		out = append(out, HeldChannel{
 			Arc:     a,
@@ -244,7 +349,7 @@ func (n *Network) Held() []HeldChannel {
 			Waiters: len(ch.waiters),
 			Wedged:  wedgedSet[ch.owner],
 		})
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Arc.From != out[j].Arc.From {
 			return out[i].Arc.From < out[j].Arc.From
@@ -281,23 +386,23 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 	if bytes < 0 {
 		panic("wormhole: negative message size")
 	}
-	m := &message{
-		from:     from,
-		to:       to,
-		bytes:    bytes,
-		path:     n.cube.PathArcs(from, to),
-		injected: n.q.Now(),
-		done:     done,
-		truncate: -1,
-	}
-	if n.faults != nil {
-		if n.faults.NodeDown(from, n.q.Now()) {
-			n.lost++ // a dead node injects nothing
-			if n.mLost != nil {
-				n.mLost.Inc()
-			}
-			return
+	if n.faults != nil && n.faults.NodeDown(from, n.q.Now()) {
+		n.lost++ // a dead node injects nothing
+		if n.mLost != nil {
+			n.mLost.Inc()
 		}
+		return
+	}
+	m := msgPool.Get().(*message)
+	m.from, m.to, m.bytes = from, to, bytes
+	m.path = n.cube.AppendPathArcs(m.path[:0], from, to)
+	m.idx = 0
+	m.injected = n.q.Now()
+	m.blocked, m.waitFrom = 0, 0
+	m.done = done
+	m.drop, m.truncate = false, -1
+	m.net = n
+	if n.faults != nil {
 		m.drop, m.truncate = n.faults.MessageFate(from, to, bytes, n.q.Now())
 	}
 	n.inflight++
@@ -305,7 +410,8 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 		n.mInjected.Inc()
 	}
 	if len(m.path) == 0 {
-		n.q.After(n.drain(bytes), func() { n.complete(m) })
+		m.stage = stageDrain
+		n.q.AfterOp(n.drain(bytes), m)
 		return
 	}
 	n.tryAcquire(m)
@@ -316,12 +422,24 @@ func (n *Network) drain(bytes int) event.Time {
 }
 
 func (n *Network) channel(a topology.Arc) *channel {
-	ch, ok := n.channels[a]
+	if n.dense != nil {
+		return &n.dense[int(a.From)*n.dim+a.Dim]
+	}
+	ch, ok := n.sparse[a]
 	if !ok {
 		ch = &channel{}
-		n.channels[a] = ch
+		n.sparse[a] = ch
 	}
 	return ch
+}
+
+// recycle returns a finished message to the pool. Every structure that
+// could alias it — channel owners, waiter queues, the calendar — has
+// already dropped its reference; the path scratch rides along for reuse.
+func (n *Network) recycle(m *message) {
+	m.done = nil
+	m.net = nil
+	msgPool.Put(m)
 }
 
 // tryAcquire attempts to claim the message's next channel at the current
@@ -343,6 +461,7 @@ func (n *Network) tryAcquire(m *message) {
 		if n.mLost != nil {
 			n.mLost.Inc()
 		}
+		n.recycle(m)
 		return
 	}
 	ch := n.channel(arc)
@@ -377,21 +496,32 @@ func (n *Network) claim(m *message, ch *channel) {
 	n.advance(m)
 }
 
-// advance moves the header across the channel it now owns. When the final
-// channel is crossed the pipeline drains, then every held channel releases
-// as the tail passes.
+// advance moves the header across the channel it now owns, scheduling the
+// message itself as the crossing event.
 func (n *Network) advance(m *message) {
-	n.q.After(n.cfg.THop, func() {
-		m.idx++
-		if m.idx == len(m.path) {
-			n.q.After(n.drain(m.bytes), func() {
-				n.releaseAll(m)
-				n.complete(m)
-			})
-			return
-		}
-		n.tryAcquire(m)
-	})
+	m.stage = stageHop
+	n.q.AfterOp(n.cfg.THop, m)
+}
+
+// hopCrossed fires when the header finishes crossing channel path[idx].
+// When the final channel is crossed the pipeline drains, then every held
+// channel releases as the tail passes.
+func (n *Network) hopCrossed(m *message) {
+	m.idx++
+	if m.idx == len(m.path) {
+		m.stage = stageDrain
+		n.q.AfterOp(n.drain(m.bytes), m)
+		return
+	}
+	n.tryAcquire(m)
+}
+
+// tailDrained fires when the last payload byte has left the source: the
+// tail flit sweeps the path, releasing every channel, and the unicast
+// completes.
+func (n *Network) tailDrained(m *message) {
+	n.releaseAll(m)
+	n.complete(m)
 }
 
 func (n *Network) releaseAll(m *message) { n.releasePrefix(m, len(m.path)) }
@@ -414,7 +544,9 @@ func (n *Network) releasePrefix(m *message, upto int) {
 			continue
 		}
 		next := ch.waiters[0]
-		ch.waiters = ch.waiters[1:]
+		copy(ch.waiters, ch.waiters[1:])
+		ch.waiters[len(ch.waiters)-1] = nil
+		ch.waiters = ch.waiters[:len(ch.waiters)-1]
 		next.blocked += n.q.Now() - next.waitFrom
 		if n.mBlockNs != nil {
 			n.mBlockNs.Observe(int64(n.q.Now() - next.waitFrom))
@@ -439,6 +571,7 @@ func (n *Network) complete(m *message) {
 		if n.mLost != nil {
 			n.mLost.Inc()
 		}
+		n.recycle(m)
 		return
 	}
 	n.delivered++
@@ -462,18 +595,19 @@ func (n *Network) complete(m *message) {
 			Truncated: trunc,
 		})
 	}
+	n.recycle(m)
 }
 
 // Idle reports whether every channel is free — true between operations and
 // after Run completes; useful as a leak check in tests.
 func (n *Network) Idle() bool {
-	for a, ch := range n.channels {
+	idle := true
+	n.forEachChannel(func(_ topology.Arc, ch *channel) {
 		if ch.busy || len(ch.waiters) > 0 {
-			_ = a
-			return false
+			idle = false
 		}
-	}
-	return true
+	})
+	return idle
 }
 
 func (n *Network) String() string {

@@ -26,10 +26,19 @@ echo '== go test -race'
 go test -race ./...
 
 echo '== fuzz seed corpora'
-go test -run Fuzz ./internal/chain/ ./internal/core/
+go test -run Fuzz . ./internal/chain/ ./internal/core/
 
 echo '== benchmarks (smoke)'
 go test -run xxx -bench . -benchtime 1x .
+
+echo '== bench regression gate'
+# Re-runs the pinned gate benchmarks (Fig09 stepwise, Fig11 delay, 10-cube
+# broadcast) and compares ns/op and allocs/op against the newest committed
+# results/BENCH_*.json baseline. Tolerances are generous — shared CI boxes
+# are noisy — so only a real regression (or an allocation leak on the hot
+# path) trips it. After an intentional change, refresh the baseline per
+# EXPERIMENTS.md and commit it alongside the code.
+go run ./cmd/bench -gate -tol-ns 0.60 -tol-allocs 0.25
 
 echo '== randomized verifier'
 go run ./cmd/verify -n 5 -trials 100
