@@ -9,6 +9,7 @@ import (
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
 	"hypercube/internal/trace"
+	"hypercube/internal/traffic"
 	"hypercube/internal/workload"
 	"hypercube/internal/wormhole"
 )
@@ -288,3 +289,36 @@ func AllReduce(p MachineParams, c Cube, bytes int, tCompute Time) CollectiveResu
 func ReduceTree(p MachineParams, t *Tree, bytes int, tCompute Time) CollectiveResult {
 	return collective.ReduceTree(p, t, bytes, tCompute)
 }
+
+// TrafficSpec is a trace-driven traffic scenario: timed, optionally
+// dependent collective operations from many sources sharing one simulated
+// network, with seeded open-loop (Poisson) and closed-loop arrival
+// generators. See internal/traffic for the JSON schema.
+type TrafficSpec = traffic.Spec
+
+// TrafficOp is one operation of a TrafficSpec.
+type TrafficOp = traffic.Op
+
+// TrafficResult reports a traffic scenario: per-op queueing, service, and
+// sojourn times plus shared-network saturation statistics.
+type TrafficResult = traffic.Result
+
+// ParseTrafficSpec decodes a scenario spec strictly (unknown fields and
+// trailing data are errors; malformed input never panics).
+func ParseTrafficSpec(data []byte) (*TrafficSpec, error) { return traffic.Parse(data) }
+
+// CanonicalTrafficJSON validates the spec and renders its canonical wire
+// form — defaults filled, generators expanded, destination draws resolved.
+// The canonical form is a fixed point: parsing and re-canonicalizing it
+// reproduces the same bytes.
+func CanonicalTrafficJSON(s *TrafficSpec) ([]byte, error) {
+	if err := s.Canonicalize(traffic.Limits{}); err != nil {
+		return nil, err
+	}
+	return s.CanonicalJSON()
+}
+
+// SimulateTraffic runs the scenario on a single shared simulated network,
+// canonicalizing the spec in place first. Identical specs produce
+// identical results.
+func SimulateTraffic(s *TrafficSpec) (*TrafficResult, error) { return traffic.Run(s) }

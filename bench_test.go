@@ -21,6 +21,7 @@ import (
 	"hypercube/internal/optimal"
 	"hypercube/internal/stats"
 	"hypercube/internal/topology"
+	"hypercube/internal/traffic"
 	"hypercube/internal/workload"
 )
 
@@ -328,6 +329,54 @@ func BenchmarkOptimalSearchFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if optimal.Steps(cube, 0, dests, 4) != 2 {
 			b.Fatal("wrong optimum")
+		}
+	}
+}
+
+// Traffic engine: a small explicit scenario with a dependency chain —
+// the per-op bookkeeping cost on top of the pooled simulation core.
+func BenchmarkTrafficSmallScenario5Cube(b *testing.B) {
+	b.ReportAllocs()
+	// Run canonicalizes the spec in place, so each iteration gets a fresh
+	// copy — building it is part of the admission path being measured.
+	mk := func() *traffic.Spec {
+		return &traffic.Spec{
+			Dim: 5,
+			Ops: []traffic.Op{
+				{ID: "mc0", Kind: traffic.KindMulticast, Src: 3, DestCount: 12, Seed: 7, Bytes: 2048},
+				{ID: "mc1", Kind: traffic.KindMulticast, Src: 17, DestCount: 12, Seed: 8, Bytes: 2048},
+				{ID: "sc", Kind: traffic.KindScatter, Src: 0, Bytes: 1024},
+				{ID: "ga", Kind: traffic.KindGather, Src: 0, Bytes: 1024, After: []string{"sc"}},
+				{ID: "bc", Kind: traffic.KindBroadcast, Src: 9, Bytes: 2048, After: []string{"mc0"}, DelayUS: 100},
+				{ID: "ag", Kind: traffic.KindAllGather, Bytes: 512, After: []string{"ga"}},
+			},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Run(mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Traffic engine near saturation: a 6-cube under a dense Poisson storm of
+// multicasts — the worst-case shared-network workload of cmd/traffic's
+// sweep, with injector queues and channel contention fully engaged.
+func BenchmarkTrafficSaturation6Cube(b *testing.B) {
+	b.ReportAllocs()
+	mk := func() *traffic.Spec {
+		return &traffic.Spec{
+			Dim:  6,
+			Seed: 1993,
+			Arrivals: &traffic.Arrivals{
+				Kind: "poisson", Count: 48, RatePerMS: 8,
+				Op: traffic.Template{Kind: traffic.KindMulticast, DestCount: 32, Bytes: 4096},
+			},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Run(mk()); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"hypercube"
 	"hypercube/internal/core"
+	"hypercube/internal/traffic"
 	"hypercube/internal/workload"
 )
 
@@ -66,6 +67,43 @@ func gateBenchmarks() []struct {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				hypercube.Simulate(params, tree, 4096)
+			}
+		}},
+		{"BenchmarkTrafficSmallScenario5Cube", func(b *testing.B) {
+			mk := func() *traffic.Spec {
+				return &traffic.Spec{
+					Dim: 5,
+					Ops: []traffic.Op{
+						{ID: "mc0", Kind: traffic.KindMulticast, Src: 3, DestCount: 12, Seed: 7, Bytes: 2048},
+						{ID: "mc1", Kind: traffic.KindMulticast, Src: 17, DestCount: 12, Seed: 8, Bytes: 2048},
+						{ID: "sc", Kind: traffic.KindScatter, Src: 0, Bytes: 1024},
+						{ID: "ga", Kind: traffic.KindGather, Src: 0, Bytes: 1024, After: []string{"sc"}},
+						{ID: "bc", Kind: traffic.KindBroadcast, Src: 9, Bytes: 2048, After: []string{"mc0"}, DelayUS: 100},
+						{ID: "ag", Kind: traffic.KindAllGather, Bytes: 512, After: []string{"ga"}},
+					},
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := traffic.Run(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkTrafficSaturation6Cube", func(b *testing.B) {
+			mk := func() *traffic.Spec {
+				return &traffic.Spec{
+					Dim:  6,
+					Seed: 1993,
+					Arrivals: &traffic.Arrivals{
+						Kind: "poisson", Count: 48, RatePerMS: 8,
+						Op: traffic.Template{Kind: traffic.KindMulticast, DestCount: 32, Bytes: 4096},
+					},
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := traffic.Run(mk()); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}

@@ -34,15 +34,18 @@ type request struct {
 }
 
 // buildMix enumerates keys distinct request bodies spread over the
-// simulate / collective / tree endpoints (4:2:1). Everything is derived
-// from the key index, so two loadgen runs against one server replay the
-// identical key sequence and the second run is all cache hits.
+// simulate / collective / tree / traffic endpoints (4:2:1:1). Everything
+// is derived from the key index, so two loadgen runs against one server
+// replay the identical key sequence and the second run is all cache hits.
+// Traffic scenarios are the expensive tail of the mix — small seeded
+// Poisson bursts that exercise the shared-network engine under admission
+// control.
 func buildMix(keys int) []request {
 	ops := []string{"scatter", "gather", "allgather", "reduce", "barrier", "allreduce"}
 	algs := []string{"w-sort", "u-cube", "sf-binomial", "maxport"}
 	mix := make([]request, 0, keys)
 	for i := 0; len(mix) < keys; i++ {
-		switch i % 7 {
+		switch i % 8 {
 		case 0, 1, 2, 3:
 			mix = append(mix, request{"/v1/simulate", fmt.Sprintf(
 				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d,"bytes":%d}`,
@@ -50,10 +53,14 @@ func buildMix(keys int) []request {
 		case 4, 5:
 			mix = append(mix, request{"/v1/collective", fmt.Sprintf(
 				`{"op":%q,"dim":5,"root":0,"bytes":%d}`, ops[i%len(ops)], 512+128*(i%8))})
-		default:
+		case 6:
 			mix = append(mix, request{"/v1/tree", fmt.Sprintf(
 				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d}`,
 				algs[i%len(algs)], 8+i%32, i)})
+		default:
+			mix = append(mix, request{"/v1/traffic", fmt.Sprintf(
+				`{"dim":5,"seed":%d,"arrivals":{"kind":"poisson","count":%d,"rate_per_ms":%d,"op":{"kind":"multicast","algorithm":%q,"dest_count":%d,"bytes":1024}}}`,
+				i, 8+i%8, 1+i%8, algs[i%len(algs)], 4+i%12)})
 		}
 	}
 	return mix

@@ -1,0 +1,155 @@
+// Command traffic runs the trace-driven traffic engine: either an
+// offered-load sweep producing latency-vs-load saturation curves per
+// multicast algorithm (the default), or one explicit scenario spec.
+//
+// Usage:
+//
+//	traffic                           # saturation sweep, 6-cube, default rates
+//	traffic -n 5 -rates 0.5,2,4,8    # choose the offered-load grid
+//	traffic -dir results             # write the tables to files (two runs
+//	                                  # with equal flags are byte-identical)
+//	traffic -spec scenario.json      # run one scenario, print JSON result
+//	traffic -spec -                   # ... reading the spec from stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hypercube/internal/cliutil"
+	"hypercube/internal/stats"
+	"hypercube/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traffic: ")
+	var (
+		dim     = flag.Int("n", 6, "hypercube dimensionality")
+		algos   = flag.String("algos", "u-cube,w-sort", "comma-separated multicast algorithms (one curve each)")
+		rates   = flag.String("rates", "0.25,0.5,1,2,4,8", "comma-separated offered loads, ops per simulated ms")
+		ops     = flag.Int("ops", 64, "Poisson arrivals per scenario")
+		m       = flag.Int("m", 0, "destinations per multicast (0 = half the cube)")
+		bytesF  = flag.Int("bytes", 4096, "message length")
+		seed    = flag.Int64("seed", 1993, "arrival and destination RNG seed")
+		machine = flag.String("machine", "ncube2", "machine model: ncube2 or ncube3")
+		port    = flag.String("port", "all-port", "port model: one-port or all-port")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotIt  = flag.Bool("plot", false, "render text line charts instead of tables")
+		dir     = flag.String("dir", "", "write the tables to this directory instead of stdout")
+		specF   = flag.String("spec", "", "run one scenario spec file (- for stdin) and print its JSON result")
+	)
+	obs := cliutil.ObservabilityFlags()
+	flag.Parse()
+
+	if err := obs.Start("traffic"); err != nil {
+		log.Fatal(err)
+	}
+	if *specF != "" {
+		runSpec(*specF)
+	} else {
+		runSweep(*dim, *algos, *rates, *ops, *m, *bytesF, *seed, *machine, *port, *csv, *plotIt, *dir)
+	}
+	if err := obs.Finish(map[string]any{"dim": *dim, "ops": *ops, "seed": *seed}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runSpec executes one scenario and prints {spec, result} as JSON — the
+// spec echoed in canonical form so the output is self-describing.
+func runSpec(path string) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := traffic.Parse(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := traffic.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := json.MarshalIndent(struct {
+		Spec   *traffic.Spec   `json:"spec"`
+		Result *traffic.Result `json:"result"`
+	}{spec, res}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", out)
+}
+
+func runSweep(dim int, algos, rates string, ops, m, bytes int, seed int64, machine, port string, csv, plotIt bool, dir string) {
+	as, err := cliutil.ParseAlgorithms(algos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.String()
+	}
+	var rs []float64
+	for _, f := range strings.Split(rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || !(r > 0) {
+			log.Fatalf("bad rate %q in -rates", f)
+		}
+		rs = append(rs, r)
+	}
+	tbs, err := traffic.Sweep(traffic.SweepConfig{
+		Dim:        dim,
+		Machine:    machine,
+		Port:       port,
+		Algorithms: names,
+		RatesPerMS: rs,
+		Ops:        ops,
+		DestCount:  m,
+		Bytes:      bytes,
+		Seed:       seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := []struct {
+		name string
+		tb   *stats.Table
+	}{
+		{"traffic_mean", tbs.Mean},
+		{"traffic_p95", tbs.P95},
+		{"traffic_util", tbs.Util},
+	}
+	if dir == "" {
+		for i, t := range tables {
+			if i > 0 && !csv {
+				fmt.Println()
+			}
+			fmt.Print(cliutil.RenderTable(t.tb, csv, plotIt))
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if err := os.WriteFile(filepath.Join(dir, t.name+".txt"), []byte(t.tb.Render()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, t.name+".csv"), []byte(t.tb.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

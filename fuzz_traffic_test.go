@@ -1,0 +1,58 @@
+// Native fuzz target for the traffic-scenario spec boundary (the
+// /v1/traffic admission surface): any byte string either fails to parse
+// or canonicalize with an error — never a panic — and every accepted
+// spec's canonical form is a fixed point: parse → canonicalize → encode →
+// re-parse → re-canonicalize → re-encode is byte-identical. That fixed
+// point is what keys the server's result cache, so it is load-bearing for
+// the byte-identical-response guarantee.
+package hypercube_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hypercube"
+)
+
+func FuzzTrafficSpecRoundTrip(f *testing.F) {
+	// Seeds: one valid spec per scenario family, plus malformed shapes the
+	// strict parser and the canonicalizer must reject cleanly.
+	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "multicast", "src": 2, "dests": [1, 3, 5], "bytes": 64}]}`))
+	f.Add([]byte(`{"dim": 4, "ops": [
+		{"id": "a", "kind": "scatter", "src": 0},
+		{"id": "b", "kind": "gather", "src": 0, "after": ["a"], "delay_us": 50}]}`))
+	f.Add([]byte(`{"dim": 5, "seed": 42, "arrivals": {"kind": "poisson", "count": 6, "rate_per_ms": 2,
+		"op": {"kind": "multicast", "dest_count": 4}}}`))
+	f.Add([]byte(`{"dim": 4, "seed": 7, "arrivals": {"kind": "closed-loop", "count": 4, "clients": 2,
+		"think_us": 100, "op": {"kind": "allgather", "bytes": 256}}}`))
+	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "group-phase",
+		"groups": [[0, 1, 2, 3], [4, 5, 6, 7]], "roots": [0, 6]}]}`))
+	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "broadcast", "src": 16}]}`))
+	f.Add([]byte(`{"dim": 99}`))
+	f.Add([]byte(`{"ops": [{"kind": "gossip"}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := hypercube.ParseTrafficSpec(data)
+		if err != nil {
+			return // strict rejection is a valid outcome; panicking is not
+		}
+		b1, err := hypercube.CanonicalTrafficJSON(s)
+		if err != nil {
+			return // parsed but semantically malformed — also fine
+		}
+		s2, err := hypercube.ParseTrafficSpec(b1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, b1)
+		}
+		b2, err := hypercube.CanonicalTrafficJSON(s2)
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalize: %v\n%s", err, b1)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\n----\n%s", b1, b2)
+		}
+	})
+}

@@ -34,33 +34,70 @@ type Result struct {
 	TotalBlocked event.Time
 }
 
+// Substrate lets a collective schedule run on a calendar and network owned
+// by someone else — a shared scenario (ncube.Session) with other concurrent
+// operations — instead of the private pair the standalone entry points
+// build. The schedule launches at the calendar's current time; the caller
+// drives the queue. OnDone, if non-nil, fires on the calendar at the
+// instant the last node finishes, with Finish times in ABSOLUTE simulated
+// time (the standalone entry points, which launch at t=0, are the
+// degenerate case where absolute and relative coincide).
+type Substrate struct {
+	Queue  *event.Queue
+	Net    *wormhole.Network
+	Params ncube.Params
+	OnDone func(Result)
+}
+
 // engine bundles the shared simulation state of the collective schedules.
 type engine struct {
-	q   *event.Queue
-	net *wormhole.Network
-	p   ncube.Params
-	res *Result
+	q         *event.Queue
+	net       *wormhole.Network
+	p         ncube.Params
+	res       *Result
+	remaining int // nodes that have not finished yet
+	onDone    func(Result)
 }
 
 func newEngine(p ncube.Params, cube topology.Cube) *engine {
 	p.Validate()
 	q := &event.Queue{}
+	return newEngineWith(q, wormhole.New(q, cube, wormhole.Config{THop: p.THop, TByte: p.TByte}), p, cube, nil)
+}
+
+func newEngineOn(sub Substrate) *engine {
+	sub.Params.Validate()
+	return newEngineWith(sub.Queue, sub.Net, sub.Params, sub.Net.Cube(), sub.OnDone)
+}
+
+func newEngineWith(q *event.Queue, net *wormhole.Network, p ncube.Params, cube topology.Cube, onDone func(Result)) *engine {
 	return &engine{
-		q:   q,
-		net: wormhole.New(q, cube, wormhole.Config{THop: p.THop, TByte: p.TByte}),
-		p:   p,
-		res: &Result{Finish: make(map[topology.NodeID]event.Time)},
+		q:         q,
+		net:       net,
+		p:         p,
+		res:       &Result{Finish: make(map[topology.NodeID]event.Time)},
+		remaining: cube.Nodes(),
+		onDone:    onDone,
+	}
+}
+
+// finished records node v completing its role at time t, maintains the
+// makespan, and fires the completion hook when the last node lands.
+func (e *engine) finished(v topology.NodeID, t event.Time) {
+	if _, dup := e.res.Finish[v]; !dup {
+		e.remaining--
+	}
+	e.res.Finish[v] = t
+	if t > e.res.Makespan {
+		e.res.Makespan = t
+	}
+	if e.remaining == 0 && e.onDone != nil {
+		e.onDone(*e.res)
 	}
 }
 
 func (e *engine) finish() Result {
 	e.q.MustRun(0, 0)
-	e.res.TotalBlocked = e.net.TotalBlocked()
-	for _, t := range e.res.Finish {
-		if t > e.res.Makespan {
-			e.res.Makespan = t
-		}
-	}
 	return *e.res
 }
 
@@ -84,6 +121,10 @@ func (e *engine) sendSeq(node topology.NodeID, sends []sendSpec, onDelivered fun
 		e.q.After(e.p.TStartup, func() {
 			e.res.Messages++
 			done := func(d wormhole.Delivery) {
+				// Per-delivery accumulation keeps the total per-operation
+				// on a shared network; standalone it equals
+				// net.TotalBlocked() (every send passes through here).
+				e.res.TotalBlocked += d.Blocked
 				if onDelivered != nil {
 					onDelivered(s, d)
 				}
@@ -146,6 +187,25 @@ func Scatter(p ncube.Params, cube topology.Cube, root topology.NodeID, blockByte
 		panic("collective: negative block size")
 	}
 	e := newEngine(p, cube)
+	scatterOn(e, cube, root, blockBytes)
+	return e.finish()
+}
+
+// ScatterOn launches Scatter's schedule on a shared substrate at the
+// calendar's current time; the caller drives the queue. The returned
+// Result is filled in as the scenario runs.
+func ScatterOn(sub Substrate, root topology.NodeID, blockBytes int) *Result {
+	cube := sub.Net.Cube()
+	cube.MustContain(root)
+	if blockBytes < 0 {
+		panic("collective: negative block size")
+	}
+	e := newEngineOn(sub)
+	scatterOn(e, cube, root, blockBytes)
+	return e.res
+}
+
+func scatterOn(e *engine, cube topology.Cube, root topology.NodeID, blockBytes int) {
 	var deliver func(s sendSpec, d wormhole.Delivery)
 	forward := func(node topology.NodeID, h int) {
 		r := relOf(cube, root, node)
@@ -160,12 +220,11 @@ func Scatter(p ncube.Params, cube topology.Cube, root topology.NodeID, blockByte
 		e.sendSeq(node, sends, deliver)
 	}
 	deliver = func(s sendSpec, d wormhole.Delivery) {
-		e.res.Finish[d.To] = d.Arrived
+		e.finished(d.To, d.Arrived)
 		e.q.After(e.p.TRecv, func() { forward(d.To, s.tag) })
 	}
-	e.res.Finish[root] = 0
+	e.finished(root, e.q.Now())
 	forward(root, cube.Dim())
-	return e.finish()
 }
 
 // Gather is the inverse of Scatter: every node's block converges on root
@@ -178,6 +237,19 @@ func Gather(p ncube.Params, cube topology.Cube, root topology.NodeID, blockBytes
 		panic("collective: negative block size")
 	}
 	return gatherLike(p, cube, root, func(sub int) int { return blockBytes * sub }, 0)
+}
+
+// GatherOn launches Gather's schedule on a shared substrate at the
+// calendar's current time; the caller drives the queue.
+func GatherOn(sub Substrate, root topology.NodeID, blockBytes int) *Result {
+	cube := sub.Net.Cube()
+	cube.MustContain(root)
+	if blockBytes < 0 {
+		panic("collective: negative block size")
+	}
+	e := newEngineOn(sub)
+	gatherLikeOn(e, cube, root, func(sub int) int { return blockBytes * sub }, 0)
+	return e.res
 }
 
 // Reduce performs an all-to-one reduction: partial results of a fixed
@@ -195,6 +267,11 @@ func Reduce(p ncube.Params, cube topology.Cube, root topology.NodeID, bytes int,
 // sender's accumulated subtree size (number of nodes) to message bytes.
 func gatherLike(p ncube.Params, cube topology.Cube, root topology.NodeID, sizeOf func(sub int) int, tCompute event.Time) Result {
 	e := newEngine(p, cube)
+	gatherLikeOn(e, cube, root, sizeOf, tCompute)
+	return e.finish()
+}
+
+func gatherLikeOn(e *engine, cube topology.Cube, root topology.NodeID, sizeOf func(sub int) int, tCompute event.Time) {
 	n := cube.Dim()
 	// pending[r] counts children a node still waits for before sending.
 	pending := make([]int, cube.Nodes())
@@ -202,14 +279,14 @@ func gatherLike(p ncube.Params, cube topology.Cube, root topology.NodeID, sizeOf
 	ready = func(r topology.NodeID) {
 		node := absOf(cube, root, r)
 		if r == 0 {
-			e.res.Finish[node] = e.q.Now()
+			e.finished(node, e.q.Now())
 			return
 		}
 		L := lowBit(r, n)
 		parent := r &^ (1 << uint(L))
 		spec := sendSpec{to: absOf(cube, root, parent), bytes: sizeOf(1 << uint(L)), tag: int(r)}
 		e.sendSeq(node, []sendSpec{spec}, func(s sendSpec, d wormhole.Delivery) {
-			e.res.Finish[node] = d.Arrived // contribution delivered
+			e.finished(node, d.Arrived) // contribution delivered
 			pr := relOf(cube, root, d.To)
 			e.q.After(e.p.TRecv+tCompute, func() {
 				pending[pr]--
@@ -230,7 +307,6 @@ func gatherLike(p ncube.Params, cube topology.Cube, root topology.NodeID, sizeOf
 			ready(r)
 		}
 	}
-	return e.finish()
 }
 
 // exchangeRounds runs an n-round pairwise-exchange schedule (the shared
@@ -245,6 +321,11 @@ func exchangeRounds(p ncube.Params, cube topology.Cube, bytesOf func(round int) 
 
 func exchangeRoundsCompute(p ncube.Params, cube topology.Cube, bytesOf func(round int) int, tCompute event.Time) Result {
 	e := newEngine(p, cube)
+	exchangeRoundsOn(e, cube, bytesOf, tCompute)
+	return e.finish()
+}
+
+func exchangeRoundsOn(e *engine, cube topology.Cube, bytesOf func(round int) int, tCompute event.Time) {
 	n := cube.Dim()
 	got := make([][]bool, cube.Nodes())
 	for v := range got {
@@ -258,7 +339,7 @@ func exchangeRoundsCompute(p ncube.Params, cube topology.Cube, bytesOf func(roun
 		for round[v] < n && got[v][round[v]] {
 			round[v]++
 			if round[v] == n {
-				e.res.Finish[v] = e.q.Now()
+				e.finished(v, e.q.Now())
 				return
 			}
 			start(v)
@@ -279,7 +360,6 @@ func exchangeRoundsCompute(p ncube.Params, cube topology.Cube, bytesOf func(roun
 	for v := 0; v < cube.Nodes(); v++ {
 		start(topology.NodeID(v))
 	}
-	return e.finish()
 }
 
 // Barrier runs the dissemination barrier: in round k every node notifies
@@ -299,6 +379,17 @@ func AllGather(p ncube.Params, cube topology.Cube, blockBytes int) Result {
 		panic("collective: negative block size")
 	}
 	return exchangeRounds(p, cube, func(d int) int { return blockBytes * (1 << uint(d)) })
+}
+
+// AllGatherOn launches AllGather's schedule on a shared substrate at the
+// calendar's current time; the caller drives the queue.
+func AllGatherOn(sub Substrate, blockBytes int) *Result {
+	if blockBytes < 0 {
+		panic("collective: negative block size")
+	}
+	e := newEngineOn(sub)
+	exchangeRoundsOn(e, sub.Net.Cube(), func(d int) int { return blockBytes * (1 << uint(d)) }, 0)
+	return e.res
 }
 
 // AllReduce combines a fixed-size vector across all nodes and leaves the

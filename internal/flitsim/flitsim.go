@@ -117,6 +117,12 @@ type Network struct {
 	failed   int
 	tracer   Tracer
 
+	// Concurrent-injection bookkeeping: messages scheduled but not yet
+	// completed, and the peak of that count — the flit-level counterpart
+	// of wormhole.Network.MaxInFlight for multi-source traffic.
+	inflight    int
+	maxInflight int
+
 	// Per-run scratch: finished messages return their hop slices here for
 	// reuse by later injections (the network is single-threaded, so a
 	// plain freelist beats sync.Pool), and arcScratch carries path
@@ -189,8 +195,16 @@ func (n *Network) Send(from, to topology.NodeID, flits int, start int64) *Messag
 		m.hops[i] = hop{arc: a, ch: n.channel(a)}
 	}
 	n.msgs = append(n.msgs, m)
+	n.inflight++
+	if n.inflight > n.maxInflight {
+		n.maxInflight = n.inflight
+	}
 	return m
 }
+
+// MaxInFlight returns the peak number of simultaneously outstanding
+// messages (scheduled but not yet delivered or failed).
+func (n *Network) MaxInFlight() int { return n.maxInflight }
 
 // getHops returns a zeroed-by-caller hop slice of length k, reusing a
 // freelisted slice when one with enough capacity is available.
@@ -294,6 +308,7 @@ func (n *Network) fail(m *Message) {
 	m.Done = true
 	m.Failed = true
 	n.failed++
+	n.inflight--
 	if n.mFailed != nil {
 		n.mFailed.Inc()
 	}
@@ -467,6 +482,7 @@ func (n *Network) headChannel(m *Message) int {
 func (n *Network) finish(m *Message) {
 	m.Done = true
 	m.DeliveredAt = n.cycle
+	n.inflight--
 	if n.mDeliv != nil {
 		n.mDeliv.Inc()
 	}

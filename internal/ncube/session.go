@@ -1,0 +1,221 @@
+package ncube
+
+import (
+	"fmt"
+	"sync"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+	"hypercube/internal/wormhole"
+)
+
+// Session is a pooled shared-calendar run environment for executing MANY
+// collective operations on ONE simulated network, each injected at its own
+// simulated time. Where Run owns the calendar for a single tree and RunMany
+// launches a fixed batch at t=0, a Session exposes the calendar itself:
+// callers schedule injections (InjectTree, or arbitrary callbacks via At)
+// and then drive the whole scenario with Run. This is the substrate of the
+// traffic engine (internal/traffic).
+//
+// A Session is single-threaded, like the event kernel beneath it. Borrow
+// one with NewSession, schedule work, call Run exactly once, read results,
+// then Release it back to the pool (skip Release if Run panicked).
+type Session struct {
+	q      event.Queue
+	net    *wormhole.Network
+	p      Params
+	ins    Instrumentation
+	diagFn func() string
+}
+
+var sessionPool = sync.Pool{New: func() any { return new(Session) }}
+
+// NewSession borrows a pooled session and rebinds it to one scenario's
+// machine, cube, and instrumentation.
+func NewSession(p Params, cube topology.Cube, ins Instrumentation) *Session {
+	p.Validate()
+	s := sessionPool.Get().(*Session)
+	cfg := wormhole.Config{THop: p.THop, TByte: p.TByte}
+	s.q.Reset()
+	if s.net == nil {
+		s.net = wormhole.New(&s.q, cube, cfg)
+		s.diagFn = s.net.Diagnose
+	} else {
+		s.net.Reset(&s.q, cube, cfg)
+	}
+	s.p, s.ins = p, ins
+	ins.instrument(&s.q, s.net)
+	return s
+}
+
+// Queue exposes the shared event calendar.
+func (s *Session) Queue() *event.Queue { return &s.q }
+
+// Network exposes the shared interconnect.
+func (s *Session) Network() *wormhole.Network { return s.net }
+
+// Params returns the machine configuration bound at NewSession.
+func (s *Session) Params() Params { return s.p }
+
+// Now returns the current simulated time.
+func (s *Session) Now() event.Time { return s.q.Now() }
+
+// At schedules fn on the shared calendar at absolute time t.
+func (s *Session) At(t event.Time, fn func()) { s.q.At(t, fn) }
+
+// Run drives the calendar to exhaustion under the event watchdog
+// (see event.Queue.RunBudget; maxSteps <= 0 selects the default budget,
+// maxTime <= 0 is unbounded). It attaches the network diagnoser so a
+// wedged scenario reports its held channels, and flushes any tracer.
+func (s *Session) Run(maxSteps int, maxTime event.Time) error {
+	s.q.SetDiagnoser(s.diagFn)
+	_, err := s.q.RunBudget(maxSteps, maxTime)
+	finishTracer(s.ins.Tracer, s.q.Now())
+	return err
+}
+
+// Release returns the session to the pool. Callers skip it when the run
+// panicked — a half-torn-down session must not be reused.
+func (s *Session) Release() {
+	s.q.Reset()
+	s.ins = Instrumentation{}
+	sessionPool.Put(s)
+}
+
+// treeOp is one multicast tree executing inside a Session. It is its own
+// injection event: scheduled with AtOp, its RunEvent starts the root's
+// first send at the op's injection instant. Node software states are
+// per-op (a processor can participate in several concurrent collectives,
+// one handler per message tag — same model as RunMany).
+type treeOp struct {
+	s        *Session
+	src      topology.NodeID
+	bytes    int
+	start    event.Time
+	expected int // deliveries outstanding
+	res      Result
+	done     func(*Result)
+	nodes    []opNode
+
+	// deliver bound once per op so all-port sends don't allocate a
+	// closure per unicast.
+	deliverFn func(wormhole.Delivery)
+}
+
+// opNode mirrors nodeState for one node's role inside one treeOp.
+type opNode struct {
+	op    *treeOp
+	sends []core.Send
+	next  int
+	stage int8
+}
+
+// RunEvent dispatches the node's pending software event (same staging as
+// nodeState: receive overhead done, or one send's CPU setup done).
+func (st *opNode) RunEvent() {
+	if st.stage == nodeRecvDone {
+		st.op.issueNext(st)
+		return
+	}
+	st.op.setupDone(st)
+}
+
+// InjectTree schedules tr to start executing at absolute simulated time at
+// (>= the current calendar time). The returned Result is filled in as the
+// scenario runs: Recv times and Makespan are RELATIVE to the injection
+// instant, so an op that runs without interference reproduces Run's result
+// for the same tree exactly. TotalBlocked accumulates only this op's own
+// unicast blocking (unlike RunMany's network-wide total). If done is
+// non-nil it fires at the op's completion instant — the arrival of its
+// last unicast — on the shared calendar.
+func (s *Session) InjectTree(at event.Time, tr *core.Tree, bytes int, done func(*Result)) *Result {
+	expected := 0
+	for _, sends := range tr.Sends {
+		expected += len(sends)
+	}
+	op := &treeOp{
+		s:        s,
+		src:      tr.Source,
+		bytes:    bytes,
+		expected: expected,
+		done:     done,
+		res: Result{
+			Algorithm: tr.Algorithm,
+			Bytes:     bytes,
+			Recv:      make(map[topology.NodeID]event.Time, expected),
+		},
+	}
+	op.deliverFn = op.deliver
+	op.nodes = make([]opNode, tr.Cube.Nodes())
+	for i := range op.nodes {
+		op.nodes[i].op = op
+	}
+	for v, sends := range tr.Sends {
+		op.nodes[v].sends = sends
+	}
+	s.q.AtOp(at, op)
+	return &op.res
+}
+
+// RunEvent is the injection: the op's clock starts now.
+func (op *treeOp) RunEvent() {
+	op.start = op.s.q.Now()
+	if op.expected == 0 {
+		if op.done != nil {
+			op.done(&op.res)
+		}
+		return
+	}
+	op.issueNext(&op.nodes[op.src])
+}
+
+// issueNext and setupDone mirror runEnv's mechanics exactly: serial
+// per-send CPU setup, with the one-port model additionally gating the next
+// issue on the previous tail draining.
+func (op *treeOp) issueNext(st *opNode) {
+	if st.next >= len(st.sends) {
+		return
+	}
+	st.next++
+	st.stage = nodeSetupDone
+	op.s.q.AfterOp(op.s.p.TStartup, st)
+}
+
+func (op *treeOp) setupDone(st *opNode) {
+	snd := st.sends[st.next-1]
+	switch op.s.p.Port {
+	case core.AllPort:
+		op.s.net.Send(snd.From, snd.To, op.bytes, op.deliverFn)
+		op.issueNext(st)
+	case core.OnePort:
+		op.s.net.Send(snd.From, snd.To, op.bytes, func(d wormhole.Delivery) {
+			op.deliver(d)
+			op.issueNext(st)
+		})
+	}
+}
+
+// deliver records one completed unicast in op-relative time and starts the
+// receiver's software overhead. The op's done hook fires when the last
+// outstanding delivery lands — i.e. at the makespan instant, matching
+// Run's arrival-time semantics (the final receiver's residual TRecv is not
+// part of the multicast delay, exactly as in Run).
+func (op *treeOp) deliver(d wormhole.Delivery) {
+	rel := d.Arrived - op.start
+	if _, dup := op.res.Recv[d.To]; dup {
+		panic(fmt.Sprintf("ncube: node %v received op payload twice", d.To))
+	}
+	op.res.Recv[d.To] = rel
+	if rel > op.res.Makespan {
+		op.res.Makespan = rel
+	}
+	op.res.TotalBlocked += d.Blocked
+	st := &op.nodes[d.To]
+	st.stage = nodeRecvDone
+	op.s.q.AfterOp(op.s.p.TRecv, st)
+	op.expected--
+	if op.expected == 0 && op.done != nil {
+		op.done(&op.res)
+	}
+}

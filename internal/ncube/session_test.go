@@ -1,0 +1,108 @@
+package ncube
+
+import (
+	"reflect"
+	"testing"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+)
+
+// TestSessionInjectMatchesRun: a single tree injected into an otherwise
+// idle session must reproduce Run's result exactly — same Recv map (in
+// op-relative time), same Makespan, same TotalBlocked — regardless of the
+// injection instant. This is the substrate guarantee the traffic engine's
+// isolated-op acceptance criterion rests on.
+func TestSessionInjectMatchesRun(t *testing.T) {
+	cube := topology.New(4, topology.HighToLow)
+	dests := []topology.NodeID{1, 3, 5, 7, 9, 12, 14, 15}
+	for _, alg := range core.Algorithms() {
+		for _, port := range []core.PortModel{core.OnePort, core.AllPort} {
+			for _, at := range []event.Time{0, 777 * event.Microsecond} {
+				tr := core.Build(cube, alg, 3, dests)
+				want := Run(NCube2(port), tr, 4096)
+
+				s := NewSession(NCube2(port), cube, Instrumentation{})
+				got := s.InjectTree(at, tr, 4096, nil)
+				if err := s.Run(0, 0); err != nil {
+					t.Fatalf("%v/%v at %v: session run: %v", alg, port, at, err)
+				}
+				if !reflect.DeepEqual(got.Recv, want.Recv) {
+					t.Errorf("%v/%v at %v: Recv mismatch\n got %v\nwant %v", alg, port, at, got.Recv, want.Recv)
+				}
+				if got.Makespan != want.Makespan {
+					t.Errorf("%v/%v at %v: Makespan %v, want %v", alg, port, at, got.Makespan, want.Makespan)
+				}
+				if got.TotalBlocked != want.TotalBlocked {
+					t.Errorf("%v/%v at %v: TotalBlocked %v, want %v", alg, port, at, got.TotalBlocked, want.TotalBlocked)
+				}
+				s.Release()
+			}
+		}
+	}
+}
+
+// TestSessionDoneFiresAtMakespan: the completion hook runs at the op's
+// last-arrival instant on the shared calendar.
+func TestSessionDoneFiresAtMakespan(t *testing.T) {
+	cube := topology.New(5, topology.HighToLow)
+	tr := core.Build(cube, mustAlg(t, "w-sort"), 0, []topology.NodeID{1, 4, 9, 17, 22, 31})
+	const at = 250 * event.Microsecond
+
+	s := NewSession(NCube2(core.AllPort), cube, Instrumentation{})
+	var doneAt event.Time
+	var doneRes *Result
+	res := s.InjectTree(at, tr, 1024, func(r *Result) {
+		doneAt = s.Now()
+		doneRes = r
+	})
+	if err := s.Run(0, 0); err != nil {
+		t.Fatalf("session run: %v", err)
+	}
+	if doneRes != res {
+		t.Fatalf("done hook received a different result pointer")
+	}
+	if want := at + res.Makespan; doneAt != want {
+		t.Errorf("done fired at %v, want injection %v + makespan %v = %v", doneAt, at, res.Makespan, want)
+	}
+	s.Release()
+}
+
+// TestSessionTwoOpsSharedNetwork: two trees on one session both complete,
+// and re-running the identical scenario on a fresh (pooled) session gives
+// byte-identical results — pooled reuse must not leak state.
+func TestSessionTwoOpsSharedNetwork(t *testing.T) {
+	cube := topology.New(5, topology.HighToLow)
+	trA := core.Build(cube, mustAlg(t, "w-sort"), 0, []topology.NodeID{3, 7, 11, 19, 30})
+	trB := core.Build(cube, mustAlg(t, "u-cube"), 5, []topology.NodeID{2, 9, 16, 27})
+
+	runOnce := func() (Result, Result) {
+		s := NewSession(NCube2(core.AllPort), cube, Instrumentation{})
+		ra := s.InjectTree(0, trA, 2048, nil)
+		rb := s.InjectTree(40*event.Microsecond, trB, 2048, nil)
+		if err := s.Run(0, 0); err != nil {
+			t.Fatalf("session run: %v", err)
+		}
+		a, b := *ra, *rb
+		s.Release()
+		return a, b
+	}
+	a1, b1 := runOnce()
+	a2, b2 := runOnce()
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Errorf("pooled re-run diverged:\nA1 %+v\nA2 %+v\nB1 %+v\nB2 %+v", a1, a2, b1, b2)
+	}
+	if len(a1.Recv) != 5 || len(b1.Recv) != 4 {
+		t.Errorf("incomplete deliveries: |A|=%d |B|=%d", len(a1.Recv), len(b1.Recv))
+	}
+}
+
+func mustAlg(t *testing.T, name string) core.Algorithm {
+	t.Helper()
+	a, err := core.ParseAlgorithm(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

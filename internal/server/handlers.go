@@ -9,6 +9,7 @@ import (
 	"hypercube/internal/ncube"
 	"hypercube/internal/stats"
 	"hypercube/internal/topology"
+	"hypercube/internal/traffic"
 	"hypercube/internal/workload"
 )
 
@@ -186,6 +187,30 @@ func (s *Server) runTree(req TreeRequest) (any, error) {
 		resp.ContentionSample = append(resp.ContentionSample, c.String())
 	}
 	return resp, nil
+}
+
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	serveCached(s, "traffic", w, r,
+		func(req *TrafficRequest) error { return req.normalize(s.lim) },
+		s.runTraffic)
+}
+
+func (s *Server) runTraffic(req TrafficRequest) (any, error) {
+	// The request is already canonical (generators expanded, dests drawn);
+	// the engine re-canonicalizes under permissive limits, which is a no-op
+	// on canonical specs, so the trace is a pure function of the cache key.
+	s.mSims.Inc()
+	res, err := traffic.RunBudget(&req.Spec, s.cfg.WatchdogSteps, s.cfg.WatchdogTime)
+	if err != nil {
+		return nil, err
+	}
+	return TrafficResponse{
+		Request:    req,
+		MakespanNS: res.MakespanNS,
+		MakespanUS: us(event.Time(res.MakespanNS)),
+		Ops:        res.Ops,
+		Net:        res.Net,
+	}, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

@@ -72,6 +72,10 @@ type Config struct {
 	MaxSweepDim    int
 	MaxSweepTrials int
 	MaxSweepPoints int
+	// MaxTrafficOps bounds a traffic scenario's op count after arrival
+	// expansion (default 256) — the knob that keeps /v1/traffic jobs
+	// service-sized.
+	MaxTrafficOps int
 	// Metrics receives every instrument; nil allocates a private
 	// registry (the server always measures itself).
 	Metrics *metrics.Registry
@@ -107,6 +111,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxSweepPoints == 0 {
 		c.MaxSweepPoints = 16
+	}
+	if c.MaxTrafficOps == 0 {
+		c.MaxTrafficOps = 256
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
@@ -152,6 +159,7 @@ func New(cfg Config) *Server {
 			maxSweepDim:    cfg.MaxSweepDim,
 			maxSweepTrials: cfg.MaxSweepTrials,
 			maxSweepPoints: cfg.MaxSweepPoints,
+			maxTrafficOps:  cfg.MaxTrafficOps,
 		},
 		reg: reg,
 		cache: simcache.New(simcache.Config{
@@ -179,6 +187,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/collective", s.handleCollective)
 	s.mux.HandleFunc("/v1/tree", s.handleTree)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/traffic", s.handleTraffic)
 	return s
 }
 

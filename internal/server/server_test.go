@@ -520,3 +520,72 @@ func TestHealthzMetricsAndDrain(t *testing.T) {
 		t.Error("healthz does not report draining")
 	}
 }
+
+func TestTrafficEndpoint(t *testing.T) {
+	// A generator spec and its expanded explicit equivalent must share one
+	// cache entry: normalization runs the seeded expansion before keying.
+	_, ts := newTestServer(t, Config{})
+	genReq := `{"dim":5,"seed":42,"arrivals":{"kind":"poisson","count":6,"rate_per_ms":2,"op":{"kind":"multicast","dest_count":4,"bytes":2048}}}`
+	r1, b1 := post(t, ts.URL, "/v1/traffic", genReq)
+	if r1.StatusCode != 200 {
+		t.Fatalf("traffic request: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	var resp TrafficResponse
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatalf("body is not a TrafficResponse: %v", err)
+	}
+	if len(resp.Ops) != 6 || resp.MakespanNS <= 0 {
+		t.Errorf("suspicious result: ops=%d makespan=%d", len(resp.Ops), resp.MakespanNS)
+	}
+	if resp.Request.Arrivals != nil || len(resp.Request.Ops) != 6 {
+		t.Errorf("echoed request is not canonical: %+v", resp.Request.Spec)
+	}
+	// The echoed canonical spec, posted back, is the same scenario.
+	canon, err := json.Marshal(resp.Request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, b2 := post(t, ts.URL, "/v1/traffic", string(canon))
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("canonical re-post X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("generator spec and its canonical form returned different bodies")
+	}
+	// Repeating the generator form verbatim also hits.
+	r3, b3 := post(t, ts.URL, "/v1/traffic", genReq)
+	if got := r3.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Error("repeated request bodies differ")
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTrafficOps: 4})
+	cases := []struct{ body, wantSub string }{
+		{`{"dim":25,"ops":[{"kind":"broadcast"}]}`, "dim"},
+		{`{"dim":4}`, "no ops"},
+		{`{"dim":4,"ops":[{"kind":"gossip"}]}`, "kind"},
+		{`{"dim":4,"ops":[{"kind":"broadcast","surprise":1}]}`, "unknown"},
+		{`{"dim":4,"seed":1,"arrivals":{"kind":"poisson","count":50,"rate_per_ms":1,"op":{"kind":"broadcast"}}}`, "count 50"},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL, "/v1/traffic", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.body, resp.StatusCode)
+			continue
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Code != "bad_request" {
+			t.Errorf("%s: body %s, want code bad_request", c.body, body)
+		}
+		if !strings.Contains(strings.ToLower(e.Error), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.body, e.Error, c.wantSub)
+		}
+	}
+}

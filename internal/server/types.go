@@ -9,6 +9,7 @@ import (
 	"hypercube/internal/faults"
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
+	"hypercube/internal/traffic"
 	"hypercube/internal/workload"
 )
 
@@ -28,6 +29,7 @@ type limits struct {
 	maxSweepDim    int // largest cube a sweep may cover
 	maxSweepTrials int
 	maxSweepPoints int
+	maxTrafficOps  int // largest traffic scenario, counted after arrival expansion
 }
 
 // badRequestError marks a validation failure (HTTP 400).
@@ -492,6 +494,38 @@ type SweepResponse struct {
 	XLabel  string       `json:"x_label"`
 	Columns []string     `json:"columns"`
 	Rows    []SweepRow   `json:"rows"`
+}
+
+// TrafficRequest runs one trace-driven traffic scenario — concurrent
+// collectives on a single shared network (POST /v1/traffic). The body is
+// exactly a traffic scenario spec; see internal/traffic for the schema.
+// Canonicalization (defaults, generator expansion, dest draws) happens
+// here, so a Poisson spec and its expanded explicit equivalent share one
+// cache entry.
+type TrafficRequest struct {
+	traffic.Spec
+}
+
+func (r *TrafficRequest) normalize(lim limits) error {
+	err := r.Spec.Canonicalize(traffic.Limits{
+		MaxDim:   lim.maxDim,
+		MaxBytes: lim.maxBytes,
+		MaxOps:   lim.maxTrafficOps,
+	})
+	if err != nil {
+		return badf("%v", err)
+	}
+	return nil
+}
+
+// TrafficResponse reports one traffic scenario: per-op queueing and
+// completion times plus shared-network saturation statistics.
+type TrafficResponse struct {
+	Request    TrafficRequest     `json:"request"`
+	MakespanNS int64              `json:"makespan_ns"`
+	MakespanUS float64            `json:"makespan_us"`
+	Ops        []traffic.OpResult `json:"ops"`
+	Net        traffic.NetStats   `json:"net"`
 }
 
 // ErrorResponse is the structured error body of every non-2xx response.

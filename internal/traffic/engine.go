@@ -1,0 +1,376 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"hypercube/internal/collective"
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/group"
+	"hypercube/internal/metrics"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+)
+
+// OpResult is one op's timeline, all in nanoseconds of simulated time.
+// Arrive is the op's arrival instant (its at_us, or its dependency
+// resolution plus think time); Start is when the initiating node's
+// injector actually accepted it — ops from one source serialize, so
+// Queue = Start - Arrive is the injection queueing delay. Service is the
+// op's own execution time (equal to the isolated single-run makespan
+// when nothing interferes) and Sojourn = Queue + Service is what a
+// client of the op observes.
+type OpResult struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	ArriveNS  int64  `json:"arrive_ns"`
+	StartNS   int64  `json:"start_ns"`
+	FinishNS  int64  `json:"finish_ns"`
+	QueueNS   int64  `json:"queue_ns"`
+	ServiceNS int64  `json:"service_ns"`
+	SojournNS int64  `json:"sojourn_ns"`
+	// BlockedNS is this op's own cumulative header blocking — nonzero
+	// means it physically contended for channels.
+	BlockedNS int64 `json:"blocked_ns"`
+	// Messages is the number of point-to-point unicasts the op issued.
+	Messages int `json:"messages"`
+}
+
+// NetStats summarizes the shared network over the whole scenario.
+type NetStats struct {
+	// DurationNS is the simulated time of the last event.
+	DurationNS int64 `json:"duration_ns"`
+	// Delivered counts completed unicasts; HeaderBlocks counts header
+	// blocking events (a header queueing on a busy channel).
+	Delivered    int64 `json:"delivered"`
+	HeaderBlocks int64 `json:"header_blocks"`
+	// BlockedNS is cumulative header blocking time; ChannelHoldNS is
+	// cumulative channel occupancy.
+	BlockedNS     int64 `json:"blocked_ns"`
+	ChannelHoldNS int64 `json:"channel_hold_ns"`
+	// ChannelUtilization is ChannelHoldNS over total channel-time
+	// (arcs x duration); BlockedFraction is BlockedNS over the same
+	// denominator — the blocked-cycle fraction.
+	ChannelUtilization float64 `json:"channel_utilization"`
+	BlockedFraction    float64 `json:"blocked_fraction"`
+	// MaxInFlight is the peak number of simultaneously in-flight
+	// unicasts; PeakQueue is the deepest channel arbitration queue.
+	MaxInFlight int `json:"max_in_flight"`
+	PeakQueue   int `json:"peak_queue"`
+}
+
+// Result is one scenario execution. Ops are in trace order.
+type Result struct {
+	Ops        []OpResult `json:"ops"`
+	MakespanNS int64      `json:"makespan_ns"`
+	Net        NetStats   `json:"net"`
+}
+
+// opState is the engine's per-op bookkeeping.
+type opState struct {
+	op   *Op
+	deps int // unresolved dependencies
+	// dependents are indices of ops whose After names this op.
+	dependents []int
+	// trees are the pre-built multicast trees of the tree-based kinds
+	// (one for multicast/broadcast, one per group for group-phase).
+	trees []*core.Tree
+	// injKey is the node whose injector the op occupies while running:
+	// its source/root, or the first group root.
+	injKey int
+
+	arrived, started, finished  bool
+	arriveNS, startNS, finishNS event.Time
+	blocked                     event.Time
+	messages, pendingTrees      int
+}
+
+// engine compiles a canonical spec onto a shared ncube.Session and runs
+// it to completion.
+type engine struct {
+	spec *Spec
+	p    ncube.Params
+	cube topology.Cube
+	ses  *ncube.Session
+	ops  []opState
+	// injBusy/injFIFO implement one FIFO injector per initiating node:
+	// an op occupies its initiator from start to completion, and later
+	// arrivals at the same node wait their turn.
+	injBusy map[int]bool
+	injFIFO map[int][]int
+}
+
+// Run executes a scenario and returns its per-op and network results.
+// The spec is canonicalized in place (under PermissiveLimits — callers
+// enforcing a stricter boundary canonicalize first) so raw and canonical
+// specs produce identical traces.
+func Run(spec *Spec) (*Result, error) {
+	return RunBudget(spec, 0, 0)
+}
+
+// RunBudget is Run under an explicit event-loop watchdog (see
+// event.Queue.RunBudget); exceeding a budget returns the *event.Diagnostic.
+func RunBudget(spec *Spec, maxSteps int, maxTime event.Time) (*Result, error) {
+	if err := spec.Canonicalize(PermissiveLimits()); err != nil {
+		return nil, err
+	}
+	p, err := spec.params()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		spec:    spec,
+		p:       p,
+		cube:    topology.New(spec.Dim, topology.HighToLow),
+		ops:     make([]opState, len(spec.Ops)),
+		injBusy: make(map[int]bool),
+		injFIFO: make(map[int][]int),
+	}
+	if err := e.compile(); err != nil {
+		return nil, err
+	}
+	reg := metrics.New()
+	e.ses = ncube.NewSession(p, e.cube, ncube.Instrumentation{Metrics: reg})
+	for i := range e.ops {
+		if e.ops[i].deps == 0 {
+			e.scheduleArrival(i, event.Time(e.ops[i].op.AtUS)*event.Microsecond)
+		}
+	}
+	if err := e.ses.Run(maxSteps, maxTime); err != nil {
+		// Leave the session out of the pool: a watchdog abort leaves
+		// events behind that Release would scrub, but the cheap safe
+		// choice is the same one ncube makes on panic — drop it.
+		return nil, err
+	}
+	res, err := e.collect(reg)
+	e.ses.Release()
+	return res, err
+}
+
+// compile resolves dependencies and pre-builds every op's trees so event
+// time does only injection work.
+func (e *engine) compile() error {
+	index := make(map[string]int, len(e.ops))
+	for i := range e.spec.Ops {
+		op := &e.spec.Ops[i]
+		st := &e.ops[i]
+		st.op = op
+		index[op.ID] = i
+		st.deps = len(op.After)
+		for _, dep := range op.After {
+			j, ok := index[dep]
+			if !ok {
+				return fmt.Errorf("traffic: op %q after unknown op %q", op.ID, dep)
+			}
+			e.ops[j].dependents = append(e.ops[j].dependents, i)
+		}
+		st.injKey = op.Src
+		switch op.Kind {
+		case KindMulticast, KindBroadcast:
+			alg, err := core.ParseAlgorithm(op.Algorithm)
+			if err != nil {
+				return fmt.Errorf("traffic: op %q: %v", op.ID, err)
+			}
+			dests := op.Dests
+			if op.Kind == KindBroadcast {
+				dests = make([]int, 0, e.cube.Nodes()-1)
+				for v := 0; v < e.cube.Nodes(); v++ {
+					if v != op.Src {
+						dests = append(dests, v)
+					}
+				}
+			}
+			st.trees = []*core.Tree{core.Build(e.cube, alg, topology.NodeID(op.Src), toNodeIDs(dests))}
+		case KindGroupPhase:
+			alg, err := core.ParseAlgorithm(op.Algorithm)
+			if err != nil {
+				return fmt.Errorf("traffic: op %q: %v", op.ID, err)
+			}
+			for gi, members := range op.Groups {
+				comm, err := group.New(e.cube, toNodeIDs(members))
+				if err != nil {
+					return fmt.Errorf("traffic: op %q: %v", op.ID, err)
+				}
+				rank, ok := comm.Rank(topology.NodeID(op.Roots[gi]))
+				if !ok {
+					return fmt.Errorf("traffic: op %q: root %d not in group %d", op.ID, op.Roots[gi], gi)
+				}
+				st.trees = append(st.trees, comm.Bcast(alg, rank))
+			}
+			st.injKey = op.Roots[0]
+		case KindScatter, KindGather, KindAllGather:
+			// Fixed binomial/dissemination schedules; nothing to build.
+		default:
+			return fmt.Errorf("traffic: op %q: unknown kind %q", op.ID, op.Kind)
+		}
+	}
+	return nil
+}
+
+func (e *engine) scheduleArrival(i int, at event.Time) {
+	e.ses.At(at, func() { e.arrive(i) })
+}
+
+// arrive releases op i to its initiator's injector: it starts now if the
+// injector is free, otherwise it queues FIFO behind the op holding it.
+func (e *engine) arrive(i int) {
+	st := &e.ops[i]
+	st.arrived = true
+	st.arriveNS = e.ses.Now()
+	if e.injBusy[st.injKey] {
+		e.injFIFO[st.injKey] = append(e.injFIFO[st.injKey], i)
+		return
+	}
+	e.injBusy[st.injKey] = true
+	e.start(i)
+}
+
+// start launches op i's schedule on the shared network at the current
+// instant.
+func (e *engine) start(i int) {
+	st := &e.ops[i]
+	st.started = true
+	st.startNS = e.ses.Now()
+	sub := collective.Substrate{
+		Queue:  e.ses.Queue(),
+		Net:    e.ses.Network(),
+		Params: e.p,
+		OnDone: func(r collective.Result) {
+			st.messages += r.Messages
+			st.blocked += r.TotalBlocked
+			e.complete(i)
+		},
+	}
+	switch st.op.Kind {
+	case KindMulticast, KindBroadcast, KindGroupPhase:
+		st.pendingTrees = len(st.trees)
+		for _, tr := range st.trees {
+			e.ses.InjectTree(e.ses.Now(), tr, st.op.Bytes, func(r *ncube.Result) {
+				st.messages += len(r.Recv)
+				st.blocked += r.TotalBlocked
+				st.pendingTrees--
+				if st.pendingTrees == 0 {
+					e.complete(i)
+				}
+			})
+		}
+	case KindScatter:
+		collective.ScatterOn(sub, topology.NodeID(st.op.Src), st.op.Bytes)
+	case KindGather:
+		collective.GatherOn(sub, topology.NodeID(st.op.Src), st.op.Bytes)
+	case KindAllGather:
+		collective.AllGatherOn(sub, st.op.Bytes)
+	}
+}
+
+// complete records op i finishing now, hands its injector to the next
+// queued op, and resolves dependencies.
+func (e *engine) complete(i int) {
+	st := &e.ops[i]
+	st.finished = true
+	st.finishNS = e.ses.Now()
+	if fifo := e.injFIFO[st.injKey]; len(fifo) > 0 {
+		next := fifo[0]
+		e.injFIFO[st.injKey] = fifo[1:]
+		e.start(next)
+	} else {
+		e.injBusy[st.injKey] = false
+	}
+	for _, j := range st.dependents {
+		dep := &e.ops[j]
+		dep.deps--
+		if dep.deps == 0 {
+			at := e.ses.Now() + event.Time(dep.op.DelayUS)*event.Microsecond
+			if t := event.Time(dep.op.AtUS) * event.Microsecond; t > at {
+				at = t
+			}
+			e.scheduleArrival(j, at)
+		}
+	}
+}
+
+// collect assembles the Result after the calendar drains.
+func (e *engine) collect(reg *metrics.Registry) (*Result, error) {
+	res := &Result{Ops: make([]OpResult, len(e.ops))}
+	for i := range e.ops {
+		st := &e.ops[i]
+		if !st.finished {
+			return nil, fmt.Errorf("traffic: op %q never completed (arrived=%v started=%v)", st.op.ID, st.arrived, st.started)
+		}
+		or := OpResult{
+			ID:        st.op.ID,
+			Kind:      st.op.Kind,
+			ArriveNS:  int64(st.arriveNS),
+			StartNS:   int64(st.startNS),
+			FinishNS:  int64(st.finishNS),
+			QueueNS:   int64(st.startNS - st.arriveNS),
+			ServiceNS: int64(st.finishNS - st.startNS),
+			SojournNS: int64(st.finishNS - st.arriveNS),
+			BlockedNS: int64(st.blocked),
+			Messages:  st.messages,
+		}
+		res.Ops[i] = or
+		if or.FinishNS > res.MakespanNS {
+			res.MakespanNS = or.FinishNS
+		}
+	}
+	dur := int64(e.ses.Now())
+	net := e.ses.Network()
+	res.Net = NetStats{
+		DurationNS:    dur,
+		Delivered:     reg.Counter("net_delivered").Value(),
+		HeaderBlocks:  reg.Counter("net_header_blocks").Value(),
+		BlockedNS:     reg.Histogram("net_block_time_ns").Sum(),
+		ChannelHoldNS: reg.Histogram("net_channel_hold_ns").Sum(),
+		MaxInFlight:   net.MaxInFlight(),
+		PeakQueue:     net.MaxQueueLen(),
+	}
+	if arcTime := float64(e.cube.Nodes()) * float64(e.cube.Dim()) * float64(dur); arcTime > 0 {
+		res.Net.ChannelUtilization = float64(res.Net.ChannelHoldNS) / arcTime
+		res.Net.BlockedFraction = float64(res.Net.BlockedNS) / arcTime
+	}
+	return res, nil
+}
+
+func toNodeIDs(xs []int) []topology.NodeID {
+	out := make([]topology.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = topology.NodeID(x)
+	}
+	return out
+}
+
+// MeanSojournNS returns the mean per-op sojourn time — the y-axis of a
+// saturation curve.
+func (r *Result) MeanSojournNS() float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, op := range r.Ops {
+		sum += float64(op.SojournNS)
+	}
+	return sum / float64(len(r.Ops))
+}
+
+// PercentileSojournNS returns the q-quantile (0 <= q <= 1) of per-op
+// sojourn times, by nearest-rank on the sorted values.
+func (r *Result) PercentileSojournNS(q float64) int64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	xs := make([]int64, len(r.Ops))
+	for i, op := range r.Ops {
+		xs[i] = op.SojournNS
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	i := int(q*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

@@ -1,0 +1,283 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"hypercube/internal/collective"
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/group"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+)
+
+const farApartUS = 100_000 // 100ms: far beyond any single op's makespan here
+
+// TestIsolatedOpsMatchSimulate is the engine's acceptance criterion: a
+// scenario of ops spaced far apart — each running on an otherwise idle
+// network — must reproduce the corresponding single-run entry points'
+// makespans exactly, for every op kind.
+func TestIsolatedOpsMatchSimulate(t *testing.T) {
+	const dim, bytes = 4, 4096
+	cube := topology.New(dim, topology.HighToLow)
+	p := ncube.NCube2(core.AllPort)
+	alg := mustAlg(t, "w-sort")
+	dests := []int{1, 3, 5, 7, 9, 12, 15}
+
+	spec := &Spec{
+		Dim: dim,
+		Ops: []Op{
+			{Kind: KindMulticast, Src: 2, Dests: dests, Bytes: bytes, AtUS: 0},
+			{Kind: KindBroadcast, Src: 6, Bytes: bytes, AtUS: 1 * farApartUS},
+			{Kind: KindScatter, Src: 3, Bytes: bytes, AtUS: 2 * farApartUS},
+			{Kind: KindGather, Src: 9, Bytes: bytes, AtUS: 3 * farApartUS},
+			{Kind: KindAllGather, Bytes: bytes, AtUS: 4 * farApartUS},
+			{Kind: KindGroupPhase, Groups: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}, Roots: []int{4}, Bytes: bytes, AtUS: 5 * farApartUS},
+		},
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bcastDests := make([]topology.NodeID, 0, cube.Nodes()-1)
+	for v := 0; v < cube.Nodes(); v++ {
+		if v != 6 {
+			bcastDests = append(bcastDests, topology.NodeID(v))
+		}
+	}
+	comm, err := group.New(cube, toNodeIDs([]int{0, 1, 2, 3, 4, 5, 6, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []event.Time{
+		ncube.Run(p, core.Build(cube, alg, 2, toNodeIDs(dests)), bytes).Makespan,
+		ncube.Run(p, core.Build(cube, alg, 6, bcastDests), bytes).Makespan,
+		collective.Scatter(p, cube, 3, bytes).Makespan,
+		collective.Gather(p, cube, 9, bytes).Makespan,
+		collective.AllGather(p, cube, bytes).Makespan,
+		ncube.Run(p, comm.Bcast(alg, 4), bytes).Makespan,
+	}
+	for i, w := range want {
+		op := res.Ops[i]
+		if op.ServiceNS != int64(w) {
+			t.Errorf("op %d (%s): service %dns, isolated single-run makespan %dns", i, op.Kind, op.ServiceNS, int64(w))
+		}
+		if op.QueueNS != 0 {
+			t.Errorf("op %d (%s): queued %dns on an idle injector", i, op.Kind, op.QueueNS)
+		}
+		if op.BlockedNS != 0 {
+			t.Errorf("op %d (%s): blocked %dns on an idle network", i, op.Kind, op.BlockedNS)
+		}
+	}
+	if res.Net.BlockedNS != 0 || res.Net.HeaderBlocks != 0 {
+		t.Errorf("idle-network scenario reported blocking: %+v", res.Net)
+	}
+}
+
+// subcubeGroups partitions the 6-cube into four 4-subcubes by the top two
+// address bits.
+func subcubeGroups() ([][]int, []int) {
+	groups := make([][]int, 4)
+	roots := make([]int, 4)
+	for g := 0; g < 4; g++ {
+		base := g << 4
+		roots[g] = base
+		for v := 0; v < 16; v++ {
+			groups[g] = append(groups[g], base|v)
+		}
+	}
+	return groups, roots
+}
+
+// TestArcDisjointBroadcastsContentionFree is the Theorem 3 regression
+// under shared-network execution: four broadcasts confined to disjoint
+// 4-subcubes of a 6-cube use disjoint channel sets (E-cube paths never
+// leave a subcube), so running them CONCURRENTLY must give every op
+// exactly its isolated single-run delay, zero queueing, zero blocking.
+// Run under -race via `go test -race`.
+func TestArcDisjointBroadcastsContentionFree(t *testing.T) {
+	const dim, bytes = 6, 2048
+	cube := topology.New(dim, topology.HighToLow)
+	p := ncube.NCube2(core.AllPort)
+	alg := mustAlg(t, "w-sort")
+	groups, roots := subcubeGroups()
+
+	spec := &Spec{Dim: dim}
+	for g := range groups {
+		var dests []int
+		for _, v := range groups[g] {
+			if v != roots[g] {
+				dests = append(dests, v)
+			}
+		}
+		spec.Ops = append(spec.Ops, Op{Kind: KindMulticast, Src: roots[g], Dests: dests, Bytes: bytes})
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range groups {
+		comm, err := group.New(cube, toNodeIDs(groups[g]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank, _ := comm.Rank(topology.NodeID(roots[g]))
+		isolated := ncube.Run(p, comm.Bcast(alg, rank), bytes).Makespan
+		op := res.Ops[g]
+		if op.ServiceNS != int64(isolated) {
+			t.Errorf("subcube %d: concurrent service %dns != isolated %dns", g, op.ServiceNS, int64(isolated))
+		}
+		if op.QueueNS != 0 || op.BlockedNS != 0 {
+			t.Errorf("subcube %d: queue %dns blocked %dns, want 0/0", g, op.QueueNS, op.BlockedNS)
+		}
+	}
+	if res.Net.BlockedNS != 0 {
+		t.Errorf("arc-disjoint scenario blocked %dns network-wide", res.Net.BlockedNS)
+	}
+	if res.Net.MaxInFlight < 4 {
+		t.Errorf("expected >= 4 concurrent in-flight unicasts, got %d", res.Net.MaxInFlight)
+	}
+
+	// The same phase expressed as ONE group-phase op: its service time is
+	// the max of the four isolated makespans, still contention-free.
+	phase := &Spec{Dim: dim, Ops: []Op{{Kind: KindGroupPhase, Groups: groups, Roots: roots, Bytes: bytes}}}
+	pres, err := Run(phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst event.Time
+	for g := range groups {
+		comm, _ := group.New(cube, toNodeIDs(groups[g]))
+		rank, _ := comm.Rank(topology.NodeID(roots[g]))
+		if m := ncube.Run(p, comm.Bcast(alg, rank), bytes).Makespan; m > worst {
+			worst = m
+		}
+	}
+	if got := pres.Ops[0]; got.ServiceNS != int64(worst) || got.BlockedNS != 0 {
+		t.Errorf("group-phase: service %dns blocked %dns, want %dns / 0", got.ServiceNS, got.BlockedNS, int64(worst))
+	}
+}
+
+// TestInjectorQueueing: two ops from the same source arriving together
+// serialize — the second starts exactly when the first completes.
+func TestInjectorQueueing(t *testing.T) {
+	spec := &Spec{Dim: 4, Ops: []Op{
+		{Kind: KindMulticast, Src: 0, Dests: []int{1, 2, 3, 4, 5}, Bytes: 4096},
+		{Kind: KindMulticast, Src: 0, Dests: []int{8, 9, 10, 11, 12}, Bytes: 4096},
+	}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Ops[0], res.Ops[1]
+	if a.QueueNS != 0 {
+		t.Errorf("first op queued %dns", a.QueueNS)
+	}
+	if b.StartNS != a.FinishNS {
+		t.Errorf("second op started at %dns, want the first's finish %dns", b.StartNS, a.FinishNS)
+	}
+	if b.QueueNS != a.FinishNS-b.ArriveNS {
+		t.Errorf("queue delay %dns inconsistent with start-arrive", b.QueueNS)
+	}
+}
+
+// TestDependencyChain: after+delay_us arrival semantics — the dependent
+// op arrives exactly delay after its dependency completes.
+func TestDependencyChain(t *testing.T) {
+	const thinkUS = 500
+	spec := &Spec{Dim: 4, Ops: []Op{
+		{ID: "a", Kind: KindScatter, Src: 0, Bytes: 1024},
+		{ID: "b", Kind: KindGather, Src: 0, Bytes: 1024, After: []string{"a"}, DelayUS: thinkUS},
+	}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Ops[0], res.Ops[1]
+	if want := a.FinishNS + thinkUS*1000; b.ArriveNS != want {
+		t.Errorf("dependent arrived at %dns, want %dns", b.ArriveNS, want)
+	}
+	if b.QueueNS != 0 {
+		t.Errorf("dependent queued %dns after its dependency finished", b.QueueNS)
+	}
+}
+
+// TestRunDeterministic: identical specs yield identical results —
+// including through the Poisson and closed-loop generators.
+func TestRunDeterministic(t *testing.T) {
+	mk := func() *Spec {
+		return &Spec{
+			Dim:  5,
+			Seed: 42,
+			Arrivals: &Arrivals{
+				Kind:      "poisson",
+				Count:     12,
+				RatePerMS: 4,
+				Op:        Template{Kind: KindMulticast, DestCount: 6, Bytes: 2048},
+			},
+		}
+	}
+	r1, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("identical specs diverged:\n%+v\n%+v", r1, r2)
+	}
+
+	cl := func() *Spec {
+		return &Spec{
+			Dim:  5,
+			Seed: 7,
+			Arrivals: &Arrivals{
+				Kind:    "closed-loop",
+				Count:   9,
+				Clients: 3,
+				ThinkUS: 200,
+				Op:      Template{Kind: KindScatter, Bytes: 1024},
+			},
+		}
+	}
+	c1, err := Run(cl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Run(cl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("closed-loop runs diverged")
+	}
+	// Closed loop: each client's ops serialize with think time.
+	for i := 3; i < len(c1.Ops); i++ {
+		prev, cur := c1.Ops[i-3], c1.Ops[i]
+		if want := prev.FinishNS + 200*1000; cur.ArriveNS != want {
+			t.Errorf("closed-loop op %d arrived at %dns, want %dns", i, cur.ArriveNS, want)
+		}
+	}
+}
+
+// TestWatchdogBudget: an absurdly tight step budget must surface the
+// event diagnostic as an error, not a panic.
+func TestWatchdogBudget(t *testing.T) {
+	spec := &Spec{Dim: 5, Ops: []Op{{Kind: KindBroadcast, Src: 0, Bytes: 4096}}}
+	if _, err := RunBudget(spec, 3, 0); err == nil {
+		t.Fatal("expected a watchdog diagnostic")
+	}
+}
+
+func mustAlg(t *testing.T, name string) core.Algorithm {
+	t.Helper()
+	a, err := core.ParseAlgorithm(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

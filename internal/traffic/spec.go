@@ -1,0 +1,509 @@
+// Package traffic is the trace-driven traffic engine: it runs a *scenario*
+// — a set of timed, optionally dependent collective operations from many
+// sources — on a single shared simulated network, instead of the
+// one-collective-per-run entry points used for the paper's figures. The
+// paper's theorems promise contention-freedom *within* one multicast;
+// this package measures what happens *between* them: queueing at
+// injection, inter-operation channel contention, and the latency-vs-load
+// saturation behavior classic wormhole-network studies characterize.
+//
+// A scenario is a canonical JSON spec. Arrival semantics:
+//
+//   - every op has an arrival instant: an absolute `at_us`, and/or
+//     `after` (op IDs that must complete first) plus an optional
+//     `delay_us` think time measured from the last dependency's
+//     completion;
+//   - seeded open-loop (Poisson) and closed-loop generators expand to
+//     explicit op lists at canonicalization, so the executed trace is
+//     always fully explicit and reproducible — seeds live in the spec,
+//     never in wall clock.
+//
+// Determinism rule: a canonical spec plus the machine parameters fully
+// determines every event of the simulation. Canonicalization is
+// idempotent, so the canonical JSON form both keys the server's result
+// cache and round-trips byte-identically.
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hypercube/internal/core"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+	"hypercube/internal/workload"
+)
+
+// Op kinds understood by the engine.
+const (
+	KindMulticast  = "multicast"
+	KindBroadcast  = "broadcast"
+	KindScatter    = "scatter"
+	KindGather     = "gather"
+	KindAllGather  = "allgather"
+	KindGroupPhase = "group-phase"
+)
+
+// Spec is one traffic scenario. The zero values of Machine/Port select
+// ncube2 / all-port; Seed drives the arrival generator and any random
+// destination draws that do not carry their own seed.
+type Spec struct {
+	Dim     int    `json:"dim"`
+	Machine string `json:"machine,omitempty"` // ncube2 (default) | ncube3
+	Port    string `json:"port,omitempty"`    // all-port (default) | one-port
+	Seed    int64  `json:"seed,omitempty"`
+	// Arrivals, when present, is expanded into explicit Ops by
+	// Canonicalize and then cleared — the canonical form is always an
+	// explicit trace.
+	Arrivals *Arrivals `json:"arrivals,omitempty"`
+	Ops      []Op      `json:"ops,omitempty"`
+}
+
+// Op is one collective operation of a scenario.
+type Op struct {
+	// ID names the op for `after` references; defaulted to "opNNN".
+	ID string `json:"id,omitempty"`
+	// Kind is multicast, broadcast, scatter, gather, allgather, or
+	// group-phase.
+	Kind string `json:"kind"`
+	// Algorithm selects the multicast tree for the tree-based kinds
+	// (multicast, broadcast, group-phase); default w-sort.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Src is the initiating node (the root for scatter/gather).
+	Src int `json:"src,omitempty"`
+	// Dests | DestCount+Seed give a multicast's destination set, as in
+	// the HTTP API: explicit, or a seeded deterministic random draw.
+	Dests     []int `json:"dests,omitempty"`
+	DestCount int   `json:"dest_count,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	// Bytes is the message (or per-block) payload; default 4096.
+	Bytes int `json:"bytes,omitempty"`
+	// AtUS is the earliest arrival instant in simulated microseconds.
+	AtUS int64 `json:"at_us,omitempty"`
+	// After lists op IDs that must complete before this op arrives;
+	// references must point to earlier ops in the list (the trace order
+	// is a topological order, so the dependency graph is acyclic by
+	// construction).
+	After []string `json:"after,omitempty"`
+	// DelayUS is think time from the last dependency's completion to
+	// this op's arrival; requires After.
+	DelayUS int64 `json:"delay_us,omitempty"`
+	// Groups+Roots define a group-phase op: one broadcast per group,
+	// rooted at the matching Roots entry (a member node), all launched
+	// together — the data-redistribution phase of group.Phase.
+	Groups [][]int `json:"groups,omitempty"`
+	Roots  []int   `json:"roots,omitempty"`
+}
+
+// Arrivals is a seeded arrival-process generator.
+type Arrivals struct {
+	// Kind is poisson (open loop: exponential interarrivals at
+	// RatePerMS) or closed-loop (Clients clients, each re-issuing
+	// ThinkUS after its previous op completes).
+	Kind string `json:"kind"`
+	// Count is the total number of generated ops.
+	Count int `json:"count"`
+	// RatePerMS is the aggregate Poisson arrival rate (ops per
+	// simulated millisecond).
+	RatePerMS float64 `json:"rate_per_ms,omitempty"`
+	// Clients and ThinkUS configure the closed loop.
+	Clients int   `json:"clients,omitempty"`
+	ThinkUS int64 `json:"think_us,omitempty"`
+	// Op is the template every generated op is stamped from.
+	Op Template `json:"op"`
+}
+
+// Template is the per-arrival op shape. A nil Src draws the source
+// uniformly (seeded) per arrival.
+type Template struct {
+	Kind      string `json:"kind"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Bytes     int    `json:"bytes,omitempty"`
+	DestCount int    `json:"dest_count,omitempty"`
+	Src       *int   `json:"src,omitempty"`
+}
+
+// Limits is the admission policy for spec shapes.
+type Limits struct {
+	MaxDim   int // default 10
+	MaxBytes int // default 1 MiB
+	MaxOps   int // default 512, counted after arrival expansion
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxDim == 0 {
+		l.MaxDim = 10
+	}
+	if l.MaxBytes == 0 {
+		l.MaxBytes = 1 << 20
+	}
+	if l.MaxOps == 0 {
+		l.MaxOps = 512
+	}
+	return l
+}
+
+// PermissiveLimits admits anything the simulator itself can represent.
+// The engine re-canonicalizes under these so a spec admitted by a
+// stricter boundary (the server's) is never re-rejected.
+func PermissiveLimits() Limits {
+	return Limits{MaxDim: 16, MaxBytes: 1 << 30, MaxOps: 1 << 20}
+}
+
+// Parse decodes a scenario spec strictly: unknown fields and trailing
+// data are errors, and malformed input never panics.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("traffic: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("traffic: trailing data after spec")
+	}
+	return &s, nil
+}
+
+// CanonicalJSON renders the spec in its canonical wire form (indented,
+// trailing newline) — the byte string that keys the server's result
+// cache. Canonicalize first; the output of Parse∘CanonicalJSON is a
+// fixed point.
+func (s *Spec) CanonicalJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %v", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// params maps the canonical machine/port strings to machine parameters.
+func (s *Spec) params() (ncube.Params, error) {
+	var pm core.PortModel
+	switch s.Port {
+	case "one-port":
+		pm = core.OnePort
+	case "all-port":
+		pm = core.AllPort
+	default:
+		return ncube.Params{}, fmt.Errorf("traffic: unknown port model %q (want one-port or all-port)", s.Port)
+	}
+	switch s.Machine {
+	case "ncube2":
+		return ncube.NCube2(pm), nil
+	case "ncube3":
+		return ncube.NCube3(pm), nil
+	}
+	return ncube.Params{}, fmt.Errorf("traffic: unknown machine %q (want ncube2 or ncube3)", s.Machine)
+}
+
+// Canonicalize validates s against lim and rewrites it in place into the
+// canonical form: defaults filled in, the arrival generator expanded to
+// explicit ops, destination sets expanded/sorted/deduplicated, group
+// members sorted. It is idempotent — canonicalizing a canonical spec is
+// a no-op — and returns an error (never panics) on any malformed input.
+func (s *Spec) Canonicalize(lim Limits) error {
+	lim = lim.withDefaults()
+	if s.Dim < 1 || s.Dim > lim.MaxDim {
+		return fmt.Errorf("traffic: dim %d outside [1, %d]", s.Dim, lim.MaxDim)
+	}
+	if s.Machine == "" {
+		s.Machine = "ncube2"
+	}
+	if s.Port == "" {
+		s.Port = "all-port"
+	}
+	if _, err := s.params(); err != nil {
+		return err
+	}
+	cube := topology.New(s.Dim, topology.HighToLow)
+	if s.Arrivals != nil {
+		if err := s.expandArrivals(cube, lim); err != nil {
+			return err
+		}
+		s.Arrivals = nil
+	}
+	if len(s.Ops) == 0 {
+		return fmt.Errorf("traffic: scenario has no ops")
+	}
+	if len(s.Ops) > lim.MaxOps {
+		return fmt.Errorf("traffic: %d ops exceed the limit of %d", len(s.Ops), lim.MaxOps)
+	}
+	seen := make(map[string]int, len(s.Ops))
+	for i := range s.Ops {
+		op := &s.Ops[i]
+		if op.ID == "" {
+			op.ID = fmt.Sprintf("op%03d", i)
+		}
+		if j, dup := seen[op.ID]; dup {
+			return fmt.Errorf("traffic: ops %d and %d share id %q", j, i, op.ID)
+		}
+		seen[op.ID] = i
+		if err := s.canonicalizeOp(cube, lim, op, i, seen); err != nil {
+			return fmt.Errorf("traffic: op %q: %v", op.ID, err)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) canonicalizeOp(cube topology.Cube, lim Limits, op *Op, idx int, seen map[string]int) error {
+	if op.Bytes == 0 {
+		op.Bytes = 4096
+	}
+	if op.Bytes < 1 || op.Bytes > lim.MaxBytes {
+		return fmt.Errorf("bytes %d outside [1, %d]", op.Bytes, lim.MaxBytes)
+	}
+	if op.AtUS < 0 {
+		return fmt.Errorf("negative at_us %d", op.AtUS)
+	}
+	if op.DelayUS < 0 {
+		return fmt.Errorf("negative delay_us %d", op.DelayUS)
+	}
+	if op.DelayUS > 0 && len(op.After) == 0 {
+		return fmt.Errorf("delay_us without after")
+	}
+	if len(op.After) > 0 {
+		sort.Strings(op.After)
+		out := op.After[:0]
+		for _, dep := range op.After {
+			if len(out) > 0 && dep == out[len(out)-1] {
+				continue
+			}
+			j, ok := seen[dep]
+			if !ok || j >= idx {
+				return fmt.Errorf("after %q does not name an earlier op", dep)
+			}
+			out = append(out, dep)
+		}
+		op.After = out
+	}
+
+	needSrc := func() error {
+		if op.Src < 0 || op.Src >= cube.Nodes() {
+			return fmt.Errorf("src %d outside the %d-node cube", op.Src, cube.Nodes())
+		}
+		return nil
+	}
+	noDests := func() error {
+		if len(op.Dests) > 0 || op.DestCount > 0 || op.Seed != 0 {
+			return fmt.Errorf("%s takes no destination set", op.Kind)
+		}
+		return nil
+	}
+	noGroups := func() error {
+		if len(op.Groups) > 0 || len(op.Roots) > 0 {
+			return fmt.Errorf("%s takes no groups", op.Kind)
+		}
+		return nil
+	}
+	treeAlg := func() error {
+		if op.Algorithm == "" {
+			op.Algorithm = "w-sort"
+		}
+		if _, err := core.ParseAlgorithm(op.Algorithm); err != nil {
+			return err
+		}
+		return nil
+	}
+	noAlg := func() error {
+		if op.Algorithm != "" {
+			return fmt.Errorf("%s has a fixed schedule (drop algorithm)", op.Kind)
+		}
+		return nil
+	}
+
+	switch op.Kind {
+	case KindMulticast:
+		if err := firstErr(treeAlg, needSrc, noGroups); err != nil {
+			return err
+		}
+		return normalizeDests(cube, op)
+	case KindBroadcast:
+		return firstErr(treeAlg, needSrc, noDests, noGroups)
+	case KindScatter, KindGather:
+		return firstErr(noAlg, needSrc, noDests, noGroups)
+	case KindAllGather:
+		op.Src = 0 // canonical: rootless
+		return firstErr(noAlg, noDests, noGroups)
+	case KindGroupPhase:
+		op.Src = 0
+		if err := firstErr(treeAlg, noDests); err != nil {
+			return err
+		}
+		return canonicalizeGroups(cube, op)
+	case "":
+		return fmt.Errorf("missing kind")
+	}
+	return fmt.Errorf("unknown kind %q", op.Kind)
+}
+
+func firstErr(checks ...func() error) error {
+	for _, c := range checks {
+		if err := c(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// normalizeDests canonicalizes the (Dests | DestCount+Seed) pair exactly
+// as the HTTP API does: a seeded draw is expanded deterministically, then
+// the set is sorted, deduplicated, and stripped of src.
+func normalizeDests(cube topology.Cube, op *Op) error {
+	n := cube.Nodes()
+	if len(op.Dests) > 0 && op.DestCount > 0 {
+		return fmt.Errorf("give dests or dest_count, not both")
+	}
+	dests := op.Dests
+	if op.DestCount > 0 {
+		if op.DestCount > n-1 {
+			return fmt.Errorf("dest_count %d exceeds the %d-node cube's %d possible destinations", op.DestCount, n, n-1)
+		}
+		drawn := workload.NewGenerator(cube, op.Seed).Dests(topology.NodeID(op.Src), op.DestCount)
+		dests = make([]int, len(drawn))
+		for i, d := range drawn {
+			dests[i] = int(d)
+		}
+	}
+	if len(dests) == 0 {
+		return fmt.Errorf("empty destination set (give dests or dest_count)")
+	}
+	sort.Ints(dests)
+	out := dests[:0]
+	for _, d := range dests {
+		if d < 0 || d >= n {
+			return fmt.Errorf("destination %d outside the %d-node cube", d, n)
+		}
+		if d == op.Src || (len(out) > 0 && d == out[len(out)-1]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("destination set contains only the source")
+	}
+	op.Dests, op.DestCount, op.Seed = out, 0, 0
+	return nil
+}
+
+// canonicalizeGroups validates a group-phase op and sorts each group's
+// member list (group identity is a set; the broadcast root is named by
+// node, not rank, so sorting loses nothing).
+func canonicalizeGroups(cube topology.Cube, op *Op) error {
+	if len(op.Groups) == 0 {
+		return fmt.Errorf("group-phase needs groups")
+	}
+	if len(op.Roots) != len(op.Groups) {
+		return fmt.Errorf("%d roots for %d groups", len(op.Roots), len(op.Groups))
+	}
+	for gi, g := range op.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("group %d is empty", gi)
+		}
+		sort.Ints(g)
+		for i, v := range g {
+			if v < 0 || v >= cube.Nodes() {
+				return fmt.Errorf("group %d member %d outside the %d-node cube", gi, v, cube.Nodes())
+			}
+			if i > 0 && v == g[i-1] {
+				return fmt.Errorf("group %d repeats member %d", gi, v)
+			}
+		}
+		root := op.Roots[gi]
+		if !containsInt(g, root) {
+			return fmt.Errorf("root %d is not a member of group %d", root, gi)
+		}
+	}
+	return nil
+}
+
+func containsInt(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+// expandArrivals replaces the generator with an explicit op list appended
+// to Ops, with IDs "arrNNN". Sources without a template pin are drawn
+// from the spec seed; per-op destination draws derive their seeds from
+// the spec seed and the arrival index, so the whole trace is a pure
+// function of the spec.
+func (s *Spec) expandArrivals(cube topology.Cube, lim Limits) error {
+	a := s.Arrivals
+	if a.Count < 1 || a.Count > lim.MaxOps {
+		return fmt.Errorf("traffic: arrivals count %d outside [1, %d]", a.Count, lim.MaxOps)
+	}
+	switch a.Op.Kind {
+	case KindMulticast, KindBroadcast, KindScatter, KindGather, KindAllGather:
+	case KindGroupPhase:
+		return fmt.Errorf("traffic: arrivals cannot template group-phase ops")
+	default:
+		return fmt.Errorf("traffic: arrivals template has unknown kind %q", a.Op.Kind)
+	}
+	if a.Op.Src != nil && (*a.Op.Src < 0 || *a.Op.Src >= cube.Nodes()) {
+		return fmt.Errorf("traffic: arrivals src %d outside the %d-node cube", *a.Op.Src, cube.Nodes())
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	stamp := func(i int) Op {
+		op := Op{
+			ID:        fmt.Sprintf("arr%03d", i),
+			Kind:      a.Op.Kind,
+			Algorithm: a.Op.Algorithm,
+			Bytes:     a.Op.Bytes,
+		}
+		if a.Op.Src != nil {
+			op.Src = *a.Op.Src
+		} else if a.Op.Kind != KindAllGather {
+			op.Src = rng.Intn(cube.Nodes())
+		}
+		if a.Op.Kind == KindMulticast {
+			op.DestCount = a.Op.DestCount
+			op.Seed = s.Seed*1_000_003 + int64(i)
+		}
+		return op
+	}
+	switch a.Kind {
+	case "poisson":
+		if !(a.RatePerMS > 0) || math.IsInf(a.RatePerMS, 0) {
+			return fmt.Errorf("traffic: poisson arrivals need a positive finite rate_per_ms")
+		}
+		if a.Clients != 0 || a.ThinkUS != 0 {
+			return fmt.Errorf("traffic: clients/think_us are closed-loop fields")
+		}
+		var t int64 // microseconds
+		for i := 0; i < a.Count; i++ {
+			// Exponential interarrival, quantized to whole microseconds.
+			t += int64(rng.ExpFloat64() / a.RatePerMS * 1000)
+			op := stamp(i)
+			op.AtUS = t
+			s.Ops = append(s.Ops, op)
+		}
+	case "closed-loop":
+		if a.Clients < 1 {
+			return fmt.Errorf("traffic: closed-loop arrivals need clients >= 1")
+		}
+		if a.ThinkUS < 0 {
+			return fmt.Errorf("traffic: negative think_us")
+		}
+		if a.RatePerMS != 0 {
+			return fmt.Errorf("traffic: rate_per_ms is an open-loop field")
+		}
+		prev := make([]string, a.Clients) // last op ID per client
+		for i := 0; i < a.Count; i++ {
+			c := i % a.Clients
+			op := stamp(i)
+			if prev[c] != "" {
+				op.After = []string{prev[c]}
+				op.DelayUS = a.ThinkUS
+			}
+			prev[c] = op.ID
+			s.Ops = append(s.Ops, op)
+		}
+	default:
+		return fmt.Errorf("traffic: unknown arrivals kind %q (want poisson or closed-loop)", a.Kind)
+	}
+	return nil
+}

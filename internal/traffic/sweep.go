@@ -1,0 +1,101 @@
+package traffic
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+)
+
+// SweepConfig drives an offered-load sweep: one seeded Poisson multicast
+// scenario per (rate, algorithm) cell, all on the same cube and machine.
+type SweepConfig struct {
+	Dim        int
+	Machine    string    // "" selects ncube2
+	Port       string    // "" selects all-port
+	Algorithms []string  // multicast algorithms, one table column each
+	RatesPerMS []float64 // offered load (ops per simulated millisecond)
+	Ops        int       // arrivals per scenario (0 selects 64)
+	DestCount  int       // destinations per multicast (0 selects half the cube)
+	Bytes      int       // payload (0 selects 4096)
+	Seed       int64
+}
+
+// SweepTables are the saturation curves of one sweep: per-op latency
+// (mean and p95 sojourn, µs) and shared-channel utilization, each as
+// rate-indexed tables with one column per algorithm.
+type SweepTables struct {
+	Mean *stats.Table
+	P95  *stats.Table
+	Util *stats.Table
+}
+
+// Sweep runs the offered-load sweep. Everything is derived from the
+// config (seeds included), so identical configs render identical tables.
+func Sweep(cfg SweepConfig) (*SweepTables, error) {
+	if len(cfg.Algorithms) == 0 || len(cfg.RatesPerMS) == 0 {
+		return nil, fmt.Errorf("traffic: sweep needs algorithms and rates")
+	}
+	for _, a := range cfg.Algorithms {
+		if _, err := core.ParseAlgorithm(a); err != nil {
+			return nil, fmt.Errorf("traffic: %v", err)
+		}
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 64
+	}
+	if cfg.Bytes == 0 {
+		cfg.Bytes = 4096
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("traffic: sweep dim %d", cfg.Dim)
+	}
+	if cfg.DestCount == 0 {
+		cfg.DestCount = topology.New(cfg.Dim, topology.HighToLow).Nodes() / 2
+	}
+
+	title := fmt.Sprintf("Saturation: %d-cube, %d Poisson multicasts, m=%d, %d B",
+		cfg.Dim, cfg.Ops, cfg.DestCount, cfg.Bytes)
+	tbs := &SweepTables{
+		Mean: stats.NewTable(title+" — mean sojourn µs", "ops/ms", cfg.Algorithms...),
+		P95:  stats.NewTable(title+" — p95 sojourn µs", "ops/ms", cfg.Algorithms...),
+		Util: stats.NewTable(title+" — channel utilization", "ops/ms", cfg.Algorithms...),
+	}
+	for _, rate := range cfg.RatesPerMS {
+		mean := make([]float64, len(cfg.Algorithms))
+		p95 := make([]float64, len(cfg.Algorithms))
+		util := make([]float64, len(cfg.Algorithms))
+		for ai, alg := range cfg.Algorithms {
+			spec := &Spec{
+				Dim:     cfg.Dim,
+				Machine: cfg.Machine,
+				Port:    cfg.Port,
+				Seed:    cfg.Seed,
+				Arrivals: &Arrivals{
+					Kind:      "poisson",
+					Count:     cfg.Ops,
+					RatePerMS: rate,
+					Op: Template{
+						Kind:      KindMulticast,
+						Algorithm: alg,
+						Bytes:     cfg.Bytes,
+						DestCount: cfg.DestCount,
+					},
+				},
+			}
+			res, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: sweep %s at %g ops/ms: %w", alg, rate, err)
+			}
+			mean[ai] = res.MeanSojournNS() / float64(event.Microsecond)
+			p95[ai] = float64(res.PercentileSojournNS(0.95)) / float64(event.Microsecond)
+			util[ai] = res.Net.ChannelUtilization
+		}
+		tbs.Mean.Add(rate, mean...)
+		tbs.P95.Add(rate, p95...)
+		tbs.Util.Add(rate, util...)
+	}
+	return tbs, nil
+}

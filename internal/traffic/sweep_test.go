@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"testing"
+)
+
+func smallSweep() SweepConfig {
+	return SweepConfig{
+		Dim:        5,
+		Algorithms: []string{"u-cube", "w-sort"},
+		RatesPerMS: []float64{0.05, 2, 8},
+		Ops:        16,
+		DestCount:  8,
+		Bytes:      2048,
+		Seed:       1993,
+	}
+}
+
+// TestSweepDeterministic is the golden determinism property of the
+// saturation-curve experiment: the same config renders byte-identical
+// tables on every run.
+func TestSweepDeterministic(t *testing.T) {
+	t1, err := Sweep(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Sweep(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{
+		{t1.Mean.Render(), t2.Mean.Render()},
+		{t1.P95.Render(), t2.P95.Render()},
+		{t1.Util.Render(), t2.Util.Render()},
+		{t1.Mean.CSV(), t2.Mean.CSV()},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("sweep runs rendered differently:\n%s\n----\n%s", pair[0], pair[1])
+		}
+	}
+}
+
+// TestSweepSaturates: the physics sanity check behind the curve — at a
+// near-zero offered load every op sees an idle network, so mean sojourn
+// approximates the isolated service time, and pushing the load far up
+// can only increase latency and channel utilization.
+func TestSweepSaturates(t *testing.T) {
+	tbs, err := Sweep(smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range tbs.Mean.Columns {
+		lo := tbs.Mean.Rows[0].Cells[ci]
+		hi := tbs.Mean.Rows[len(tbs.Mean.Rows)-1].Cells[ci]
+		if hi <= lo {
+			t.Errorf("%s: mean sojourn did not grow with load (%.1fus at light load, %.1fus near saturation)",
+				tbs.Mean.Columns[ci], lo, hi)
+		}
+		uLo := tbs.Util.Rows[0].Cells[ci]
+		uHi := tbs.Util.Rows[len(tbs.Util.Rows)-1].Cells[ci]
+		if uHi <= uLo {
+			t.Errorf("%s: utilization did not grow with load (%.4f -> %.4f)", tbs.Util.Columns[ci], uLo, uHi)
+		}
+	}
+}
+
+func TestSweepRejects(t *testing.T) {
+	if _, err := Sweep(SweepConfig{Dim: 5}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := Sweep(SweepConfig{Dim: 5, Algorithms: []string{"magic"}, RatesPerMS: []float64{1}}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if _, err := Sweep(SweepConfig{Dim: 0, Algorithms: []string{"w-sort"}, RatesPerMS: []float64{1}}); err == nil {
+		t.Error("bad dim accepted")
+	}
+}

@@ -188,6 +188,7 @@ type Network struct {
 	maxQueueLen  int
 	lost         int
 	inflight     int
+	maxInflight  int
 	wedged       []*message
 
 	// Observability instruments; all nil (one branch per update site)
@@ -273,7 +274,7 @@ func (n *Network) Reset(q *event.Queue, cube topology.Cube, cfg Config) {
 		}
 	}
 	n.tracer, n.faults = nil, nil
-	n.delivered, n.lost, n.inflight = 0, 0, 0
+	n.delivered, n.lost, n.inflight, n.maxInflight = 0, 0, 0, 0
 	n.totalBlocked, n.maxQueueLen = 0, 0
 	n.wedged = nil
 	n.SetMetrics(nil)
@@ -306,6 +307,11 @@ func (n *Network) Lost() int { return n.lost }
 // completed nor been lost. Nonzero after the event queue drains means the
 // network is wedged (stalled faults or headers queued behind them).
 func (n *Network) InFlight() int { return n.inflight }
+
+// MaxInFlight returns the peak number of simultaneously in-flight unicasts
+// observed since construction or Reset — the network's concurrency
+// high-water mark under multi-source traffic.
+func (n *Network) MaxInFlight() int { return n.maxInflight }
 
 // HeldChannel describes one busy channel for diagnostics: the arc, the
 // unicast holding it, and how many headers are queued behind it.
@@ -406,6 +412,9 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 		m.drop, m.truncate = n.faults.MessageFate(from, to, bytes, n.q.Now())
 	}
 	n.inflight++
+	if n.inflight > n.maxInflight {
+		n.maxInflight = n.inflight
+	}
 	if n.mInjected != nil {
 		n.mInjected.Inc()
 	}

@@ -33,7 +33,7 @@ go test -run xxx -bench . -benchtime 1x .
 
 echo '== bench regression gate'
 # Re-runs the pinned gate benchmarks (Fig09 stepwise, Fig11 delay, 10-cube
-# broadcast) and compares ns/op and allocs/op against the newest committed
+# broadcast, two traffic scenarios) and compares ns/op and allocs/op against the newest committed
 # results/BENCH_*.json baseline. Tolerances are generous — shared CI boxes
 # are noisy — so only a real regression (or an allocation leak on the hot
 # path) trips it. After an intentional change, refresh the baseline per
@@ -55,6 +55,19 @@ go run ./cmd/compare -n 5 -m 8 -trials 3 -machine ncube3 > /dev/null
 go run ./cmd/faultsweep -n 4 -trials 3 -points 4 > /dev/null
 go run ./cmd/faultsweep -n 4 -trials 3 -points 4 -mode drop -csv > /dev/null
 go run ./cmd/figures -quick -dir "$(mktemp -d)" > /dev/null
+
+echo '== traffic engine (smoke + determinism)'
+# One explicit scenario from stdin, then the same reduced sweep twice:
+# fixed spec + seed must render byte-identical files across runs.
+trafdir=$(mktemp -d)
+printf '%s' '{"dim":4,"ops":[{"kind":"scatter","src":0},{"kind":"multicast","src":2,"dest_count":6,"seed":9,"after":["op000"]}]}' |
+	go run ./cmd/traffic -spec - > /dev/null
+go run ./cmd/traffic -n 5 -ops 12 -rates 0.5,4 -dir "$trafdir/run1" > /dev/null
+go run ./cmd/traffic -n 5 -ops 12 -rates 0.5,4 -dir "$trafdir/run2" > /dev/null
+for f in traffic_mean traffic_p95 traffic_util; do
+	cmp "$trafdir/run1/$f.txt" "$trafdir/run2/$f.txt"
+	cmp "$trafdir/run1/$f.csv" "$trafdir/run2/$f.csv"
+done
 
 echo '== bench harness + metrics JSON (smoke)'
 obsdir=$(mktemp -d)
@@ -93,6 +106,11 @@ curl -sf -X POST "http://$addr/v1/simulate" -d "$req" -D "$srvdir/h2" -o "$srvdi
 cmp "$srvdir/b1" "$srvdir/b2"   # cached re-request must be byte-identical
 grep -qi 'x-cache: miss' "$srvdir/h1"
 grep -qi 'x-cache: hit' "$srvdir/h2"
+traf='{"dim":4,"seed":3,"arrivals":{"kind":"poisson","count":5,"rate_per_ms":2,"op":{"kind":"multicast","dest_count":4}}}'
+curl -sf -X POST "http://$addr/v1/traffic" -d "$traf" -D "$srvdir/t1" -o "$srvdir/tb1"
+curl -sf -X POST "http://$addr/v1/traffic" -d "$traf" -D "$srvdir/t2" -o "$srvdir/tb2"
+cmp "$srvdir/tb1" "$srvdir/tb2"
+grep -qi 'x-cache: hit' "$srvdir/t2"
 curl -sf "http://$addr/metrics" | grep -q '# TYPE server_requests counter'
 curl -sf "http://$addr/metrics/json" | grep -q '"schema": "hypercube-metrics/v1"'
 "$srvdir/loadgen" -url "http://$addr" -c 4 -n 100 -keys 10 > /dev/null
