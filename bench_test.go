@@ -381,6 +381,31 @@ func BenchmarkTrafficSaturation6Cube(b *testing.B) {
 	}
 }
 
+// Chaos path: the same shared-network engine with a fault schedule
+// installed — loss-tracked sends, the ack/retry protocol, and per-op
+// delivery accounting all engaged. Guards the cost of the fault plumbing
+// itself; the fault-free benchmarks above guard that its absence stays
+// free.
+func BenchmarkTrafficChaosFaulted5Cube(b *testing.B) {
+	b.ReportAllocs()
+	mk := func() *traffic.Spec {
+		return &traffic.Spec{
+			Dim:  5,
+			Seed: 1993,
+			Arrivals: &traffic.Arrivals{
+				Kind: "poisson", Count: 12, RatePerMS: 4,
+				Op: traffic.Template{Kind: traffic.KindFTMulticast, DestCount: 6, Bytes: 2048},
+			},
+			Faults: []traffic.FaultEvent{{Kind: traffic.FaultLink, Count: 2, Seed: 5}},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Run(mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Baseline for context: one ncube.Run on a mid-size 6-cube multicast.
 func BenchmarkSimulateMulticast6Cube(b *testing.B) {
 	b.ReportAllocs()

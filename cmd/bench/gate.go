@@ -89,6 +89,24 @@ func gateBenchmarks() []struct {
 				}
 			}
 		}},
+		{"BenchmarkTrafficChaosFaulted5Cube", func(b *testing.B) {
+			mk := func() *traffic.Spec {
+				return &traffic.Spec{
+					Dim:  5,
+					Seed: 1993,
+					Arrivals: &traffic.Arrivals{
+						Kind: "poisson", Count: 12, RatePerMS: 4,
+						Op: traffic.Template{Kind: traffic.KindFTMulticast, DestCount: 6, Bytes: 2048},
+					},
+					Faults: []traffic.FaultEvent{{Kind: traffic.FaultLink, Count: 2, Seed: 5}},
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := traffic.Run(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"BenchmarkTrafficSaturation6Cube", func(b *testing.B) {
 			mk := func() *traffic.Spec {
 				return &traffic.Spec{

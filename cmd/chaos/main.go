@@ -1,0 +1,116 @@
+// Command chaos runs the degradation-under-load harness: a grid of
+// offered load (rows) crossed with injected permanent link faults
+// (columns), every cell a seeded Poisson scenario of fault-tolerant
+// multicasts on the shared network. It writes three surfaces — delivered
+// fraction, sojourn inflation over the same workload on a healthy
+// network, and retries per op.
+//
+// Usage:
+//
+//	chaos                             # 4-cube, default rate and fault grids
+//	chaos -n 5 -rates 0.25,0.5 -faults 0,2,4
+//	chaos -dir results                # write chaos_*.{txt,csv}; two runs
+//	                                  # with equal flags are byte-identical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hypercube/internal/cliutil"
+	"hypercube/internal/stats"
+	"hypercube/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos: ")
+	var (
+		dim     = flag.Int("n", 4, "hypercube dimensionality")
+		algo    = flag.String("algo", "w-sort", "multicast algorithm for every op")
+		rates   = flag.String("rates", "0.125,0.25,0.5", "comma-separated offered loads, ops per simulated ms")
+		faults  = flag.String("faults", "0,1,2,4", "comma-separated dead-link counts (columns)")
+		ops     = flag.Int("ops", 16, "Poisson arrivals per scenario")
+		m       = flag.Int("m", 0, "destinations per multicast (0 = half the cube)")
+		bytesF  = flag.Int("bytes", 4096, "message length")
+		seed    = flag.Int64("seed", 1993, "arrival, destination, and fault-draw RNG seed")
+		machine = flag.String("machine", "ncube2", "machine model: ncube2 or ncube3")
+		port    = flag.String("port", "all-port", "port model: one-port or all-port")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotIt  = flag.Bool("plot", false, "render text line charts instead of tables")
+		dir     = flag.String("dir", "", "write the tables to this directory instead of stdout")
+	)
+	obs := cliutil.ObservabilityFlags()
+	flag.Parse()
+
+	if err := obs.Start("chaos"); err != nil {
+		log.Fatal(err)
+	}
+	var rs []float64
+	for _, f := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || !(r > 0) {
+			log.Fatalf("bad rate %q in -rates", f)
+		}
+		rs = append(rs, r)
+	}
+	var ks []int
+	for _, f := range strings.Split(*faults, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 0 {
+			log.Fatalf("bad fault count %q in -faults", f)
+		}
+		ks = append(ks, k)
+	}
+	tbs, err := traffic.ChaosSweep(traffic.ChaosConfig{
+		Dim:         *dim,
+		Machine:     *machine,
+		Port:        *port,
+		Algorithm:   *algo,
+		RatesPerMS:  rs,
+		FaultCounts: ks,
+		Ops:         *ops,
+		DestCount:   *m,
+		Bytes:       *bytesF,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := []struct {
+		name string
+		tb   *stats.Table
+	}{
+		{"chaos_delivered", tbs.Delivered},
+		{"chaos_inflation", tbs.Inflation},
+		{"chaos_retry", tbs.Retry},
+	}
+	if *dir == "" {
+		for i, t := range tables {
+			if i > 0 && !*csv {
+				fmt.Println()
+			}
+			fmt.Print(cliutil.RenderTable(t.tb, *csv, *plotIt))
+		}
+	} else {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := os.WriteFile(filepath.Join(*dir, t.name+".txt"), []byte(t.tb.Render()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*dir, t.name+".csv"), []byte(t.tb.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := obs.Finish(map[string]any{"dim": *dim, "ops": *ops, "seed": *seed, "faults": *faults}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -39,7 +39,9 @@ type request struct {
 // replay the identical key sequence and the second run is all cache hits.
 // Traffic scenarios are the expensive tail of the mix — small seeded
 // Poisson bursts that exercise the shared-network engine under admission
-// control.
+// control; every other one carries a seeded link-fault plan, so the key
+// space spans both sides of the fault/fault-free cache split (the same
+// workload with and without faults must be distinct keys).
 func buildMix(keys int) []request {
 	ops := []string{"scatter", "gather", "allgather", "reduce", "barrier", "allreduce"}
 	algs := []string{"w-sort", "u-cube", "sf-binomial", "maxport"}
@@ -58,9 +60,15 @@ func buildMix(keys int) []request {
 				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d}`,
 				algs[i%len(algs)], 8+i%32, i)})
 		default:
+			faults := ""
+			if (i/8)%2 == 1 {
+				// Drop faults only: stalls would wedge the scenario, drops
+				// just cost some deliveries and complete deterministically.
+				faults = fmt.Sprintf(`,"faults":[{"kind":"link","count":%d,"seed":%d}]`, 1+i%3, i)
+			}
 			mix = append(mix, request{"/v1/traffic", fmt.Sprintf(
-				`{"dim":5,"seed":%d,"arrivals":{"kind":"poisson","count":%d,"rate_per_ms":%d,"op":{"kind":"multicast","algorithm":%q,"dest_count":%d,"bytes":1024}}}`,
-				i, 8+i%8, 1+i%8, algs[i%len(algs)], 4+i%12)})
+				`{"dim":5,"seed":%d,"arrivals":{"kind":"poisson","count":%d,"rate_per_ms":%d,"op":{"kind":"multicast","algorithm":%q,"dest_count":%d,"bytes":1024}}%s}`,
+				i, 8+i%8, 1+i%8, algs[i%len(algs)], 4+i%12, faults)})
 		}
 	}
 	return mix

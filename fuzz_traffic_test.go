@@ -27,6 +27,13 @@ func FuzzTrafficSpecRoundTrip(f *testing.F) {
 		"think_us": 100, "op": {"kind": "allgather", "bytes": 256}}}`))
 	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "group-phase",
 		"groups": [[0, 1, 2, 3], [4, 5, 6, 7]], "roots": [0, 6]}]}`))
+	f.Add([]byte(`{"dim": 4, "seed": 3, "arrivals": {"kind": "poisson", "count": 4, "rate_per_ms": 2,
+		"op": {"kind": "fault-tolerant-multicast", "dest_count": 3}},
+		"faults": [{"kind": "link", "count": 2, "seed": 9}, {"kind": "node", "node": 5, "at_us": 40}]}`))
+	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "multicast", "src": 0, "dests": [1]}],
+		"faults": [{"kind": "link", "from": 2, "dim": 1, "at_us": 10, "until_us": 60, "mode": "stall"}]}`))
+	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "broadcast"}], "faults": [{"kind": "link", "until_us": -1}]}`))
+	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "broadcast"}], "faults": [{"kind": "meteor"}]}`))
 	f.Add([]byte(`{"dim": 4, "ops": [{"kind": "broadcast", "src": 16}]}`))
 	f.Add([]byte(`{"dim": 99}`))
 	f.Add([]byte(`{"ops": [{"kind": "gossip"}]}`))

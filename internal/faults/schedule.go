@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"sort"
+
+	"hypercube/internal/event"
+	"hypercube/internal/topology"
+)
+
+// Schedule is a timed fault scenario for shared-network runs: link faults
+// that each carry their own drop-or-stall semantics, and fail-stop node
+// crashes. Unlike Plan it consumes no randomness at evaluation time —
+// every query is a pure function of the schedule and the query instant —
+// so a schedule shared by many concurrent operations on one calendar
+// replays exactly regardless of how those operations interleave. It
+// implements wormhole.FaultModel and wormhole.ArcStallModel.
+//
+// The zero-argument NewSchedule is fault-free; entries are added with
+// AddLink and AddNode before the run starts.
+type Schedule struct {
+	links map[topology.Arc][]ScheduledLink
+	crash map[topology.NodeID]event.Time
+}
+
+// ScheduledLink is one timed link fault with its own failure semantics.
+type ScheduledLink struct {
+	LinkFault
+	// Stall selects what the failed channel does to an arriving header:
+	// false drops the message, true wedges it in place.
+	Stall bool
+}
+
+// NewSchedule returns an empty (fault-free) schedule.
+func NewSchedule() *Schedule {
+	return &Schedule{
+		links: make(map[topology.Arc][]ScheduledLink),
+		crash: make(map[topology.NodeID]event.Time),
+	}
+}
+
+// AddLink takes channel a out of service during [from, until) — until <=
+// from means permanently — with the given drop/stall semantics.
+func (s *Schedule) AddLink(a topology.Arc, from, until event.Time, stall bool) {
+	s.links[a] = append(s.links[a], ScheduledLink{
+		LinkFault: LinkFault{Arc: a, From: from, Until: until},
+		Stall:     stall,
+	})
+}
+
+// AddNode fail-stops node v at time at (the earliest of repeated adds
+// wins, matching Injector).
+func (s *Schedule) AddNode(v topology.NodeID, at event.Time) {
+	if t, ok := s.crash[v]; !ok || at < t {
+		s.crash[v] = at
+	}
+}
+
+// Empty reports whether the schedule contains no faults at all.
+func (s *Schedule) Empty() bool { return len(s.links) == 0 && len(s.crash) == 0 }
+
+// LinkDown reports whether channel a is failed at time at.
+func (s *Schedule) LinkDown(a topology.Arc, at event.Time) bool {
+	for _, lf := range s.links[a] {
+		if lf.ActiveAt(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// StallOnLink is the global fallback wormhole.FaultModel requires; the
+// network consults StallOnArc instead (Schedule implements ArcStallModel),
+// so the global answer is the drop default.
+func (s *Schedule) StallOnLink() bool { return false }
+
+// StallOnArc reports whether a header reaching failed channel a at time at
+// wedges (any active stall entry) instead of dropping.
+func (s *Schedule) StallOnArc(a topology.Arc, at event.Time) bool {
+	for _, lf := range s.links[a] {
+		if lf.Stall && lf.ActiveAt(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeDown reports whether node v has fail-stopped by time at.
+func (s *Schedule) NodeDown(v topology.NodeID, at event.Time) bool {
+	t, ok := s.crash[v]
+	return ok && at >= t
+}
+
+// MessageFate never corrupts in transit: timed schedules model component
+// failures, not stochastic loss (use Plan/Injector for rates).
+func (s *Schedule) MessageFate(from, to topology.NodeID, bytes int, at event.Time) (bool, int) {
+	return false, -1
+}
+
+// FaultedArcs lists every channel with at least one fault entry, in
+// deterministic (From, Dim) order — the watchdog diagnostics' inventory of
+// suspect links.
+func (s *Schedule) FaultedArcs() []topology.Arc {
+	out := make([]topology.Arc, 0, len(s.links))
+	for a := range s.links {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Dim < out[j].Dim
+	})
+	return out
+}

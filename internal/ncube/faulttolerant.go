@@ -52,6 +52,17 @@ const ackBytes = 8
 // retry budget cannot overflow the clock.
 const maxBackoffShift = 10
 
+// NodeOracle answers the protocol's fail-stop queries. *faults.Injector
+// and *faults.Schedule both implement it; nil means no node ever fails.
+type NodeOracle interface {
+	NodeDown(v topology.NodeID, at event.Time) bool
+}
+
+// neverDown is the nil NodeOracle: every node stays alive.
+type neverDown struct{}
+
+func (neverDown) NodeDown(topology.NodeID, event.Time) bool { return false }
+
 // RunFaultTolerant executes the distributed multicast protocol under the
 // given fault plan. Unlike the fault-free entry points it returns errors
 // instead of panicking on malformed configuration, and a watchdog
@@ -86,48 +97,25 @@ func RunFaultTolerantInstrumented(jp JitterParams, cube topology.Cube, a core.Al
 		}
 	}
 
+	inj := faults.New(plan)
 	r := &ftRun{
-		jp:    jp,
-		cube:  cube,
-		alg:   a,
-		src:   src,
-		bytes: bytes,
-		q:     &event.Queue{},
-		inj:   faults.New(plan),
-		rng:   rand.New(rand.NewSource(jp.Seed)),
-		got:   make(map[topology.NodeID]bool),
-		isDest: func() map[topology.NodeID]bool {
-			m := make(map[topology.NodeID]bool, len(dests))
-			for _, d := range dests {
-				if d != src {
-					m[d] = true
-				}
-			}
-			return m
-		}(),
+		jp:     jp,
+		cube:   cube,
+		alg:    a,
+		src:    src,
+		bytes:  bytes,
+		q:      &event.Queue{},
+		inj:    inj,
+		rng:    rand.New(rand.NewSource(jp.Seed)),
+		got:    make(map[topology.NodeID]bool),
+		isDest: destSet(src, dests),
 	}
 	r.net = wormhole.New(r.q, cube, wormhole.Config{THop: jp.THop, TByte: jp.TByte})
-	r.net.SetFaults(r.inj)
+	r.net.SetFaults(inj)
 	r.q.SetDiagnoser(r.net.Diagnose)
 	ins.instrument(r.q, r.net)
 	ins.Metrics.Counter("mcast_runs").Inc()
-	r.timeout = jp.AckTimeout
-	if r.timeout == 0 {
-		// Worst-case uncontended round trip of this machine, with slack
-		// for queueing: software costs, a diameter of hops each way, and
-		// both drains.
-		r.timeout = 4 * (jp.TStartup + jp.TRecv +
-			2*event.Time(cube.Dim())*jp.THop +
-			event.Time(bytes+ackBytes)*jp.TByte)
-	}
-	r.backoff = jp.AckBackoff
-	if r.backoff == 0 {
-		r.backoff = 2
-	}
-	r.budget = jp.MaxRetries
-	if r.budget == 0 {
-		r.budget = 3
-	}
+	r.initReliability()
 	r.res = &Result{
 		Algorithm: a,
 		Bytes:     bytes,
@@ -145,6 +133,36 @@ func RunFaultTolerantInstrumented(jp JitterParams, cube topology.Cube, a core.Al
 	finishTracer(ins.Tracer, end)
 	ins.Metrics.Counter("mcast_retries").Add(int64(r.res.Retries))
 	ins.Metrics.Counter("mcast_repairs").Add(int64(r.res.Repairs))
+	r.classifyUnreached(end)
+	return *r.res, werr
+}
+
+// initReliability fills the retry knobs from jp, applying the documented
+// defaults.
+func (r *ftRun) initReliability() {
+	r.timeout = r.jp.AckTimeout
+	if r.timeout == 0 {
+		// Worst-case uncontended round trip of this machine, with slack
+		// for queueing: software costs, a diameter of hops each way, and
+		// both drains.
+		r.timeout = 4 * (r.jp.TStartup + r.jp.TRecv +
+			2*event.Time(r.cube.Dim())*r.jp.THop +
+			event.Time(r.bytes+ackBytes)*r.jp.TByte)
+	}
+	r.backoff = r.jp.AckBackoff
+	if r.backoff == 0 {
+		r.backoff = 2
+	}
+	r.budget = r.jp.MaxRetries
+	if r.budget == 0 {
+		r.budget = 3
+	}
+}
+
+// classifyUnreached assigns a terminal status to every destination the
+// protocol never reached: the node itself died, or it stayed alive but
+// partitioned/starved past every retry and repair.
+func (r *ftRun) classifyUnreached(end event.Time) {
 	for d := range r.isDest {
 		if r.got[d] {
 			continue // status recorded at first arrival
@@ -155,10 +173,26 @@ func RunFaultTolerantInstrumented(jp JitterParams, cube topology.Cube, a core.Al
 			r.res.Status[d] = StatusUnreachable
 		}
 	}
-	return *r.res, werr
 }
 
-// ftRun bundles the state of one fault-tolerant execution.
+// destSet builds the requested-destination membership map (the source is
+// never its own destination).
+func destSet(src topology.NodeID, dests []topology.NodeID) map[topology.NodeID]bool {
+	m := make(map[topology.NodeID]bool, len(dests))
+	for _, d := range dests {
+		if d != src {
+			m[d] = true
+		}
+	}
+	return m
+}
+
+// ftRun bundles the state of one fault-tolerant execution. Standalone runs
+// (RunFaultTolerant) own their calendar and network and detect completion
+// by driving the calendar dry; session runs (Session.InjectFaultTolerant)
+// share both with concurrent operations, so they instead count their own
+// outstanding work — every scheduled callback and every in-flight message
+// — and finish when the count drains to zero.
 type ftRun struct {
 	jp    JitterParams
 	cube  topology.Cube
@@ -168,7 +202,7 @@ type ftRun struct {
 
 	q   *event.Queue
 	net *wormhole.Network
-	inj *faults.Injector
+	inj NodeOracle
 	rng *rand.Rand
 
 	timeout event.Time
@@ -178,6 +212,65 @@ type ftRun struct {
 	res    *Result
 	isDest map[topology.NodeID]bool
 	got    map[topology.NodeID]bool // first full arrival seen (dedup)
+
+	// Session-mode completion accounting (onDone nil selects the
+	// standalone behavior, bit-for-bit).
+	start       event.Time // injection instant; Recv times are relative to it
+	outstanding int        // counted callbacks + in-flight messages
+	onDone      func()
+	finished    bool
+}
+
+// after schedules fn on the calendar; in session mode the pending callback
+// is counted so the op can detect its own completion on a shared calendar
+// that never drains just for it.
+func (r *ftRun) after(d event.Time, fn func()) {
+	if r.onDone == nil {
+		r.q.After(d, fn)
+		return
+	}
+	r.outstanding++
+	r.q.After(d, func() {
+		fn()
+		r.settle()
+	})
+}
+
+// send transmits one protocol message; in session mode it is loss-tracked,
+// so a message the fault model destroys settles the op's accounting
+// instead of leaking an outstanding count (stall-wedged messages settle
+// nothing — a wedged op is the watchdog's business, exactly as standalone).
+func (r *ftRun) send(from, to topology.NodeID, size int, done func(wormhole.Delivery)) {
+	if r.onDone == nil {
+		r.net.Send(from, to, size, done)
+		return
+	}
+	r.outstanding++
+	r.net.SendTracked(from, to, size, func(d wormhole.Delivery) {
+		r.res.TotalBlocked += d.Blocked // per-op blocking on the shared net
+		done(d)
+		r.settle()
+	}, r.settle)
+}
+
+func (r *ftRun) settle() {
+	r.outstanding--
+	if r.outstanding == 0 && !r.finished {
+		r.finish()
+	}
+}
+
+// finish fires once, at the instant the op's last outstanding event
+// resolves: terminal statuses are assigned and the completion hook runs.
+func (r *ftRun) finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.classifyUnreached(r.q.Now())
+	if r.onDone != nil {
+		r.onDone()
+	}
 }
 
 func (r *ftRun) jitter(d event.Time) event.Time {
@@ -217,14 +310,15 @@ func (r *ftRun) accept(to topology.NodeID, payload chain.Chain, how DeliveryStat
 		return
 	}
 	r.got[to] = true
-	r.res.Recv[to] = at
-	if at > r.res.Makespan {
-		r.res.Makespan = at
+	rel := at - r.start // op-relative receipt (start is 0 standalone)
+	r.res.Recv[to] = rel
+	if rel > r.res.Makespan {
+		r.res.Makespan = rel
 	}
 	if r.isDest[to] {
 		r.res.Status[to] = how
 	}
-	r.q.After(r.jitter(r.jp.TRecv), func() { r.forward(to, payload, how == StatusRerouted) })
+	r.after(r.jitter(r.jp.TRecv), func() { r.forward(to, payload, how == StatusRerouted) })
 }
 
 // forward computes node v's local sends from the received address field and
@@ -294,20 +388,20 @@ func (r *ftRun) reliable(from, to topology.NodeID, size int, onDeliver func(at e
 			resolve() // dead sender: the unicast dies with it
 			return
 		}
-		r.q.After(r.jitter(r.jp.TStartup), func() {
+		r.after(r.jitter(r.jp.TStartup), func() {
 			if k == 0 && onInjected != nil {
 				onInjected()
 			}
 			if acked {
 				return // the ack raced the retry's setup; stop resending
 			}
-			r.net.Send(from, to, size, func(d wormhole.Delivery) {
+			r.send(from, to, size, func(d wormhole.Delivery) {
 				if d.Truncated {
 					return // corrupt copy: the receiver discards it
 				}
 				onDeliver(d.Arrived, k)
 				// End-to-end acknowledgment, itself subject to faults.
-				r.net.Send(to, from, ackBytes, func(ack wormhole.Delivery) {
+				r.send(to, from, ackBytes, func(ack wormhole.Delivery) {
 					if ack.Truncated || acked {
 						return
 					}
@@ -315,7 +409,7 @@ func (r *ftRun) reliable(from, to topology.NodeID, size int, onDeliver func(at e
 					resolve()
 				})
 			})
-			r.q.After(r.timeoutFor(k), func() {
+			r.after(r.timeoutFor(k), func() {
 				if acked {
 					return
 				}
@@ -380,7 +474,7 @@ func (r *ftRun) relayMission(s core.Send, cands []topology.NodeID, i int) {
 			launched = true
 			// w unwraps the relay after its receive overhead and sends
 			// the original payload on to the child.
-			r.q.After(r.jitter(r.jp.TRecv), func() {
+			r.after(r.jitter(r.jp.TRecv), func() {
 				if r.inj.NodeDown(w, r.q.Now()) {
 					return // relay died holding the message
 				}
@@ -392,6 +486,60 @@ func (r *ftRun) relayMission(s core.Send, cands []topology.NodeID, i int) {
 			})
 		},
 		nil, nil, next)
+}
+
+// InjectFaultTolerant schedules one fault-tolerant distributed multicast
+// (the ack/retry + tree-repair protocol of RunFaultTolerant) to start at
+// absolute simulated time at on the session's shared calendar and network,
+// concurrently with whatever else the session runs. Node fail-stop queries
+// go to oracle (typically the same faults.Schedule installed on the
+// network via SetFaults; nil means no node ever fails). The returned
+// Result is filled in as the scenario runs, with Recv times and Makespan
+// RELATIVE to the injection instant; done fires on the calendar at the
+// instant the op's last outstanding event — a scheduled callback or an
+// in-flight message — resolves, with per-destination Status complete.
+// Stall-wedged messages never resolve: such an op stays incomplete and the
+// session watchdog reports it.
+func (s *Session) InjectFaultTolerant(at event.Time, a core.Algorithm, src topology.NodeID, dests []topology.NodeID, bytes int, oracle NodeOracle, done func(*Result)) *Result {
+	if oracle == nil {
+		oracle = neverDown{}
+	}
+	cube := s.net.Cube()
+	r := &ftRun{
+		jp:     JitterParams{Params: s.p},
+		cube:   cube,
+		alg:    a,
+		src:    src,
+		bytes:  bytes,
+		q:      &s.q,
+		net:    s.net,
+		inj:    oracle,
+		rng:    rand.New(rand.NewSource(0)), // zero jitter: never consulted
+		got:    make(map[topology.NodeID]bool, len(dests)+1),
+		isDest: destSet(src, dests),
+	}
+	r.initReliability()
+	r.res = &Result{
+		Algorithm: a,
+		Bytes:     bytes,
+		Recv:      make(map[topology.NodeID]event.Time, len(dests)),
+		Status:    make(map[topology.NodeID]DeliveryStatus, len(r.isDest)),
+	}
+	r.onDone = func() {
+		if done != nil {
+			done(r.res)
+		}
+	}
+	payload := core.StartPayload(cube, a, src, dests)
+	s.q.At(at, func() {
+		r.start = s.q.Now()
+		r.got[src] = true // the initiator holds the message
+		r.forward(src, payload, false)
+		if r.outstanding == 0 {
+			r.finish() // nothing to do (e.g. the source is already dead)
+		}
+	})
+	return r.res
 }
 
 // stripAndReroute is the last repair resort: the child is treated as dead,

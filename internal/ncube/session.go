@@ -27,6 +27,15 @@ type Session struct {
 	p      Params
 	ins    Instrumentation
 	diagFn func() string
+
+	// faulted is set by SetFaults: injection paths switch to loss-tracked
+	// sends (per-send closures) only when a fault model is installed, so
+	// fault-free scenarios keep the allocation-free hot path bit-for-bit.
+	faulted bool
+	// extraDiag, when set, is appended to the network diagnoser's output
+	// on a watchdog trip (the traffic engine contributes faulted arcs and
+	// per-op progress).
+	extraDiag func() string
 }
 
 var sessionPool = sync.Pool{New: func() any { return new(Session) }}
@@ -45,6 +54,7 @@ func NewSession(p Params, cube topology.Cube, ins Instrumentation) *Session {
 		s.net.Reset(&s.q, cube, cfg)
 	}
 	s.p, s.ins = p, ins
+	s.faulted, s.extraDiag = false, nil // net.Reset detached the fault model
 	ins.instrument(&s.q, s.net)
 	return s
 }
@@ -61,6 +71,30 @@ func (s *Session) Params() Params { return s.p }
 // Now returns the current simulated time.
 func (s *Session) Now() event.Time { return s.q.Now() }
 
+// SetFaults installs a fault model on the shared network for this
+// scenario (nil restores the fault-free network). Fault state never
+// survives the session: NewSession resets the network's fault model, and
+// Release detaches it again so a recycled session cannot leak faults into
+// its next borrower.
+func (s *Session) SetFaults(f wormhole.FaultModel) {
+	s.net.SetFaults(f)
+	s.faulted = f != nil
+}
+
+// SetExtraDiagnoser appends fn's output to the watchdog diagnostics of a
+// wedged run, after the network's held-channel snapshot (nil removes it).
+func (s *Session) SetExtraDiagnoser(fn func() string) { s.extraDiag = fn }
+
+// Diagnose renders the session's stall state: the network's held-channel
+// snapshot plus any extra diagnoser installed by the scenario driver.
+func (s *Session) Diagnose() string {
+	d := s.diagFn()
+	if s.extraDiag != nil {
+		d += "\n" + s.extraDiag()
+	}
+	return d
+}
+
 // At schedules fn on the shared calendar at absolute time t.
 func (s *Session) At(t event.Time, fn func()) { s.q.At(t, fn) }
 
@@ -69,17 +103,27 @@ func (s *Session) At(t event.Time, fn func()) { s.q.At(t, fn) }
 // maxTime <= 0 is unbounded). It attaches the network diagnoser so a
 // wedged scenario reports its held channels, and flushes any tracer.
 func (s *Session) Run(maxSteps int, maxTime event.Time) error {
-	s.q.SetDiagnoser(s.diagFn)
+	if s.extraDiag != nil {
+		s.q.SetDiagnoser(s.Diagnose)
+	} else {
+		s.q.SetDiagnoser(s.diagFn)
+	}
 	_, err := s.q.RunBudget(maxSteps, maxTime)
 	finishTracer(s.ins.Tracer, s.q.Now())
 	return err
 }
 
-// Release returns the session to the pool. Callers skip it when the run
-// panicked — a half-torn-down session must not be reused.
+// Release returns the session to the pool. Fault state is detached here
+// (and again by NewSession's network reset) so a recycled session starts
+// fault-free even if its previous scenario was faulted. Callers skip
+// Release when the run panicked — a half-torn-down session must not be
+// reused.
 func (s *Session) Release() {
 	s.q.Reset()
 	s.ins = Instrumentation{}
+	s.net.SetFaults(nil)
+	s.faulted = false
+	s.extraDiag = nil
 	sessionPool.Put(s)
 }
 
@@ -94,6 +138,7 @@ type treeOp struct {
 	bytes    int
 	start    event.Time
 	expected int // deliveries outstanding
+	lost     int // deliveries the fault model destroyed (stranded subtrees)
 	res      Result
 	done     func(*Result)
 	nodes    []opNode
@@ -184,6 +229,28 @@ func (op *treeOp) issueNext(st *opNode) {
 
 func (op *treeOp) setupDone(st *opNode) {
 	snd := st.sends[st.next-1]
+	if op.s.faulted {
+		// Loss-tracked sends: a destroyed message strands the whole
+		// subtree behind its target, which must be written off or the
+		// op (and the scenario behind it) would wait forever.
+		switch op.s.p.Port {
+		case core.AllPort:
+			op.s.net.SendTracked(snd.From, snd.To, op.bytes, op.deliverFn,
+				func() { op.lose(snd.To) })
+			op.issueNext(st)
+		case core.OnePort:
+			op.s.net.SendTracked(snd.From, snd.To, op.bytes, func(d wormhole.Delivery) {
+				op.deliver(d)
+				op.issueNext(st)
+			}, func() {
+				// The port frees when the message dies, exactly as on
+				// a delivery: the node's later sends still go out.
+				op.lose(snd.To)
+				op.issueNext(st)
+			})
+		}
+		return
+	}
 	switch op.s.p.Port {
 	case core.AllPort:
 		op.s.net.Send(snd.From, snd.To, op.bytes, op.deliverFn)
@@ -193,6 +260,26 @@ func (op *treeOp) setupDone(st *opNode) {
 			op.deliver(d)
 			op.issueNext(st)
 		})
+	}
+}
+
+// lose writes off the subtree rooted at the target of a destroyed unicast:
+// the node never receives, so it never forwards, and every delivery its
+// subtree owed the op will never happen. Decrementing expected by the
+// stranded count keeps the op's completion accounting exact under drop
+// faults (stall faults wedge instead and are the watchdog's business).
+func (op *treeOp) lose(to topology.NodeID) {
+	op.strand(to)
+	if op.expected == 0 && op.done != nil {
+		op.done(&op.res)
+	}
+}
+
+func (op *treeOp) strand(v topology.NodeID) {
+	op.expected--
+	op.lost++
+	for _, snd := range op.nodes[v].sends {
+		op.strand(snd.To)
 	}
 }
 

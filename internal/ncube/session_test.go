@@ -6,6 +6,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/event"
+	"hypercube/internal/faults"
 	"hypercube/internal/topology"
 )
 
@@ -95,6 +96,69 @@ func TestSessionTwoOpsSharedNetwork(t *testing.T) {
 	}
 	if len(a1.Recv) != 5 || len(b1.Recv) != 4 {
 		t.Errorf("incomplete deliveries: |A|=%d |B|=%d", len(a1.Recv), len(b1.Recv))
+	}
+}
+
+// TestSessionFaultHygieneAfterReuse: a session that ran a heavily faulted
+// scenario (dead links stranding a tree, a dead node forcing the reliable
+// protocol through retries) and was Released must, when reborrowed for a
+// fault-free scenario, produce results byte-identical to a run that never
+// saw faults. Runs under -race in CI's race stage: the pool may hand the
+// dirty session to any goroutine.
+func TestSessionFaultHygieneAfterReuse(t *testing.T) {
+	cube := topology.New(4, topology.HighToLow)
+	tr := core.Build(cube, mustAlg(t, "w-sort"), 0, []topology.NodeID{1, 3, 5, 7, 9, 12, 14})
+
+	cleanRun := func() Result {
+		s := NewSession(NCube2(core.AllPort), cube, Instrumentation{})
+		r := s.InjectTree(0, tr, 4096, nil)
+		if err := s.Run(0, 0); err != nil {
+			t.Fatalf("clean run: %v", err)
+		}
+		out := *r
+		s.Release()
+		return out
+	}
+	want := cleanRun()
+	if len(want.Recv) != 7 {
+		t.Fatalf("clean run delivered %d/7", len(want.Recv))
+	}
+
+	for cycle := 0; cycle < 3; cycle++ {
+		// Dirty the pooled session: sever the root's links and fail-stop
+		// a destination, then drive both the plain-tree loss accounting
+		// and the full ack/retry/repair protocol across it.
+		s := NewSession(NCube2(core.AllPort), cube, Instrumentation{})
+		sch := faults.NewSchedule()
+		for dim := 0; dim < 2; dim++ {
+			sch.AddLink(topology.Arc{From: 0, Dim: dim}, 0, 0, false)
+		}
+		sch.AddNode(9, 0)
+		s.SetFaults(sch)
+		s.SetExtraDiagnoser(func() string { return "dirty scenario" })
+		rt := s.InjectTree(0, tr, 4096, nil)
+		rf := s.InjectFaultTolerant(0, mustAlg(t, "w-sort"), 15,
+			[]topology.NodeID{9, 11, 14}, 4096, sch, nil)
+		if err := s.Run(0, 0); err != nil {
+			t.Fatalf("cycle %d faulted run: %v", cycle, err)
+		}
+		if len(rt.Recv) == 7 {
+			t.Fatalf("cycle %d: severed tree still delivered everywhere", cycle)
+		}
+		delivered := 0
+		for _, how := range rf.Status {
+			if how.Reached() {
+				delivered++
+			}
+		}
+		if len(rf.Status) != 3 || delivered != 2 {
+			t.Fatalf("cycle %d: ft op status %v, want 2 reached of 3", cycle, rf.Status)
+		}
+		s.Release()
+
+		if got := cleanRun(); !reflect.DeepEqual(got, want) {
+			t.Errorf("cycle %d: fault-free run on a recycled session diverged:\n got %+v\nwant %+v", cycle, got, want)
+		}
 	}
 }
 

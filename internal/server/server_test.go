@@ -16,6 +16,7 @@ import (
 
 	"hypercube/internal/event"
 	"hypercube/internal/metrics"
+	"hypercube/internal/traffic"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -562,6 +563,81 @@ func TestTrafficEndpoint(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b3) {
 		t.Error("repeated request bodies differ")
+	}
+}
+
+// TestTrafficFaultedCaching: a scenario's fault schedule is part of its
+// cache identity — the same workload with and without faults must never
+// share a cache entry — and faulted responses carry per-op delivery
+// accounting that fault-free responses must not.
+func TestTrafficFaultedCaching(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	workload := `"dim":4,"ops":[{"kind":"multicast","src":0,"dests":[1,2,3],"bytes":512}]`
+	// The dead arc leaves node 8 — untouched by the op — so delivery
+	// accounting is deterministically 3/3.
+	faulted := `{` + workload + `,"faults":[{"kind":"link","from":8,"dim":0}]}`
+	plain := `{` + workload + `}`
+
+	r1, b1 := post(t, ts.URL, "/v1/traffic", faulted)
+	if r1.StatusCode != 200 {
+		t.Fatalf("faulted request: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first faulted X-Cache = %q, want miss", got)
+	}
+	var resp TrafficResponse
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	d := resp.Ops[0].Delivery
+	if d == nil || d.Delivered != 3 || d.Failed != 0 || d.Dests != 3 {
+		t.Errorf("faulted response delivery = %+v, want 3/3 delivered", d)
+	}
+	if len(resp.Request.Faults) != 1 || resp.Request.Faults[0].Mode != traffic.FaultModeDrop {
+		t.Errorf("echoed fault schedule not canonical: %+v", resp.Request.Faults)
+	}
+
+	r2, b2 := post(t, ts.URL, "/v1/traffic", faulted)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("faulted re-post X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("faulted re-post served a different body")
+	}
+
+	// The identical workload minus the fault plan is a DIFFERENT key: it
+	// must compute fresh and report no delivery accounting at all.
+	r3, b3 := post(t, ts.URL, "/v1/traffic", plain)
+	if got := r3.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("fault-free X-Cache = %q, want miss (fault plan must be in the key)", got)
+	}
+	if bytes.Equal(b1, b3) {
+		t.Error("faulted and fault-free requests served identical bodies")
+	}
+	if bytes.Contains(b3, []byte(`"delivery"`)) {
+		t.Error("fault-free response carries delivery accounting")
+	}
+}
+
+// TestTrafficFaultedWedgeDiagnostics: a stall-mode fault on the one arc a
+// multicast needs wedges the scenario; the error must name the faulted
+// arcs and the stuck op's progress instead of reporting a bare failure.
+func TestTrafficFaultedWedgeDiagnostics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wedge := `{"dim":4,"ops":[{"kind":"multicast","src":0,"dests":[1],"bytes":512}],` +
+		`"faults":[{"kind":"link","from":0,"dim":0,"mode":"stall"}]}`
+	resp, body := post(t, ts.URL, "/v1/traffic", wedge)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("wedged scenario: status %d body %s, want 500", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"never completed", "faulted arcs", "incomplete"} {
+		if !strings.Contains(e.Error, want) {
+			t.Errorf("wedge diagnostic %q does not mention %q", e.Error, want)
+		}
 	}
 }
 

@@ -1,0 +1,155 @@
+package traffic
+
+import (
+	"fmt"
+
+	"hypercube/internal/core"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+)
+
+// ChaosConfig drives a degradation sweep: offered load (rows) crossed with
+// injected link-fault counts (columns), each cell one seeded Poisson
+// scenario of fault-tolerant multicasts on a network whose links die at
+// t=0. The arrival trace depends only on the rate and seed — never on the
+// fault count — so every row compares the same workload under increasing
+// damage; the fault draw depends only on the count, so every rate faces
+// the same broken links.
+type ChaosConfig struct {
+	Dim         int
+	Machine     string    // "" selects ncube2
+	Port        string    // "" selects all-port
+	Algorithm   string    // multicast algorithm ("" selects w-sort)
+	RatesPerMS  []float64 // offered load (ops per simulated millisecond)
+	FaultCounts []int     // permanent drop-mode link faults per cell
+	Ops         int       // arrivals per scenario (0 selects 32)
+	DestCount   int       // destinations per multicast (0 selects half the cube)
+	Bytes       int       // payload (0 selects 4096)
+	Seed        int64
+}
+
+// ChaosTables are the degradation surfaces of one sweep, rate-indexed with
+// one column per fault count: the fraction of requested destinations
+// reached, mean-sojourn inflation over the same workload on a healthy
+// network, and the protocol's retry overhead per op.
+type ChaosTables struct {
+	Delivered *stats.Table // delivered fraction, in [0, 1]
+	Inflation *stats.Table // mean sojourn / fault-free mean sojourn
+	Retry     *stats.Table // retransmissions per op
+}
+
+// ChaosSweep runs the degradation sweep. Everything is derived from the
+// config (seeds included), so identical configs render identical tables.
+func ChaosSweep(cfg ChaosConfig) (*ChaosTables, error) {
+	if len(cfg.RatesPerMS) == 0 || len(cfg.FaultCounts) == 0 {
+		return nil, fmt.Errorf("traffic: chaos sweep needs rates and fault counts")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "w-sort"
+	}
+	if _, err := core.ParseAlgorithm(cfg.Algorithm); err != nil {
+		return nil, fmt.Errorf("traffic: %v", err)
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 32
+	}
+	if cfg.Bytes == 0 {
+		cfg.Bytes = 4096
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("traffic: chaos sweep dim %d", cfg.Dim)
+	}
+	if cfg.DestCount == 0 {
+		cfg.DestCount = topology.New(cfg.Dim, topology.HighToLow).Nodes() / 2
+	}
+
+	cols := make([]string, len(cfg.FaultCounts))
+	for i, k := range cfg.FaultCounts {
+		if k < 0 {
+			return nil, fmt.Errorf("traffic: negative fault count %d", k)
+		}
+		cols[i] = fmt.Sprintf("k=%d", k)
+	}
+	title := fmt.Sprintf("Chaos: %d-cube, %d Poisson fault-tolerant multicasts, m=%d, %d B, k dead links",
+		cfg.Dim, cfg.Ops, cfg.DestCount, cfg.Bytes)
+	tbs := &ChaosTables{
+		Delivered: stats.NewTable(title+" — delivered fraction", "ops/ms", cols...),
+		Inflation: stats.NewTable(title+" — sojourn inflation vs healthy", "ops/ms", cols...),
+		Retry:     stats.NewTable(title+" — retries per op", "ops/ms", cols...),
+	}
+	mkSpec := func(rate float64, k int) *Spec {
+		spec := &Spec{
+			Dim:     cfg.Dim,
+			Machine: cfg.Machine,
+			Port:    cfg.Port,
+			Seed:    cfg.Seed,
+			Arrivals: &Arrivals{
+				Kind:      "poisson",
+				Count:     cfg.Ops,
+				RatePerMS: rate,
+				Op: Template{
+					Kind:      KindFTMulticast,
+					Algorithm: cfg.Algorithm,
+					Bytes:     cfg.Bytes,
+					DestCount: cfg.DestCount,
+				},
+			},
+		}
+		if k > 0 {
+			spec.Faults = []FaultEvent{{
+				Kind:  FaultLink,
+				Mode:  FaultModeDrop,
+				Count: k,
+				Seed:  cfg.Seed*31 + int64(k),
+			}}
+		}
+		return spec
+	}
+	for _, rate := range cfg.RatesPerMS {
+		healthy, err := Run(mkSpec(rate, 0))
+		if err != nil {
+			return nil, fmt.Errorf("traffic: chaos baseline at %g ops/ms: %w", rate, err)
+		}
+		base := healthy.MeanSojournNS()
+		delivered := make([]float64, len(cfg.FaultCounts))
+		inflation := make([]float64, len(cfg.FaultCounts))
+		retry := make([]float64, len(cfg.FaultCounts))
+		for ki, k := range cfg.FaultCounts {
+			res := healthy
+			if k > 0 {
+				if res, err = Run(mkSpec(rate, k)); err != nil {
+					return nil, fmt.Errorf("traffic: chaos k=%d at %g ops/ms: %w", k, rate, err)
+				}
+			}
+			var dests, got, retries int
+			for _, op := range res.Ops {
+				if op.Delivery == nil {
+					// Fault-free cells carry no accounting: everything
+					// the spec asked for arrived.
+					continue
+				}
+				d := op.Delivery
+				if d.Delivered+d.Failed != d.Dests {
+					return nil, fmt.Errorf("traffic: chaos op %s: delivered %d + failed %d != dests %d",
+						op.ID, d.Delivered, d.Failed, d.Dests)
+				}
+				dests += d.Dests
+				got += d.Delivered
+				retries += d.Retries
+			}
+			delivered[ki] = 1
+			if dests > 0 {
+				delivered[ki] = float64(got) / float64(dests)
+			}
+			inflation[ki] = 1
+			if base > 0 {
+				inflation[ki] = res.MeanSojournNS() / base
+			}
+			retry[ki] = float64(retries) / float64(len(res.Ops))
+		}
+		tbs.Delivered.Add(rate, delivered...)
+		tbs.Inflation.Add(rate, inflation...)
+		tbs.Retry.Add(rate, retry...)
+	}
+	return tbs, nil
+}

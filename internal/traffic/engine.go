@@ -7,6 +7,7 @@ import (
 	"hypercube/internal/collective"
 	"hypercube/internal/core"
 	"hypercube/internal/event"
+	"hypercube/internal/faults"
 	"hypercube/internal/group"
 	"hypercube/internal/metrics"
 	"hypercube/internal/ncube"
@@ -35,6 +36,23 @@ type OpResult struct {
 	BlockedNS int64 `json:"blocked_ns"`
 	// Messages is the number of point-to-point unicasts the op issued.
 	Messages int `json:"messages"`
+	// Delivery is the per-op delivery accounting of a faulted scenario:
+	// present (for the destination-bearing kinds) exactly when the spec
+	// carries a fault schedule, so fault-free results are bit-for-bit
+	// unchanged.
+	Delivery *OpDelivery `json:"delivery,omitempty"`
+}
+
+// OpDelivery accounts one op's destinations under faults. Delivered +
+// Failed always equals Dests. For a fault-tolerant multicast, Retries and
+// Repairs count the protocol's recovery work; plain ops never retry
+// (their losses land in Failed).
+type OpDelivery struct {
+	Dests     int `json:"dests"`
+	Delivered int `json:"delivered"`
+	Failed    int `json:"failed"`
+	Retries   int `json:"retries"`
+	Repairs   int `json:"repairs"`
 }
 
 // NetStats summarizes the shared network over the whole scenario.
@@ -76,6 +94,9 @@ type opState struct {
 	// trees are the pre-built multicast trees of the tree-based kinds
 	// (one for multicast/broadcast, one per group for group-phase).
 	trees []*core.Tree
+	// destSets, in faulted scenarios, lists each tree's requested
+	// destinations (aligned with trees) for delivery accounting.
+	destSets [][]topology.NodeID
 	// injKey is the node whose injector the op occupies while running:
 	// its source/root, or the first group root.
 	injKey int
@@ -84,6 +105,8 @@ type opState struct {
 	arriveNS, startNS, finishNS event.Time
 	blocked                     event.Time
 	messages, pendingTrees      int
+	// Faulted-scenario delivery accounting.
+	delivered, failed, retries, repairs int
 }
 
 // engine compiles a canonical spec onto a shared ncube.Session and runs
@@ -99,6 +122,9 @@ type engine struct {
 	// arrivals at the same node wait their turn.
 	injBusy map[int]bool
 	injFIFO map[int][]int
+	// sched is the spec's compiled fault schedule; nil for fault-free
+	// scenarios, which take exactly the pre-fault code paths.
+	sched *faults.Schedule
 }
 
 // Run executes a scenario and returns its per-op and network results.
@@ -126,12 +152,17 @@ func RunBudget(spec *Spec, maxSteps int, maxTime event.Time) (*Result, error) {
 		ops:     make([]opState, len(spec.Ops)),
 		injBusy: make(map[int]bool),
 		injFIFO: make(map[int][]int),
+		sched:   spec.Schedule(),
 	}
 	if err := e.compile(); err != nil {
 		return nil, err
 	}
 	reg := metrics.New()
 	e.ses = ncube.NewSession(p, e.cube, ncube.Instrumentation{Metrics: reg})
+	if e.sched != nil {
+		e.ses.SetFaults(e.sched)
+		e.ses.SetExtraDiagnoser(e.diagnose)
+	}
 	for i := range e.ops {
 		if e.ops[i].deps == 0 {
 			e.scheduleArrival(i, event.Time(e.ops[i].op.AtUS)*event.Microsecond)
@@ -182,6 +213,15 @@ func (e *engine) compile() error {
 				}
 			}
 			st.trees = []*core.Tree{core.Build(e.cube, alg, topology.NodeID(op.Src), toNodeIDs(dests))}
+			if e.sched != nil {
+				st.destSets = [][]topology.NodeID{toNodeIDs(dests)}
+			}
+		case KindFTMulticast:
+			// The distributed protocol computes its sends on the fly;
+			// only the algorithm needs validating here.
+			if _, err := core.ParseAlgorithm(op.Algorithm); err != nil {
+				return fmt.Errorf("traffic: op %q: %v", op.ID, err)
+			}
 		case KindGroupPhase:
 			alg, err := core.ParseAlgorithm(op.Algorithm)
 			if err != nil {
@@ -197,6 +237,15 @@ func (e *engine) compile() error {
 					return fmt.Errorf("traffic: op %q: root %d not in group %d", op.ID, op.Roots[gi], gi)
 				}
 				st.trees = append(st.trees, comm.Bcast(alg, rank))
+				if e.sched != nil {
+					set := make([]topology.NodeID, 0, len(members)-1)
+					for _, m := range members {
+						if m != op.Roots[gi] {
+							set = append(set, topology.NodeID(m))
+						}
+					}
+					st.destSets = append(st.destSets, set)
+				}
 			}
 			st.injKey = op.Roots[0]
 		case KindScatter, KindGather, KindAllGather:
@@ -245,16 +294,46 @@ func (e *engine) start(i int) {
 	switch st.op.Kind {
 	case KindMulticast, KindBroadcast, KindGroupPhase:
 		st.pendingTrees = len(st.trees)
-		for _, tr := range st.trees {
+		for ti, tr := range st.trees {
+			ti := ti
 			e.ses.InjectTree(e.ses.Now(), tr, st.op.Bytes, func(r *ncube.Result) {
 				st.messages += len(r.Recv)
 				st.blocked += r.TotalBlocked
+				if e.sched != nil {
+					for _, d := range st.destSets[ti] {
+						if _, ok := r.Recv[d]; ok {
+							st.delivered++
+						} else {
+							st.failed++
+						}
+					}
+				}
 				st.pendingTrees--
 				if st.pendingTrees == 0 {
 					e.complete(i)
 				}
 			})
 		}
+	case KindFTMulticast:
+		alg, err := core.ParseAlgorithm(st.op.Algorithm)
+		if err != nil {
+			panic(err) // validated at compile
+		}
+		e.ses.InjectFaultTolerant(e.ses.Now(), alg, topology.NodeID(st.op.Src),
+			toNodeIDs(st.op.Dests), st.op.Bytes, e.oracle(), func(r *ncube.Result) {
+				st.messages += len(r.Recv)
+				st.blocked += r.TotalBlocked
+				st.retries += r.Retries
+				st.repairs += r.Repairs
+				for _, how := range r.Status {
+					if how.Reached() {
+						st.delivered++
+					} else {
+						st.failed++
+					}
+				}
+				e.complete(i)
+			})
 	case KindScatter:
 		collective.ScatterOn(sub, topology.NodeID(st.op.Src), st.op.Bytes)
 	case KindGather:
@@ -262,6 +341,38 @@ func (e *engine) start(i int) {
 	case KindAllGather:
 		collective.AllGatherOn(sub, st.op.Bytes)
 	}
+}
+
+// oracle returns the fail-stop oracle the fault-tolerant protocol should
+// consult — the compiled schedule, or nil (no node ever fails) when the
+// scenario is fault-free.
+func (e *engine) oracle() ncube.NodeOracle {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched
+}
+
+// diagnose renders the faulted scenario's progress for the watchdog: the
+// scheduled fault inventory, then every op that has not finished with its
+// arrival/start state — naming exactly what a wedged run was waiting on.
+func (e *engine) diagnose() string {
+	s := "traffic: faulted arcs:"
+	for _, a := range e.sched.FaultedArcs() {
+		s += fmt.Sprintf(" %v", a)
+	}
+	if len(e.sched.FaultedArcs()) == 0 {
+		s += " none"
+	}
+	for i := range e.ops {
+		st := &e.ops[i]
+		if st.finished {
+			continue
+		}
+		s += fmt.Sprintf("\n  op %q (%s) incomplete: arrived=%v started=%v delivered=%d failed=%d",
+			st.op.ID, st.op.Kind, st.arrived, st.started, st.delivered, st.failed)
+	}
+	return s
 }
 
 // complete records op i finishing now, hands its injector to the next
@@ -296,6 +407,13 @@ func (e *engine) collect(reg *metrics.Registry) (*Result, error) {
 	for i := range e.ops {
 		st := &e.ops[i]
 		if !st.finished {
+			if e.sched != nil {
+				// A faulted run that drained incomplete is wedged (stall
+				// faults) or starved; name the faulted arcs and per-op
+				// progress, as the watchdog would.
+				return nil, fmt.Errorf("traffic: op %q never completed (arrived=%v started=%v)\n%s",
+					st.op.ID, st.arrived, st.started, e.diagnose())
+			}
 			return nil, fmt.Errorf("traffic: op %q never completed (arrived=%v started=%v)", st.op.ID, st.arrived, st.started)
 		}
 		or := OpResult{
@@ -309,6 +427,18 @@ func (e *engine) collect(reg *metrics.Registry) (*Result, error) {
 			SojournNS: int64(st.finishNS - st.arriveNS),
 			BlockedNS: int64(st.blocked),
 			Messages:  st.messages,
+		}
+		if e.sched != nil {
+			switch st.op.Kind {
+			case KindMulticast, KindBroadcast, KindGroupPhase, KindFTMulticast:
+				or.Delivery = &OpDelivery{
+					Dests:     st.delivered + st.failed,
+					Delivered: st.delivered,
+					Failed:    st.failed,
+					Retries:   st.retries,
+					Repairs:   st.repairs,
+				}
+			}
 		}
 		res.Ops[i] = or
 		if or.FinishNS > res.MakespanNS {

@@ -33,6 +33,8 @@ import (
 	"sort"
 
 	"hypercube/internal/core"
+	"hypercube/internal/event"
+	"hypercube/internal/faults"
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
 	"hypercube/internal/workload"
@@ -40,12 +42,22 @@ import (
 
 // Op kinds understood by the engine.
 const (
-	KindMulticast  = "multicast"
-	KindBroadcast  = "broadcast"
-	KindScatter    = "scatter"
-	KindGather     = "gather"
-	KindAllGather  = "allgather"
-	KindGroupPhase = "group-phase"
+	KindMulticast   = "multicast"
+	KindBroadcast   = "broadcast"
+	KindScatter     = "scatter"
+	KindGather      = "gather"
+	KindAllGather   = "allgather"
+	KindGroupPhase  = "group-phase"
+	KindFTMulticast = "fault-tolerant-multicast"
+)
+
+// Fault entry kinds and link-failure modes.
+const (
+	FaultLink = "link"
+	FaultNode = "node"
+
+	FaultModeDrop  = "drop"
+	FaultModeStall = "stall"
 )
 
 // Spec is one traffic scenario. The zero values of Machine/Port select
@@ -61,6 +73,38 @@ type Spec struct {
 	// explicit trace.
 	Arrivals *Arrivals `json:"arrivals,omitempty"`
 	Ops      []Op      `json:"ops,omitempty"`
+	// Faults is the scenario's timed fault schedule. Canonicalize expands
+	// seeded random draws into explicit entries and sorts the list, so
+	// the schedule — like the trace — is fully explicit in the canonical
+	// form and participates in the cache key.
+	Faults []FaultEvent `json:"faults,omitempty"`
+}
+
+// FaultEvent is one timed fault of a scenario. A link entry names a
+// directed channel (From, Dim) — or a seeded random draw of Count distinct
+// channels, expanded at canonicalization — failed from AtUS, permanently
+// or until UntilUS, with drop or stall semantics. A node entry fail-stops
+// Node at AtUS.
+type FaultEvent struct {
+	// Kind is "link" or "node".
+	Kind string `json:"kind"`
+	// Mode selects what the failed link does to an arriving header:
+	// "drop" (default) or "stall". Link faults only.
+	Mode string `json:"mode,omitempty"`
+	// AtUS is the failure onset in simulated microseconds.
+	AtUS int64 `json:"at_us,omitempty"`
+	// UntilUS is a link fault's repair instant; 0 means permanent.
+	UntilUS int64 `json:"until_us,omitempty"`
+	// From and Dim name the failed directed channel of a link fault.
+	From int `json:"from,omitempty"`
+	Dim  int `json:"dim,omitempty"`
+	// Node is the fail-stopped node of a node fault.
+	Node int `json:"node,omitempty"`
+	// Count and Seed, on a link fault, draw Count distinct channels
+	// deterministically instead of naming one; canonicalization replaces
+	// the draw with its explicit entries.
+	Count int   `json:"count,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
 }
 
 // Op is one collective operation of a scenario.
@@ -129,9 +173,10 @@ type Template struct {
 
 // Limits is the admission policy for spec shapes.
 type Limits struct {
-	MaxDim   int // default 10
-	MaxBytes int // default 1 MiB
-	MaxOps   int // default 512, counted after arrival expansion
+	MaxDim    int // default 10
+	MaxBytes  int // default 1 MiB
+	MaxOps    int // default 512, counted after arrival expansion
+	MaxFaults int // default 64, counted after draw expansion
 }
 
 func (l Limits) withDefaults() Limits {
@@ -144,6 +189,9 @@ func (l Limits) withDefaults() Limits {
 	if l.MaxOps == 0 {
 		l.MaxOps = 512
 	}
+	if l.MaxFaults == 0 {
+		l.MaxFaults = 64
+	}
 	return l
 }
 
@@ -151,7 +199,7 @@ func (l Limits) withDefaults() Limits {
 // The engine re-canonicalizes under these so a spec admitted by a
 // stricter boundary (the server's) is never re-rejected.
 func PermissiveLimits() Limits {
-	return Limits{MaxDim: 16, MaxBytes: 1 << 30, MaxOps: 1 << 20}
+	return Limits{MaxDim: 16, MaxBytes: 1 << 30, MaxOps: 1 << 20, MaxFaults: 1 << 20}
 }
 
 // Parse decodes a scenario spec strictly: unknown fields and trailing
@@ -247,7 +295,150 @@ func (s *Spec) Canonicalize(lim Limits) error {
 			return fmt.Errorf("traffic: op %q: %v", op.ID, err)
 		}
 	}
+	return s.canonicalizeFaults(cube, lim)
+}
+
+// canonicalizeFaults validates the fault schedule and rewrites it into
+// canonical form: seeded random link draws expanded into explicit entries,
+// the drop default made explicit, and the whole list sorted and
+// deduplicated. Idempotent, and errors (never panics) on malformed
+// entries.
+func (s *Spec) canonicalizeFaults(cube topology.Cube, lim Limits) error {
+	if len(s.Faults) == 0 {
+		s.Faults = nil
+		return nil
+	}
+	out := make([]FaultEvent, 0, len(s.Faults))
+	for i := range s.Faults {
+		f := s.Faults[i]
+		if f.AtUS < 0 {
+			return fmt.Errorf("traffic: fault %d: negative at_us %d", i, f.AtUS)
+		}
+		switch f.Kind {
+		case FaultLink:
+			if f.Mode == "" {
+				f.Mode = FaultModeDrop
+			}
+			if f.Mode != FaultModeDrop && f.Mode != FaultModeStall {
+				return fmt.Errorf("traffic: fault %d: unknown mode %q (want drop or stall)", i, f.Mode)
+			}
+			if f.UntilUS < 0 || (f.UntilUS != 0 && f.UntilUS <= f.AtUS) {
+				return fmt.Errorf("traffic: fault %d: until_us %d not after at_us %d (0 means permanent)", i, f.UntilUS, f.AtUS)
+			}
+			if f.Node != 0 {
+				return fmt.Errorf("traffic: fault %d: node is a node-fault field", i)
+			}
+			if f.Count > 0 {
+				if f.From != 0 || f.Dim != 0 {
+					return fmt.Errorf("traffic: fault %d: give from/dim or count, not both", i)
+				}
+				for _, lf := range faults.RandomLinks(cube, f.Seed, f.Count) {
+					out = append(out, FaultEvent{
+						Kind: FaultLink, Mode: f.Mode,
+						AtUS: f.AtUS, UntilUS: f.UntilUS,
+						From: int(lf.Arc.From), Dim: lf.Arc.Dim,
+					})
+				}
+				continue
+			}
+			if f.Count < 0 {
+				return fmt.Errorf("traffic: fault %d: negative count %d", i, f.Count)
+			}
+			if f.Seed != 0 {
+				return fmt.Errorf("traffic: fault %d: seed without count", i)
+			}
+			if f.From < 0 || f.From >= cube.Nodes() {
+				return fmt.Errorf("traffic: fault %d: from %d outside the %d-node cube", i, f.From, cube.Nodes())
+			}
+			if f.Dim < 0 || f.Dim >= cube.Dim() {
+				return fmt.Errorf("traffic: fault %d: dim %d outside the %d-cube", i, f.Dim, cube.Dim())
+			}
+			out = append(out, f)
+		case FaultNode:
+			if f.Mode != "" {
+				return fmt.Errorf("traffic: fault %d: mode is a link-fault field", i)
+			}
+			if f.UntilUS != 0 {
+				return fmt.Errorf("traffic: fault %d: until_us is a link-fault field (nodes fail-stop)", i)
+			}
+			if f.Count != 0 || f.Seed != 0 {
+				return fmt.Errorf("traffic: fault %d: count/seed are link-fault fields", i)
+			}
+			if f.From != 0 || f.Dim != 0 {
+				return fmt.Errorf("traffic: fault %d: from/dim are link-fault fields", i)
+			}
+			if f.Node < 0 || f.Node >= cube.Nodes() {
+				return fmt.Errorf("traffic: fault %d: node %d outside the %d-node cube", i, f.Node, cube.Nodes())
+			}
+			out = append(out, f)
+		case "":
+			return fmt.Errorf("traffic: fault %d: missing kind", i)
+		default:
+			return fmt.Errorf("traffic: fault %d: unknown kind %q (want link or node)", i, f.Kind)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.AtUS != b.AtUS {
+			return a.AtUS < b.AtUS
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Dim != b.Dim {
+			return a.Dim < b.Dim
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.UntilUS != b.UntilUS {
+			return a.UntilUS < b.UntilUS
+		}
+		return a.Mode < b.Mode
+	})
+	dedup := out[:0]
+	for _, f := range out {
+		if len(dedup) > 0 && f == dedup[len(dedup)-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	if len(dedup) > lim.MaxFaults {
+		return fmt.Errorf("traffic: %d fault entries exceed the limit of %d", len(dedup), lim.MaxFaults)
+	}
+	s.Faults = dedup
 	return nil
+}
+
+// Schedule compiles the canonical fault schedule into the evaluator the
+// engine installs on the shared network; nil means the spec is fault-free.
+// Call after Canonicalize (seeded draws must already be expanded).
+func (s *Spec) Schedule() *faults.Schedule {
+	if len(s.Faults) == 0 {
+		return nil
+	}
+	sched := faults.NewSchedule()
+	for _, f := range s.Faults {
+		at := event.Time(f.AtUS) * event.Microsecond
+		switch f.Kind {
+		case FaultLink:
+			until := event.Time(0)
+			if f.UntilUS > 0 {
+				until = event.Time(f.UntilUS) * event.Microsecond
+			}
+			if until <= at {
+				until = at // permanent (LinkFault: Until <= From)
+			}
+			sched.AddLink(topology.Arc{From: topology.NodeID(f.From), Dim: f.Dim},
+				at, until, f.Mode == FaultModeStall)
+		case FaultNode:
+			sched.AddNode(topology.NodeID(f.Node), at)
+		}
+	}
+	return sched
 }
 
 func (s *Spec) canonicalizeOp(cube topology.Cube, lim Limits, op *Op, idx int, seen map[string]int) error {
@@ -317,7 +508,7 @@ func (s *Spec) canonicalizeOp(cube topology.Cube, lim Limits, op *Op, idx int, s
 	}
 
 	switch op.Kind {
-	case KindMulticast:
+	case KindMulticast, KindFTMulticast:
 		if err := firstErr(treeAlg, needSrc, noGroups); err != nil {
 			return err
 		}
@@ -437,7 +628,7 @@ func (s *Spec) expandArrivals(cube topology.Cube, lim Limits) error {
 		return fmt.Errorf("traffic: arrivals count %d outside [1, %d]", a.Count, lim.MaxOps)
 	}
 	switch a.Op.Kind {
-	case KindMulticast, KindBroadcast, KindScatter, KindGather, KindAllGather:
+	case KindMulticast, KindFTMulticast, KindBroadcast, KindScatter, KindGather, KindAllGather:
 	case KindGroupPhase:
 		return fmt.Errorf("traffic: arrivals cannot template group-phase ops")
 	default:
@@ -459,7 +650,7 @@ func (s *Spec) expandArrivals(cube topology.Cube, lim Limits) error {
 		} else if a.Op.Kind != KindAllGather {
 			op.Src = rng.Intn(cube.Nodes())
 		}
-		if a.Op.Kind == KindMulticast {
+		if a.Op.Kind == KindMulticast || a.Op.Kind == KindFTMulticast {
 			op.DestCount = a.Op.DestCount
 			op.Seed = s.Seed*1_000_003 + int64(i)
 		}

@@ -71,6 +71,16 @@ type FaultModel interface {
 	MessageFate(from, to topology.NodeID, bytes int, at event.Time) (drop bool, truncateTo int)
 }
 
+// ArcStallModel optionally refines FaultModel with per-arc failure
+// semantics: a model implementing it selects drop-versus-stall for each
+// failed channel crossing individually (timed fault schedules mix both in
+// one scenario), instead of FaultModel.StallOnLink's global choice.
+type ArcStallModel interface {
+	// StallOnArc reports whether a header reaching failed channel a at
+	// time at wedges in place (true) or is dropped (false).
+	StallOnArc(a topology.Arc, at event.Time) bool
+}
+
 // Delivery reports a completed unicast to the sender's callback.
 type Delivery struct {
 	From, To topology.NodeID
@@ -107,8 +117,9 @@ type message struct {
 	blocked  event.Time
 	waitFrom event.Time // when the current wait began
 	done     func(Delivery)
-	drop     bool // fault injection: lost in transit
-	truncate int  // fault injection: deliver only this prefix (< 0: full)
+	lost     func() // optional loss notification (SendTracked)
+	drop     bool   // fault injection: lost in transit
+	truncate int    // fault injection: deliver only this prefix (< 0: full)
 
 	// Pre-bound event state: the message schedules itself on the calendar
 	// (no per-hop closures), dispatching on stage when it fires.
@@ -387,6 +398,17 @@ func (n *Network) Diagnose() string {
 // Sending to oneself delivers after the pipeline drain time without
 // touching the network.
 func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery)) {
+	n.SendTracked(from, to, bytes, done, nil)
+}
+
+// SendTracked is Send with a loss notification: lost (optional) fires at
+// the instant the fault model destroys the message — a dead source, a
+// dropped failed-link crossing, an in-transit drop, or a dead destination
+// — so protocol layers accounting for outstanding deliveries on a shared
+// calendar can settle instead of waiting forever. Exactly one of done and
+// lost fires per message, except for stall-wedged messages, which fire
+// neither (they hold their channels forever; the watchdog reports them).
+func (n *Network) SendTracked(from, to topology.NodeID, bytes int, done func(Delivery), lost func()) {
 	n.cube.MustContain(from)
 	n.cube.MustContain(to)
 	if bytes < 0 {
@@ -397,6 +419,9 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 		if n.mLost != nil {
 			n.mLost.Inc()
 		}
+		if lost != nil {
+			lost()
+		}
 		return
 	}
 	m := msgPool.Get().(*message)
@@ -406,6 +431,7 @@ func (n *Network) Send(from, to topology.NodeID, bytes int, done func(Delivery))
 	m.injected = n.q.Now()
 	m.blocked, m.waitFrom = 0, 0
 	m.done = done
+	m.lost = lost
 	m.drop, m.truncate = false, -1
 	m.net = n
 	if n.faults != nil {
@@ -447,6 +473,7 @@ func (n *Network) channel(a topology.Arc) *channel {
 // already dropped its reference; the path scratch rides along for reuse.
 func (n *Network) recycle(m *message) {
 	m.done = nil
+	m.lost = nil
 	m.net = nil
 	msgPool.Put(m)
 }
@@ -456,7 +483,11 @@ func (n *Network) recycle(m *message) {
 func (n *Network) tryAcquire(m *message) {
 	arc := m.path[m.idx]
 	if n.faults != nil && n.faults.LinkDown(arc, n.q.Now()) {
-		if n.faults.StallOnLink() {
+		stall := n.faults.StallOnLink()
+		if asm, ok := n.faults.(ArcStallModel); ok {
+			stall = asm.StallOnArc(arc, n.q.Now())
+		}
+		if stall {
 			// The header wedges in place: every channel in
 			// m.path[:m.idx] stays held forever, backpressuring the
 			// network — the deadlock the watchdog exists to report.
@@ -470,7 +501,11 @@ func (n *Network) tryAcquire(m *message) {
 		if n.mLost != nil {
 			n.mLost.Inc()
 		}
+		lost := m.lost
 		n.recycle(m)
+		if lost != nil {
+			lost()
+		}
 		return
 	}
 	ch := n.channel(arc)
@@ -580,7 +615,11 @@ func (n *Network) complete(m *message) {
 		if n.mLost != nil {
 			n.mLost.Inc()
 		}
+		lost := m.lost
 		n.recycle(m)
+		if lost != nil {
+			lost()
+		}
 		return
 	}
 	n.delivered++

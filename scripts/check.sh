@@ -69,6 +69,18 @@ for f in traffic_mean traffic_p95 traffic_util; do
 	cmp "$trafdir/run1/$f.csv" "$trafdir/run2/$f.csv"
 done
 
+echo '== chaos harness (smoke + determinism)'
+# The degradation sweep twice at one seed: the fault draw, the arrival
+# trace, and the retry protocol are all deterministic, so the surfaces
+# must render byte-identically.
+chaosdir=$(mktemp -d)
+go run ./cmd/chaos -n 4 -ops 8 -rates 0.25,0.5 -faults 0,2 -dir "$chaosdir/run1" > /dev/null
+go run ./cmd/chaos -n 4 -ops 8 -rates 0.25,0.5 -faults 0,2 -dir "$chaosdir/run2" > /dev/null
+for f in chaos_delivered chaos_inflation chaos_retry; do
+	cmp "$chaosdir/run1/$f.txt" "$chaosdir/run2/$f.txt"
+	cmp "$chaosdir/run1/$f.csv" "$chaosdir/run2/$f.csv"
+done
+
 echo '== bench harness + metrics JSON (smoke)'
 obsdir=$(mktemp -d)
 go run ./cmd/bench -smoke -date 1993-01-01 -dir "$obsdir" > /dev/null
@@ -111,6 +123,10 @@ curl -sf -X POST "http://$addr/v1/traffic" -d "$traf" -D "$srvdir/t1" -o "$srvdi
 curl -sf -X POST "http://$addr/v1/traffic" -d "$traf" -D "$srvdir/t2" -o "$srvdir/tb2"
 cmp "$srvdir/tb1" "$srvdir/tb2"
 grep -qi 'x-cache: hit' "$srvdir/t2"
+# A faulted scenario: accepted, and its response carries delivery accounting.
+ftraf='{"dim":4,"ops":[{"kind":"fault-tolerant-multicast","src":0,"dest_count":3,"seed":4}],"faults":[{"kind":"link","count":2,"seed":9}]}'
+curl -sf -X POST "http://$addr/v1/traffic" -d "$ftraf" -o "$srvdir/fb1"
+grep -q '"delivery"' "$srvdir/fb1"
 curl -sf "http://$addr/metrics" | grep -q '# TYPE server_requests counter'
 curl -sf "http://$addr/metrics/json" | grep -q '"schema": "hypercube-metrics/v1"'
 "$srvdir/loadgen" -url "http://$addr" -c 4 -n 100 -keys 10 > /dev/null
