@@ -290,6 +290,43 @@ func ReduceTree(p MachineParams, t *Tree, bytes int, tCompute Time) CollectiveRe
 	return collective.ReduceTree(p, t, bytes, tCompute)
 }
 
+// CollectiveDataResult is a CollectiveResult plus the per-node payload
+// vectors left behind by a data-carrying collective. Payloads ride the
+// same event schedule as the timing-only collectives — they never alter
+// it — and every data-carrying entry point verifies the delivered data
+// against the analytic expectation before returning.
+type CollectiveDataResult = collective.DataResult
+
+// RandomCollectiveData synthesizes the seeded integer-valued per-node
+// input vectors the data-carrying collectives consume; integer values
+// keep float64 sums exact regardless of reduction order.
+func RandomCollectiveData(seed int64, nodes, elems int) [][]float64 {
+	return collective.RandomData(seed, nodes, elems)
+}
+
+// ReduceScatter sum-reduces the per-node input vectors and leaves each
+// node its owned block (recursive halving). The error reports any
+// divergence between delivered payloads and the analytic expectation.
+func ReduceScatter(p MachineParams, c Cube, in [][]float64, tCompute Time) (CollectiveDataResult, error) {
+	return collective.ReduceScatter(p, c, in, tCompute)
+}
+
+// AllReduceData sum-reduces the per-node input vectors, leaving the full
+// result everywhere, via recursive halving + doubling ("hd") or the
+// Gray-code ring pipeline ("ring").
+func AllReduceData(p MachineParams, c Cube, in [][]float64, tCompute Time, variant string) (CollectiveDataResult, error) {
+	if variant == "ring" {
+		return collective.AllReduceRing(p, c, in, tCompute)
+	}
+	return collective.AllReduceHD(p, c, in, tCompute)
+}
+
+// AllToAll performs the complete personalized exchange: node s's block t
+// ends at node t's slot s (pairwise-XOR schedule).
+func AllToAll(p MachineParams, c Cube, in [][]float64) (CollectiveDataResult, error) {
+	return collective.AllToAll(p, c, in)
+}
+
 // TrafficSpec is a trace-driven traffic scenario: timed, optionally
 // dependent collective operations from many sources sharing one simulated
 // network, with seeded open-loop (Poisson) and closed-loop arrival

@@ -381,6 +381,29 @@ func BenchmarkTrafficSaturation6Cube(b *testing.B) {
 	}
 }
 
+// Data-carrying path: a Poisson stream of payload-verified allreduces —
+// the gradient-aggregation workload. Guards the combined cost of payload
+// synthesis, the halving+doubling schedule, and end-to-end verification
+// on top of the pooled simulation core.
+func BenchmarkTrafficAllReduce5Cube(b *testing.B) {
+	b.ReportAllocs()
+	mk := func() *traffic.Spec {
+		return &traffic.Spec{
+			Dim:  5,
+			Seed: 1993,
+			Arrivals: &traffic.Arrivals{
+				Kind: "poisson", Count: 8, RatePerMS: 2,
+				Op: traffic.Template{Kind: traffic.KindAllReduce, Bytes: 1024},
+			},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Run(mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Chaos path: the same shared-network engine with a fault schedule
 // installed — loss-tracked sends, the ack/retry protocol, and per-op
 // delivery accounting all engaged. Guards the cost of the fault plumbing

@@ -89,6 +89,23 @@ func gateBenchmarks() []struct {
 				}
 			}
 		}},
+		{"BenchmarkTrafficAllReduce5Cube", func(b *testing.B) {
+			mk := func() *traffic.Spec {
+				return &traffic.Spec{
+					Dim:  5,
+					Seed: 1993,
+					Arrivals: &traffic.Arrivals{
+						Kind: "poisson", Count: 8, RatePerMS: 2,
+						Op: traffic.Template{Kind: traffic.KindAllReduce, Bytes: 1024},
+					},
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := traffic.Run(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"BenchmarkTrafficChaosFaulted5Cube", func(b *testing.B) {
 			mk := func() *traffic.Spec {
 				return &traffic.Spec{

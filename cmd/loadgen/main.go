@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hypercube/internal/cliutil"
+	"hypercube/internal/stats"
 )
 
 // request is one point in the deterministic workload mix.
@@ -52,14 +53,35 @@ func buildMix(keys int) []request {
 			mix = append(mix, request{"/v1/simulate", fmt.Sprintf(
 				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d,"bytes":%d}`,
 				algs[i%len(algs)], 5+i%40, i, 256<<(i%4))})
-		case 4, 5:
+		case 4:
 			mix = append(mix, request{"/v1/collective", fmt.Sprintf(
 				`{"op":%q,"dim":5,"root":0,"bytes":%d}`, ops[i%len(ops)], 512+128*(i%8))})
+		case 5:
+			// Data-carrying reductions: payload-verified gradient
+			// aggregation, rootless, seeded per key.
+			data := []string{
+				`"op":"reduce-scatter"`,
+				`"op":"allreduce","variant":"hd"`,
+				`"op":"allreduce","variant":"ring"`,
+				`"op":"alltoall"`,
+			}
+			mix = append(mix, request{"/v1/collective", fmt.Sprintf(
+				`{%s,"dim":4,"bytes":%d,"seed":%d}`, data[i%len(data)], 64+32*(i%4), i)})
 		case 6:
 			mix = append(mix, request{"/v1/tree", fmt.Sprintf(
 				`{"dim":6,"algorithm":%q,"src":0,"dest_count":%d,"seed":%d}`,
 				algs[i%len(algs)], 8+i%32, i)})
 		default:
+			if (i/8)%2 == 0 && (i/16)%2 == 1 {
+				// Gradient-aggregation burst: a fault-free Poisson stream of
+				// payload-verified allreduces on the shared network. Data
+				// kinds stay off the faulted scenarios — a dropped link
+				// would (correctly) fail payload verification.
+				mix = append(mix, request{"/v1/traffic", fmt.Sprintf(
+					`{"dim":4,"seed":%d,"arrivals":{"kind":"poisson","count":%d,"rate_per_ms":%d,"op":{"kind":"allreduce","bytes":256}}}`,
+					i, 4+i%4, 1+i%4)})
+				continue
+			}
 			faults := ""
 			if (i/8)%2 == 1 {
 				// Drop faults only: stalls would wedge the scenario, drops
@@ -97,12 +119,20 @@ type Report struct {
 	CacheHitRate float64            `json:"cache_hit_rate"`
 }
 
+// percentile uses the repo-wide quantile definition
+// (stats.PercentileSortedInt64: linear interpolation at p*(n-1)) so a
+// loadgen report and a traffic-engine report agree on the same sample.
+// The old floor-index pick systematically understated tail latency on
+// small sample counts.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
+	ns := make([]int64, len(sorted))
+	for i, d := range sorted {
+		ns[i] = int64(d)
+	}
+	return time.Duration(stats.PercentileSortedInt64(ns, p))
 }
 
 func main() {

@@ -107,6 +107,11 @@ type sendSpec struct {
 	bytes int
 	// tag identifies the message to the receiver's handler.
 	tag int
+	// data is the payload the message carries, when the schedule moves
+	// real data (see payload.go). It rides alongside the byte count —
+	// the wormhole model only ever sees bytes — so attaching a payload
+	// cannot perturb the event schedule of a timing-only execution.
+	data []float64
 }
 
 // sendSeq issues node's sends serially (TStartup each), respecting the

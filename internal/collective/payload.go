@@ -1,0 +1,659 @@
+// Data-carrying reduction collectives: the schedules here move real
+// per-node vectors through the simulated network, not just byte counts.
+// Payloads ride in the data field of sendSpec — the wormhole model only
+// ever sees message sizes — so a data-carrying execution produces exactly
+// the event schedule its timing-only counterpart would, while the final
+// per-node vectors expose any block delivered to the wrong node at the
+// wrong round. Every standalone entry point verifies its result against
+// the closed-form expectation (Expected*) element by element before
+// returning; substrate launches leave verification to the caller, who
+// holds the inputs.
+//
+// Arithmetic note: verification demands exact float64 equality, which
+// holds regardless of combine order whenever the inputs are integer-valued
+// and the totals stay below 2^53 — the contract RandomData supplies.
+package collective
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hypercube/internal/event"
+	"hypercube/internal/ncube"
+	"hypercube/internal/topology"
+	"hypercube/internal/wormhole"
+)
+
+// ElemBytes is the wire size charged per payload vector element.
+const ElemBytes = 8
+
+// DataResult couples a collective's timing Result with the final per-node
+// payload vectors the schedule delivered. Data[v] is node v's local vector
+// when the operation completed: its own reduced block for ReduceScatter,
+// the full reduced vector for the allreduce variants and (at the root) for
+// ReduceData, and the gathered permutation for AllToAll.
+type DataResult struct {
+	Result
+	Data [][]float64
+}
+
+// RandomData draws integer-valued per-node vectors deterministically from
+// seed: nodes vectors of elems elements each, values in [-512, 512). With
+// integer values, float64 sums are exact independent of association order
+// until 2^53 — so a verified result never depends on the schedule's
+// combine order.
+func RandomData(seed int64, nodes, elems int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, nodes)
+	for v := range out {
+		vec := make([]float64, elems)
+		for i := range vec {
+			vec[i] = float64(rng.Intn(1024) - 512)
+		}
+		out[v] = vec
+	}
+	return out
+}
+
+// blockOf validates a block-structured input — one vector per node, all of
+// equal length N*b for some block size b >= 1 — and returns b. The
+// block-partitioned collectives (ReduceScatter, AllReduce, AllToAll)
+// panic through here on malformed input, like the timing-only entry
+// points do on malformed parameters.
+func blockOf(cube topology.Cube, in [][]float64) int {
+	n := cube.Nodes()
+	if len(in) != n {
+		panic(fmt.Sprintf("collective: %d input vectors for a %d-node cube", len(in), n))
+	}
+	l := len(in[0])
+	if l == 0 || l%n != 0 {
+		panic(fmt.Sprintf("collective: vector length %d not a positive multiple of %d nodes", l, n))
+	}
+	for v := range in {
+		if len(in[v]) != l {
+			panic(fmt.Sprintf("collective: node %d vector length %d != %d", v, len(in[v]), l))
+		}
+	}
+	return l / n
+}
+
+// uniformLen validates a shape-free input (ReduceData): one vector per
+// node, all the same nonzero length, returned.
+func uniformLen(cube topology.Cube, in [][]float64) int {
+	n := cube.Nodes()
+	if len(in) != n {
+		panic(fmt.Sprintf("collective: %d input vectors for a %d-node cube", len(in), n))
+	}
+	l := len(in[0])
+	if l == 0 {
+		panic("collective: empty input vectors")
+	}
+	for v := range in {
+		if len(in[v]) != l {
+			panic(fmt.Sprintf("collective: node %d vector length %d != %d", v, len(in[v]), l))
+		}
+	}
+	return l
+}
+
+func copyVecs(in [][]float64) [][]float64 {
+	out := make([][]float64, len(in))
+	for v := range in {
+		out[v] = append([]float64(nil), in[v]...)
+	}
+	return out
+}
+
+// columnSum is the elementwise sum over all nodes' vectors.
+func columnSum(in [][]float64) []float64 {
+	sum := append([]float64(nil), in[0]...)
+	for v := 1; v < len(in); v++ {
+		for i, x := range in[v] {
+			sum[i] += x
+		}
+	}
+	return sum
+}
+
+// ExpectedAllReduce returns the analytic allreduce expectation: every node
+// ends with the elementwise sum of all inputs.
+func ExpectedAllReduce(in [][]float64) [][]float64 {
+	sum := columnSum(in)
+	out := make([][]float64, len(in))
+	for v := range out {
+		out[v] = append([]float64(nil), sum...)
+	}
+	return out
+}
+
+// ExpectedReduceScatter returns the analytic reduce-scatter expectation:
+// node v ends with block v of the elementwise sum.
+func ExpectedReduceScatter(in [][]float64) [][]float64 {
+	sum := columnSum(in)
+	b := len(sum) / len(in)
+	out := make([][]float64, len(in))
+	for v := range out {
+		out[v] = append([]float64(nil), sum[v*b:(v+1)*b]...)
+	}
+	return out
+}
+
+// ExpectedAllToAll returns the analytic all-to-all expectation: slot s of
+// node v's result is block v of node s's input (the transpose of the
+// block matrix).
+func ExpectedAllToAll(in [][]float64) [][]float64 {
+	n := len(in)
+	b := len(in[0]) / n
+	out := make([][]float64, n)
+	for v := range out {
+		vec := make([]float64, 0, n*b)
+		for s := 0; s < n; s++ {
+			vec = append(vec, in[s][v*b:(v+1)*b]...)
+		}
+		out[v] = vec
+	}
+	return out
+}
+
+// VerifyData compares delivered per-node vectors against an expectation
+// element by element (exact equality) and names the first divergence.
+func VerifyData(got, want [][]float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("collective: %d result vectors, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if len(got[v]) != len(want[v]) {
+			return fmt.Errorf("collective: node %d result length %d, want %d", v, len(got[v]), len(want[v]))
+		}
+		for i := range want[v] {
+			if got[v][i] != want[v][i] {
+				return fmt.Errorf("collective: node %d element %d: got %v, want %v", v, i, got[v][i], want[v][i])
+			}
+		}
+	}
+	return nil
+}
+
+// attachData reroutes the engine's result into a DataResult and installs a
+// completion hook that captures the final per-node vectors at the instant
+// the last node finishes — before the substrate's OnDone observes the
+// result, so a traffic-engine callback can already read Data.
+func attachData(e *engine, capture func() [][]float64) *DataResult {
+	dr := &DataResult{Result: *e.res}
+	e.res = &dr.Result
+	user := e.onDone
+	e.onDone = func(r Result) {
+		dr.Data = capture()
+		if user != nil {
+			user(r)
+		}
+	}
+	return dr
+}
+
+// dataExchangeOn runs a payload-carrying pairwise-exchange schedule: in
+// round k every node sends outbound(v, k) to its neighbor across dimension
+// dimOf(k) and enters round k+1 only after both issuing its round-k send
+// and absorbing its partner's round-k payload (TRecv + tCompute after the
+// tail arrives). Out-of-order receipts are buffered and absorbed in round
+// order, exactly mirroring exchangeRoundsOn's advancement — absorbing is
+// pure data movement, so the event schedule matches a timing-only
+// exchange with the same per-round byte counts.
+func dataExchangeOn(e *engine, cube topology.Cube, rounds int, dimOf func(k int) int,
+	outbound func(v topology.NodeID, k int) []float64,
+	absorb func(v topology.NodeID, k int, data []float64),
+	tCompute event.Time) {
+	nodes := cube.Nodes()
+	buf := make([][][]float64, nodes)
+	got := make([][]bool, nodes)
+	for v := range buf {
+		buf[v] = make([][]float64, rounds)
+		got[v] = make([]bool, rounds)
+	}
+	round := make([]int, nodes) // next round not yet started
+	var start func(v topology.NodeID)
+	advance := func(v topology.NodeID) {
+		for round[v] < rounds && got[v][round[v]] {
+			k := round[v]
+			absorb(v, k, buf[v][k])
+			buf[v][k] = nil
+			round[v]++
+			if round[v] == rounds {
+				e.finished(v, e.q.Now())
+				return
+			}
+			start(v)
+		}
+	}
+	start = func(v topology.NodeID) {
+		k := round[v]
+		payload := outbound(v, k)
+		partner := cube.Neighbor(v, dimOf(k))
+		spec := sendSpec{to: partner, bytes: len(payload) * ElemBytes, tag: k, data: payload}
+		e.sendSeq(v, []sendSpec{spec}, func(s sendSpec, d wormhole.Delivery) {
+			e.q.After(e.p.TRecv+tCompute, func() {
+				got[d.To][s.tag] = true
+				buf[d.To][s.tag] = s.data
+				if s.tag == round[d.To] {
+					advance(d.To)
+				}
+			})
+		})
+	}
+	for v := 0; v < nodes; v++ {
+		start(topology.NodeID(v))
+	}
+}
+
+// ownedRange returns the contiguous block range [lo, hi) whose indices
+// agree with v on every dimension >= d — the blocks v is responsible for
+// after the recursive-halving rounds above d have run.
+func ownedRange(v topology.NodeID, d int) (lo, hi int) {
+	lo = (int(v) >> uint(d)) << uint(d)
+	return lo, lo + 1<<uint(d)
+}
+
+// halvingDoublingOn launches the recursive-halving reduce-scatter —
+// followed, unless scatterOnly, by the recursive-doubling allgather of the
+// reduced blocks (the bandwidth-optimal halving+doubling allreduce). In
+// halving round k the exchange crosses dimension n-1-k: each node ships
+// its partner's half of its active block range and folds the received
+// half into its own; after n rounds node v holds block v of the total.
+// The doubling rounds then cross dimensions 0..n-1, copying the
+// fully-reduced ranges back out until every node holds the whole sum.
+func halvingDoublingOn(e *engine, cube topology.Cube, in [][]float64, tCompute event.Time, scatterOnly bool) *DataResult {
+	b := blockOf(cube, in)
+	n := cube.Dim()
+	work := copyVecs(in)
+	capture := func() [][]float64 {
+		if !scatterOnly {
+			return copyVecs(work)
+		}
+		out := make([][]float64, len(work))
+		for v := range work {
+			out[v] = append([]float64(nil), work[v][v*b:(v+1)*b]...)
+		}
+		return out
+	}
+	dr := attachData(e, capture)
+	rounds := 2 * n
+	if scatterOnly {
+		rounds = n
+	}
+	dimOf := func(k int) int {
+		if k < n {
+			return n - 1 - k
+		}
+		return k - n
+	}
+	outbound := func(v topology.NodeID, k int) []float64 {
+		d := dimOf(k)
+		var lo, hi int
+		if k < n {
+			lo, hi = ownedRange(cube.Neighbor(v, d), d) // partner's half
+		} else {
+			lo, hi = ownedRange(v, d) // v's fully-reduced range
+		}
+		return append([]float64(nil), work[v][lo*b:hi*b]...)
+	}
+	absorb := func(v topology.NodeID, k int, data []float64) {
+		d := dimOf(k)
+		if k < n {
+			lo, _ := ownedRange(v, d)
+			seg := work[v][lo*b : lo*b+len(data)]
+			for i, x := range data {
+				seg[i] += x
+			}
+		} else {
+			lo, _ := ownedRange(cube.Neighbor(v, d), d)
+			copy(work[v][lo*b:lo*b+len(data)], data)
+		}
+	}
+	dataExchangeOn(e, cube, rounds, dimOf, outbound, absorb, tCompute)
+	return dr
+}
+
+// ReduceScatter reduces the nodes' equal-length vectors elementwise and
+// leaves block v of the total at node v, via the recursive-halving
+// schedule (n rounds, dimension-descending, each message one channel).
+// The input is one vector per node, every vector N*b elements; the result
+// is verified against ExpectedReduceScatter before returning.
+func ReduceScatter(p ncube.Params, cube topology.Cube, in [][]float64, tCompute event.Time) (DataResult, error) {
+	if tCompute < 0 {
+		panic("collective: negative reduce-scatter compute time")
+	}
+	e := newEngine(p, cube)
+	dr := halvingDoublingOn(e, cube, in, tCompute, true)
+	e.finish()
+	return *dr, VerifyData(dr.Data, ExpectedReduceScatter(in))
+}
+
+// ReduceScatterOn launches ReduceScatter's schedule on a shared substrate
+// at the calendar's current time; the caller drives the queue and — since
+// it holds the inputs — verifies Data against ExpectedReduceScatter.
+func ReduceScatterOn(sub Substrate, in [][]float64, tCompute event.Time) *DataResult {
+	if tCompute < 0 {
+		panic("collective: negative reduce-scatter compute time")
+	}
+	e := newEngineOn(sub)
+	return halvingDoublingOn(e, sub.Net.Cube(), in, tCompute, true)
+}
+
+// AllReduceHD is the data-carrying halving+doubling allreduce: a
+// recursive-halving reduce-scatter followed by a recursive-doubling
+// allgather of the reduced blocks — 2n rounds moving 2(N-1)/N of the
+// vector per node, the bandwidth-optimal hypercube schedule. Every node
+// ends with the elementwise total, verified before returning.
+func AllReduceHD(p ncube.Params, cube topology.Cube, in [][]float64, tCompute event.Time) (DataResult, error) {
+	if tCompute < 0 {
+		panic("collective: negative allreduce compute time")
+	}
+	e := newEngine(p, cube)
+	dr := halvingDoublingOn(e, cube, in, tCompute, false)
+	e.finish()
+	return *dr, VerifyData(dr.Data, ExpectedAllReduce(in))
+}
+
+// AllReduceHDOn launches AllReduceHD's schedule on a shared substrate; the
+// caller drives the queue and verifies Data against ExpectedAllReduce.
+func AllReduceHDOn(sub Substrate, in [][]float64, tCompute event.Time) *DataResult {
+	if tCompute < 0 {
+		panic("collective: negative allreduce compute time")
+	}
+	e := newEngineOn(sub)
+	return halvingDoublingOn(e, sub.Net.Cube(), in, tCompute, false)
+}
+
+// allReduceRingOn runs the ring allreduce on the binary-reflected
+// Gray-code Hamiltonian cycle of the cube (consecutive ring positions are
+// hypercube neighbors, so every hand-off crosses one channel). Each node
+// pipelines 2(N-1) single-block steps: N-1 reduce-scatter steps, in which
+// step s moves chunk (p-s) mod N from ring position p to p+1 and the
+// receiver folds in its contribution, then N-1 allgather steps
+// circulating the finished chunks. A node issues step s+1 as soon as it
+// has absorbed step s from its predecessor, so the pipeline keeps every
+// ring link busy.
+func allReduceRingOn(e *engine, cube topology.Cube, in [][]float64, tCompute event.Time) *DataResult {
+	b := blockOf(cube, in)
+	nodes := cube.Nodes()
+	ring := make([]topology.NodeID, nodes) // position -> node (Gray code)
+	pos := make([]int, nodes)              // node -> position
+	for i := 0; i < nodes; i++ {
+		g := topology.NodeID(i ^ (i >> 1))
+		ring[i] = g
+		pos[g] = i
+	}
+	work := copyVecs(in)
+	dr := attachData(e, func() [][]float64 { return copyVecs(work) })
+	if nodes == 1 {
+		e.finished(0, e.q.Now())
+		return dr
+	}
+	steps := 2 * (nodes - 1)
+	mod := func(x int) int { return ((x % nodes) + nodes) % nodes }
+	// chunkSent is the chunk ring position p ships at step s.
+	chunkSent := func(p, s int) int {
+		if s < nodes-1 {
+			return mod(p - s)
+		}
+		return mod(p + 1 - (s - (nodes - 1)))
+	}
+	stash := make([][][]float64, nodes) // per node, payloads keyed by step
+	expect := make([]int, nodes)        // next step to absorb, in order
+	for v := range stash {
+		stash[v] = make([][]float64, steps)
+	}
+	var send func(v topology.NodeID, s int)
+	absorb := func(v topology.NodeID, s int, data []float64) {
+		p := pos[v]
+		c := chunkSent(mod(p-1), s) // what the predecessor shipped
+		seg := work[v][c*b : (c+1)*b]
+		if s < nodes-1 {
+			for i, x := range data {
+				seg[i] += x
+			}
+		} else {
+			copy(seg, data)
+		}
+		if s+1 < steps {
+			send(v, s+1)
+		}
+		if s == steps-1 {
+			e.finished(v, e.q.Now())
+		}
+	}
+	drain := func(v topology.NodeID) {
+		for expect[v] < steps && stash[v][expect[v]] != nil {
+			s := expect[v]
+			data := stash[v][s]
+			stash[v][s] = nil
+			expect[v]++
+			absorb(v, s, data)
+		}
+	}
+	send = func(v topology.NodeID, s int) {
+		p := pos[v]
+		c := chunkSent(p, s)
+		payload := append([]float64(nil), work[v][c*b:(c+1)*b]...)
+		succ := ring[mod(p+1)]
+		spec := sendSpec{to: succ, bytes: len(payload) * ElemBytes, tag: s, data: payload}
+		e.sendSeq(v, []sendSpec{spec}, func(sp sendSpec, d wormhole.Delivery) {
+			e.q.After(e.p.TRecv+tCompute, func() {
+				stash[d.To][sp.tag] = sp.data
+				drain(d.To)
+			})
+		})
+	}
+	for v := 0; v < nodes; v++ {
+		send(topology.NodeID(v), 0)
+	}
+	return dr
+}
+
+// AllReduceRing is the data-carrying ring allreduce on the Gray-code
+// Hamiltonian cycle: bandwidth-identical to halving+doubling (2(N-1)
+// single-block steps per node) but latency-heavier — the classic
+// large-vector gradient-aggregation schedule. Verified before returning.
+func AllReduceRing(p ncube.Params, cube topology.Cube, in [][]float64, tCompute event.Time) (DataResult, error) {
+	if tCompute < 0 {
+		panic("collective: negative allreduce compute time")
+	}
+	e := newEngine(p, cube)
+	dr := allReduceRingOn(e, cube, in, tCompute)
+	e.finish()
+	return *dr, VerifyData(dr.Data, ExpectedAllReduce(in))
+}
+
+// AllReduceRingOn launches AllReduceRing's schedule on a shared substrate;
+// the caller drives the queue and verifies Data against ExpectedAllReduce.
+func AllReduceRingOn(sub Substrate, in [][]float64, tCompute event.Time) *DataResult {
+	if tCompute < 0 {
+		panic("collective: negative allreduce compute time")
+	}
+	e := newEngineOn(sub)
+	return allReduceRingOn(e, sub.Net.Cube(), in, tCompute)
+}
+
+// a2aKey packs a (source, destination) block identity into one map key.
+func a2aKey(n int, s, t int) int { return s<<uint(n) | t }
+
+// a2aSendIDs lists, in ascending key order, the (source, destination)
+// blocks node v ships across dimension k of the pairwise-exchange
+// all-to-all: everything v currently holds whose destination differs from
+// v in bit k. The invariant after rounds 0..k-1 — v holds exactly the
+// blocks whose destination agrees with v below bit k and whose source
+// agrees with v at bit k and above — makes the set closed-form, so the
+// receiver reconstructs block identities without per-block tags.
+func a2aSendIDs(n int, v topology.NodeID, k int) []int {
+	nodes := 1 << uint(n)
+	lowMask := 1<<uint(k) - 1
+	sLo := (int(v) >> uint(k)) << uint(k)
+	tLow := int(v)&lowMask | (int(v)>>uint(k)&1^1)<<uint(k)
+	out := make([]int, 0, nodes/2)
+	for s := sLo; s < sLo+1<<uint(k); s++ {
+		for hb := 0; hb < 1<<uint(n-k-1); hb++ {
+			out = append(out, a2aKey(n, s, hb<<uint(k+1)|tLow))
+		}
+	}
+	return out
+}
+
+// a2aRecvIDs lists, in ascending key order, the blocks node v receives
+// across dimension k — its dimension-k partner's send set.
+func a2aRecvIDs(n int, v topology.NodeID, k int) []int {
+	nodes := 1 << uint(n)
+	tLow := int(v) & (1<<uint(k+1) - 1)
+	sBase := (int(v)>>uint(k+1))<<uint(k+1) | (int(v)>>uint(k)&1^1)<<uint(k)
+	out := make([]int, 0, nodes/2)
+	for s := sBase; s < sBase+1<<uint(k); s++ {
+		for hb := 0; hb < 1<<uint(n-k-1); hb++ {
+			out = append(out, a2aKey(n, s, hb<<uint(k+1)|tLow))
+		}
+	}
+	return out
+}
+
+// allToAllOn runs the pairwise-exchange (XOR) all-to-all: n rounds, one
+// per dimension ascending, each node exchanging the N/2 blocks whose
+// destination lies across the current dimension. Blocks hop between
+// partners until destination bits are satisfied dimension by dimension;
+// after round n-1 node v holds exactly the blocks addressed to it, one
+// from every source.
+func allToAllOn(e *engine, cube topology.Cube, in [][]float64) *DataResult {
+	b := blockOf(cube, in)
+	n := cube.Dim()
+	nodes := cube.Nodes()
+	held := make([]map[int][]float64, nodes)
+	for v := 0; v < nodes; v++ {
+		base := append([]float64(nil), in[v]...)
+		held[v] = make(map[int][]float64, nodes)
+		for t := 0; t < nodes; t++ {
+			held[v][a2aKey(n, v, t)] = base[t*b : (t+1)*b : (t+1)*b]
+		}
+	}
+	capture := func() [][]float64 {
+		out := make([][]float64, nodes)
+		for v := 0; v < nodes; v++ {
+			vec := make([]float64, 0, nodes*b)
+			for s := 0; s < nodes; s++ {
+				vec = append(vec, held[v][a2aKey(n, s, v)]...)
+			}
+			out[v] = vec
+		}
+		return out
+	}
+	dr := attachData(e, capture)
+	outbound := func(v topology.NodeID, k int) []float64 {
+		ids := a2aSendIDs(n, v, k)
+		payload := make([]float64, 0, len(ids)*b)
+		for _, id := range ids {
+			payload = append(payload, held[v][id]...)
+			delete(held[v], id)
+		}
+		return payload
+	}
+	absorb := func(v topology.NodeID, k int, data []float64) {
+		for i, id := range a2aRecvIDs(n, v, k) {
+			held[v][id] = data[i*b : (i+1)*b : (i+1)*b]
+		}
+	}
+	dataExchangeOn(e, cube, n, func(k int) int { return k }, outbound, absorb, 0)
+	return dr
+}
+
+// AllToAll performs the complete block exchange — node v's input block t
+// ends as slot v of node t's result — via the pairwise-exchange schedule
+// (n rounds, N/2 blocks per message, each message one channel). Verified
+// against ExpectedAllToAll before returning.
+func AllToAll(p ncube.Params, cube topology.Cube, in [][]float64) (DataResult, error) {
+	e := newEngine(p, cube)
+	dr := allToAllOn(e, cube, in)
+	e.finish()
+	return *dr, VerifyData(dr.Data, ExpectedAllToAll(in))
+}
+
+// AllToAllOn launches AllToAll's schedule on a shared substrate; the
+// caller drives the queue and verifies Data against ExpectedAllToAll.
+func AllToAllOn(sub Substrate, in [][]float64) *DataResult {
+	e := newEngineOn(sub)
+	return allToAllOn(e, sub.Net.Cube(), in)
+}
+
+// reduceDataOn runs the payload-carrying all-to-one reduction: partial
+// vectors converge on root up the dimension-ascending binomial tree
+// (Reduce's exact schedule and message sizes), each hop shipping the
+// sender's accumulated vector and each receipt charging TRecv + tCompute
+// before folding into the local accumulator.
+func reduceDataOn(e *engine, cube topology.Cube, root topology.NodeID, in [][]float64, tCompute event.Time) *DataResult {
+	uniformLen(cube, in)
+	n := cube.Dim()
+	acc := copyVecs(in)
+	dr := attachData(e, func() [][]float64 { return copyVecs(acc) })
+	pending := make([]int, cube.Nodes())
+	var ready func(r topology.NodeID)
+	ready = func(r topology.NodeID) {
+		node := absOf(cube, root, r)
+		if r == 0 {
+			e.finished(node, e.q.Now())
+			return
+		}
+		L := lowBit(r, n)
+		parent := r &^ (1 << uint(L))
+		spec := sendSpec{
+			to:    absOf(cube, root, parent),
+			bytes: len(acc[node]) * ElemBytes,
+			tag:   int(r),
+			data:  append([]float64(nil), acc[node]...),
+		}
+		e.sendSeq(node, []sendSpec{spec}, func(s sendSpec, d wormhole.Delivery) {
+			e.finished(node, d.Arrived)
+			pr := relOf(cube, root, d.To)
+			e.q.After(e.p.TRecv+tCompute, func() {
+				seg := acc[d.To]
+				for i, x := range s.data {
+					seg[i] += x
+				}
+				pending[pr]--
+				if pending[pr] == 0 {
+					ready(pr)
+				}
+			})
+		})
+	}
+	for v := 0; v < cube.Nodes(); v++ {
+		pending[v] = lowBit(topology.NodeID(v), n)
+	}
+	for v := 0; v < cube.Nodes(); v++ {
+		if pending[v] == 0 {
+			ready(topology.NodeID(v))
+		}
+	}
+	return dr
+}
+
+// ReduceData is the payload-carrying Reduce: the root ends with the
+// elementwise sum of every node's vector (Data[root]; other nodes keep
+// their partial accumulators). The root's vector is verified against the
+// column sum before returning.
+func ReduceData(p ncube.Params, cube topology.Cube, root topology.NodeID, in [][]float64, tCompute event.Time) (DataResult, error) {
+	cube.MustContain(root)
+	if tCompute < 0 {
+		panic("collective: negative reduce compute time")
+	}
+	e := newEngine(p, cube)
+	dr := reduceDataOn(e, cube, root, in, tCompute)
+	e.finish()
+	return *dr, VerifyData([][]float64{dr.Data[root]}, [][]float64{columnSum(in)})
+}
+
+// ReduceDataOn launches ReduceData's schedule on a shared substrate; the
+// caller drives the queue and verifies Data[root] against the column sum.
+func ReduceDataOn(sub Substrate, root topology.NodeID, in [][]float64, tCompute event.Time) *DataResult {
+	cube := sub.Net.Cube()
+	cube.MustContain(root)
+	if tCompute < 0 {
+		panic("collective: negative reduce compute time")
+	}
+	e := newEngineOn(sub)
+	return reduceDataOn(e, cube, root, in, tCompute)
+}

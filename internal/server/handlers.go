@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 
 	"hypercube/internal/collective"
@@ -120,6 +121,25 @@ func (s *Server) runCollective(req CollectiveRequest) (any, error) {
 	root := topology.NodeID(req.Root)
 	tc := event.Time(req.TComputeNS)
 	var res collective.Result
+	verified := false
+	// The data-carrying ops synthesize seeded per-node vectors, thread
+	// them through the schedule, and verify the delivered data against
+	// the analytic expectation; a mismatch is an internal error, never a
+	// silently wrong timing answer.
+	runData := func(f func(in [][]float64) (collective.DataResult, error), elems int) error {
+		in := collective.RandomData(req.Seed, cube.Nodes(), elems)
+		dr, err := f(in)
+		if err != nil {
+			return fmt.Errorf("payload verification failed: %v", err)
+		}
+		res, verified = dr.Result, true
+		return nil
+	}
+	blockElems := req.Bytes / collective.ElemBytes
+	if blockElems < 1 {
+		blockElems = 1
+	}
+	vecElems := cube.Nodes() * blockElems
 	switch req.Op {
 	case "scatter":
 		res = collective.Scatter(p, cube, root, req.Bytes)
@@ -132,9 +152,31 @@ func (s *Server) runCollective(req CollectiveRequest) (any, error) {
 	case "allgather":
 		res = collective.AllGather(p, cube, req.Bytes)
 	case "allreduce":
-		res = collective.AllReduce(p, cube, req.Bytes, tc)
+		switch req.Variant {
+		case "hd":
+			err = runData(func(in [][]float64) (collective.DataResult, error) {
+				return collective.AllReduceHD(p, cube, in, tc)
+			}, vecElems)
+		case "ring":
+			err = runData(func(in [][]float64) (collective.DataResult, error) {
+				return collective.AllReduceRing(p, cube, in, tc)
+			}, vecElems)
+		default:
+			res = collective.AllReduce(p, cube, req.Bytes, tc)
+		}
+	case "reduce-scatter":
+		err = runData(func(in [][]float64) (collective.DataResult, error) {
+			return collective.ReduceScatter(p, cube, in, tc)
+		}, vecElems)
+	case "alltoall":
+		err = runData(func(in [][]float64) (collective.DataResult, error) {
+			return collective.AllToAll(p, cube, in)
+		}, vecElems)
 	default:
 		return nil, badf("unknown op %q", req.Op)
+	}
+	if err != nil {
+		return nil, err
 	}
 	resp := CollectiveResponse{
 		Request:        req,
@@ -142,6 +184,7 @@ func (s *Server) runCollective(req CollectiveRequest) (any, error) {
 		MakespanUS:     us(res.Makespan),
 		Messages:       res.Messages,
 		TotalBlockedNS: int64(res.TotalBlocked),
+		DataVerified:   verified,
 	}
 	if req.IncludeFinish {
 		resp.Finish = sortedNodeTimes(res.Finish)

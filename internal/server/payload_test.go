@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// Every data-carrying /v1/collective variant completes with data_verified
+// set and is served byte-identically from cache on repetition.
+func TestCollectiveDataVariants(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	reqs := []string{
+		`{"op":"reduce-scatter","dim":4,"bytes":64,"seed":7}`,
+		`{"op":"allreduce","variant":"hd","dim":4,"bytes":64,"seed":7}`,
+		`{"op":"allreduce","variant":"ring","dim":4,"bytes":64,"seed":7}`,
+		`{"op":"alltoall","dim":4,"bytes":64,"seed":7}`,
+	}
+	for _, req := range reqs {
+		resp, body := post(t, ts.URL, "/v1/collective", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %d %s", req, resp.StatusCode, body)
+		}
+		var cr CollectiveResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if !cr.DataVerified {
+			t.Errorf("%s: data_verified false", req)
+		}
+		if cr.MakespanNS <= 0 || cr.Messages == 0 {
+			t.Errorf("%s: makespan=%d messages=%d", req, cr.MakespanNS, cr.Messages)
+		}
+		resp2, body2 := post(t, ts.URL, "/v1/collective", req)
+		if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, body2) {
+			t.Errorf("%s: not served byte-identically from cache", req)
+		}
+	}
+}
+
+// The hd and ring allreduce variants agree with their analytic schedule
+// relatives: hd matches reduce-scatter followed by the mirrored allgather
+// in message count (2x), and a different seed changes only the payload —
+// the timing fields stay identical.
+func TestCollectiveDataTimingSeedIndependent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, b1 := post(t, ts.URL, "/v1/collective", `{"op":"reduce-scatter","dim":4,"bytes":64,"seed":1}`)
+	_, b2 := post(t, ts.URL, "/v1/collective", `{"op":"reduce-scatter","dim":4,"bytes":64,"seed":2}`)
+	var r1, r2 CollectiveResponse
+	if err := json.Unmarshal(b1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.MakespanNS != r2.MakespanNS || r1.Messages != r2.Messages ||
+		r1.TotalBlockedNS != r2.TotalBlockedNS {
+		t.Errorf("payload seed changed the schedule: %+v vs %+v", r1, r2)
+	}
+}
+
+// The legacy timing-only allreduce (empty variant) keeps its exact
+// response shape: no data_verified key in the encoded body, so bodies
+// cached before the data ops existed stay byte-identical.
+func TestCollectiveLegacyBodyUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL, "/v1/collective", `{"op":"allreduce","dim":4,"bytes":64}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("allreduce: %d %s", resp.StatusCode, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["data_verified"]; ok {
+		t.Errorf("legacy allreduce body carries data_verified: %s", body)
+	}
+	req, _ := raw["request"].(map[string]any)
+	for _, k := range []string{"variant", "seed"} {
+		if _, ok := req[k]; ok {
+			t.Errorf("legacy allreduce request echo carries %q: %s", k, body)
+		}
+	}
+}
+
+// Validation on the new fields: variant restricted to allreduce and to
+// hd/ring, seed restricted to data-carrying ops, alltoall rejects a
+// compute term, and the payload footprint is capped.
+func TestCollectiveDataValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct{ body, wantSub string }{
+		{`{"op":"scatter","variant":"hd","dim":4,"root":0,"bytes":64}`, "variant"},
+		{`{"op":"allreduce","variant":"butterfly","dim":4,"bytes":64}`, "variant"},
+		{`{"op":"scatter","seed":3,"dim":4,"root":0,"bytes":64}`, "seed"},
+		{`{"op":"allreduce","seed":3,"dim":4,"bytes":64}`, "seed"},
+		{`{"op":"alltoall","dim":4,"bytes":64,"t_compute_ns":10}`, "t_compute_ns"},
+		{`{"op":"alltoall","dim":12,"bytes":65536}`, "payload footprint"},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL, "/v1/collective", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.body, resp.StatusCode, body)
+			continue
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(strings.ToLower(e.Error), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.body, e.Error, c.wantSub)
+		}
+	}
+}
+
+// A /v1/traffic trace holding a data-carrying op reports data_verified
+// per op and caches byte-identically.
+func TestTrafficDataOps(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"dim":3,"seed":5,"ops":[
+		{"kind":"reduce-scatter","bytes":64,"seed":1},
+		{"kind":"allreduce","algorithm":"ring","bytes":64,"seed":2,"after":["op000"]}
+	]}`
+	resp, body := post(t, ts.URL, "/v1/traffic", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("traffic: %d %s", resp.StatusCode, body)
+	}
+	var tr TrafficResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(tr.Ops))
+	}
+	for _, op := range tr.Ops {
+		if !op.DataVerified {
+			t.Errorf("op %s: data not verified", op.ID)
+		}
+	}
+	resp2, body2 := post(t, ts.URL, "/v1/traffic", req)
+	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, body2) {
+		t.Error("traffic data trace not cached byte-identically")
+	}
+}

@@ -76,6 +76,10 @@ type Config struct {
 	// expansion (default 256) — the knob that keeps /v1/traffic jobs
 	// service-sized.
 	MaxTrafficOps int
+	// MaxDataBytes bounds one data-carrying collective's synthesized
+	// payload footprint (default 64 MiB) — data ops allocate real
+	// memory, unlike timing-only ops.
+	MaxDataBytes int64
 	// Metrics receives every instrument; nil allocates a private
 	// registry (the server always measures itself).
 	Metrics *metrics.Registry
@@ -114,6 +118,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxTrafficOps == 0 {
 		c.MaxTrafficOps = 256
+	}
+	if c.MaxDataBytes == 0 {
+		c.MaxDataBytes = 1 << 26
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
@@ -160,6 +167,7 @@ func New(cfg Config) *Server {
 			maxSweepTrials: cfg.MaxSweepTrials,
 			maxSweepPoints: cfg.MaxSweepPoints,
 			maxTrafficOps:  cfg.MaxTrafficOps,
+			maxDataBytes:   cfg.MaxDataBytes,
 		},
 		reg: reg,
 		cache: simcache.New(simcache.Config{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hypercube/internal/collective"
 	"hypercube/internal/core"
 	"hypercube/internal/event"
 	"hypercube/internal/faults"
@@ -29,7 +30,8 @@ type limits struct {
 	maxSweepDim    int // largest cube a sweep may cover
 	maxSweepTrials int
 	maxSweepPoints int
-	maxTrafficOps  int // largest traffic scenario, counted after arrival expansion
+	maxTrafficOps  int   // largest traffic scenario, counted after arrival expansion
+	maxDataBytes   int64 // largest synthesized payload footprint of a data-carrying collective
 }
 
 // badRequestError marks a validation failure (HTTP 400).
@@ -272,7 +274,12 @@ type FaultTolerantResponse struct {
 // CollectiveRequest runs one MPI-style collective over the whole cube
 // (POST /v1/collective).
 type CollectiveRequest struct {
-	// Op is scatter, gather, reduce, barrier, allgather, or allreduce.
+	// Op is scatter, gather, reduce, barrier, allgather, allreduce,
+	// reduce-scatter, or alltoall. The last two — and allreduce when a
+	// variant is named — are data-carrying: the server synthesizes seeded
+	// per-node payload vectors, threads them through the wormhole
+	// schedule, and verifies the delivered data against the analytic
+	// expectation (the response reports data_verified).
 	Op      string `json:"op"`
 	Dim     int    `json:"dim"`
 	Machine string `json:"machine,omitempty"`
@@ -282,8 +289,16 @@ type CollectiveRequest struct {
 	Root int `json:"root,omitempty"`
 	// Bytes is the per-block payload (default 1024; barrier ignores it).
 	Bytes int `json:"bytes,omitempty"`
-	// TComputeNS is the per-merge combining cost of reduce/allreduce.
+	// TComputeNS is the per-merge combining cost of reduce/allreduce/
+	// reduce-scatter.
 	TComputeNS int64 `json:"t_compute_ns,omitempty"`
+	// Variant selects the allreduce schedule: empty keeps the timing-only
+	// butterfly (the pre-payload behavior, so existing cached bodies are
+	// untouched), hd runs the data-carrying halving+doubling, ring the
+	// data-carrying Gray-code ring pipeline.
+	Variant string `json:"variant,omitempty"`
+	// Seed seeds a data-carrying op's synthesized payload vectors.
+	Seed int64 `json:"seed,omitempty"`
 	// IncludeFinish adds every node's completion time to the response
 	// (verbose on large cubes).
 	IncludeFinish bool `json:"include_finish,omitempty"`
@@ -292,11 +307,35 @@ type CollectiveRequest struct {
 var collectiveOps = map[string]bool{
 	"scatter": true, "gather": true, "reduce": true,
 	"barrier": true, "allgather": true, "allreduce": true,
+	"reduce-scatter": true, "alltoall": true,
+}
+
+// dataCarrying reports whether the normalized request runs a payload
+// schedule (and so fills data_verified in the response).
+func (r *CollectiveRequest) dataCarrying() bool {
+	switch r.Op {
+	case "reduce-scatter", "alltoall":
+		return true
+	case "allreduce":
+		return r.Variant != ""
+	}
+	return false
 }
 
 func (r *CollectiveRequest) normalize(lim limits) (topology.Cube, ncube.Params, error) {
 	if !collectiveOps[r.Op] {
-		return topology.Cube{}, ncube.Params{}, badf("unknown op %q (want scatter, gather, reduce, barrier, allgather, or allreduce)", r.Op)
+		return topology.Cube{}, ncube.Params{}, badf("unknown op %q (want scatter, gather, reduce, barrier, allgather, allreduce, reduce-scatter, or alltoall)", r.Op)
+	}
+	if r.Variant != "" {
+		if r.Op != "allreduce" {
+			return topology.Cube{}, ncube.Params{}, badf("variant applies only to allreduce")
+		}
+		if r.Variant != "hd" && r.Variant != "ring" {
+			return topology.Cube{}, ncube.Params{}, badf("unknown allreduce variant %q (want hd or ring)", r.Variant)
+		}
+	}
+	if r.Seed != 0 && !r.dataCarrying() {
+		return topology.Cube{}, ncube.Params{}, badf("seed applies only to the data-carrying ops (reduce-scatter, alltoall, allreduce with a variant)")
 	}
 	if r.Dim < 1 || r.Dim > lim.maxDim {
 		return topology.Cube{}, ncube.Params{}, badf("dim %d outside [1, %d]", r.Dim, lim.maxDim)
@@ -319,8 +358,11 @@ func (r *CollectiveRequest) normalize(lim limits) (topology.Cube, ncube.Params, 
 	if r.TComputeNS < 0 {
 		return topology.Cube{}, ncube.Params{}, badf("negative t_compute_ns")
 	}
+	if r.Op == "alltoall" && r.TComputeNS != 0 {
+		return topology.Cube{}, ncube.Params{}, badf("alltoall has no combining step (drop t_compute_ns)")
+	}
 	switch r.Op {
-	case "barrier", "allgather", "allreduce":
+	case "barrier", "allgather", "allreduce", "reduce-scatter", "alltoall":
 		r.Root = 0 // canonical: rootless operations
 	}
 	pm, err := parsePort(r.Port)
@@ -338,6 +380,17 @@ func (r *CollectiveRequest) normalize(lim limits) (topology.Cube, ncube.Params, 
 	if r.Root < 0 || r.Root >= cube.Nodes() {
 		return topology.Cube{}, ncube.Params{}, badf("root %d outside the %d-node cube", r.Root, cube.Nodes())
 	}
+	if r.dataCarrying() {
+		be := int64(r.Bytes) / collective.ElemBytes
+		if be < 1 {
+			be = 1
+		}
+		n := int64(cube.Nodes())
+		if total := n * n * be * collective.ElemBytes; total > lim.maxDataBytes {
+			return topology.Cube{}, ncube.Params{}, badf("payload footprint %d bytes (%d nodes x %d blocks x %d bytes) exceeds the limit of %d",
+				total, n, n, be*collective.ElemBytes, lim.maxDataBytes)
+		}
+	}
 	return cube, p, nil
 }
 
@@ -348,7 +401,11 @@ type CollectiveResponse struct {
 	MakespanUS     float64           `json:"makespan_us"`
 	Messages       int               `json:"messages"`
 	TotalBlockedNS int64             `json:"total_blocked_ns"`
-	Finish         []NodeTime        `json:"finish,omitempty"`
+	// DataVerified reports that a data-carrying op's delivered payload
+	// vectors matched the analytic expectation; omitted for the
+	// timing-only ops, whose cached bodies stay byte-identical.
+	DataVerified bool       `json:"data_verified,omitempty"`
+	Finish       []NodeTime `json:"finish,omitempty"`
 }
 
 // TreeRequest builds a multicast tree and analyzes it without simulating
@@ -508,9 +565,10 @@ type TrafficRequest struct {
 
 func (r *TrafficRequest) normalize(lim limits) error {
 	err := r.Spec.Canonicalize(traffic.Limits{
-		MaxDim:   lim.maxDim,
-		MaxBytes: lim.maxBytes,
-		MaxOps:   lim.maxTrafficOps,
+		MaxDim:       lim.maxDim,
+		MaxBytes:     lim.maxBytes,
+		MaxOps:       lim.maxTrafficOps,
+		MaxDataBytes: lim.maxDataBytes,
 	})
 	if err != nil {
 		return badf("%v", err)

@@ -68,22 +68,9 @@ func Percentile(xs []float64, p float64) float64 {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
 	}
-	if len(xs) == 0 {
-		return 0
-	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0]
-	}
-	pos := p * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return PercentileSorted(sorted, p)
 }
 
 // Median is the 0.5-quantile.

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the one quantile definition every surface shares —
+// linear interpolation between order statistics at position p*(n-1), the
+// semantics Percentile has always used. The traffic engine, the sweep
+// tables, and cmd/loadgen previously hand-rolled their own (nearest-rank
+// and floor-index variants), so "p95" meant three different numbers for
+// the same sample; they all route through here now.
+
+// PercentileSorted is Percentile on a sample already sorted ascending —
+// no copy, no re-sort. Sweep code sorts once and reads many quantiles.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentiles returns the samples' quantiles at each of ps, copying and
+// sorting exactly once. An empty sample yields all zeros.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = PercentileSorted(sorted, p)
+	}
+	return out
+}
+
+// PercentileSortedInt64 is the shared quantile over int64 samples (sorted
+// ascending): interpolate in float64, round half away from zero back to
+// the integer domain. Durations in nanoseconds land here.
+func PercentileSortedInt64(sorted []int64, p float64) int64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	v := float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+	if v < 0 {
+		return -int64(math.Round(-v))
+	}
+	return int64(math.Round(v))
+}
+
+// PercentileInt64 copies, sorts, and reads one quantile of an int64
+// sample under the shared definition.
+func PercentileInt64(xs []int64, p float64) int64 {
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return PercentileSortedInt64(sorted, p)
+}

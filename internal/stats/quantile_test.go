@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// The agreed quantile semantics, pinned on a small sample: linear
+// interpolation at position p*(n-1). For {10,20,30,40}, p95 sits at
+// position 2.85 → 30 + 0.85*10 = 38.5 (the old traffic nearest-rank
+// definition said 40, loadgen's floor index said 30). The int64 form
+// rounds half away from zero → 39.
+func TestQuantileSemanticsPinned(t *testing.T) {
+	f := []float64{40, 10, 30, 20}
+	i64 := []int64{40, 10, 30, 20}
+	cases := []struct {
+		p    float64
+		want float64
+		i64  int64
+	}{
+		{0, 10, 10},
+		{0.25, 17.5, 18},
+		{0.5, 25, 25},
+		{0.75, 32.5, 33},
+		{0.95, 38.5, 39},
+		{1, 40, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(f, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+		if got := PercentileInt64(i64, c.p); got != c.i64 {
+			t.Errorf("PercentileInt64(%v) = %v, want %v", c.p, got, c.i64)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 0.95); got != 0 {
+		t.Errorf("empty float64 sample: %v", got)
+	}
+	if got := PercentileInt64(nil, 0.95); got != 0 {
+		t.Errorf("empty int64 sample: %v", got)
+	}
+	if got := Percentile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton: %v", got)
+	}
+	if got := PercentileInt64([]int64{-7}, 0.3); got != -7 {
+		t.Errorf("negative singleton: %v", got)
+	}
+	// Negative interpolants round away from zero: {-40,-10} at p=0.25 is
+	// -32.5 → -33.
+	if got := PercentileInt64([]int64{-10, -40}, 0.25); got != -33 {
+		t.Errorf("negative interpolation: %v", got)
+	}
+	for _, f := range []func(){
+		func() { Percentile([]float64{1}, -0.01) },
+		func() { Percentile([]float64{1}, 1.01) },
+		func() { PercentileSorted([]float64{1}, 2) },
+		func() { PercentileSortedInt64([]int64{1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range p did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The sorted/multi-quantile paths must agree exactly with the one true
+// definition on random samples.
+func TestQuantilePathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e6
+		}
+		multi := Percentiles(xs, ps...)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for i, p := range ps {
+			want := Percentile(xs, p)
+			if multi[i] != want {
+				t.Fatalf("trial %d p=%v: Percentiles %v != Percentile %v", trial, p, multi[i], want)
+			}
+			if got := PercentileSorted(sorted, p); got != want {
+				t.Fatalf("trial %d p=%v: PercentileSorted %v != Percentile %v", trial, p, got, want)
+			}
+		}
+	}
+	if got := Percentiles(nil, ps...); !reflect.DeepEqual(got, make([]float64, len(ps))) {
+		t.Errorf("empty multi-quantile: %v", got)
+	}
+}
+
+// PercentileSortedInt64 must match the float64 definition up to rounding
+// on integer-representable samples.
+func TestQuantileInt64MatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := make([]int64, n)
+		fs := make([]float64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(2_000_001) - 1_000_000)
+			fs[i] = float64(xs[i])
+		}
+		for _, p := range []float64{0, 0.5, 0.95, 1} {
+			got := PercentileInt64(xs, p)
+			want := Percentile(fs, p)
+			if d := float64(got) - want; d > 0.5 || d < -0.5 {
+				t.Fatalf("trial %d p=%v: int64 %d vs float %v", trial, p, got, want)
+			}
+		}
+	}
+}

@@ -110,7 +110,7 @@ func ChaosSweep(cfg ChaosConfig) (*ChaosTables, error) {
 		if err != nil {
 			return nil, fmt.Errorf("traffic: chaos baseline at %g ops/ms: %w", rate, err)
 		}
-		base := healthy.MeanSojournNS()
+		base := healthy.AverageSojournNS()
 		delivered := make([]float64, len(cfg.FaultCounts))
 		inflation := make([]float64, len(cfg.FaultCounts))
 		retry := make([]float64, len(cfg.FaultCounts))
@@ -143,7 +143,7 @@ func ChaosSweep(cfg ChaosConfig) (*ChaosTables, error) {
 			}
 			inflation[ki] = 1
 			if base > 0 {
-				inflation[ki] = res.MeanSojournNS() / base
+				inflation[ki] = res.AverageSojournNS() / base
 			}
 			retry[ki] = float64(retries) / float64(len(res.Ops))
 		}

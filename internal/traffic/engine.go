@@ -11,6 +11,7 @@ import (
 	"hypercube/internal/group"
 	"hypercube/internal/metrics"
 	"hypercube/internal/ncube"
+	"hypercube/internal/stats"
 	"hypercube/internal/topology"
 )
 
@@ -36,6 +37,12 @@ type OpResult struct {
 	BlockedNS int64 `json:"blocked_ns"`
 	// Messages is the number of point-to-point unicasts the op issued.
 	Messages int `json:"messages"`
+	// DataVerified reports that a data-carrying op's final per-node
+	// payload vectors matched the analytic expectation element for
+	// element. Present only for the data kinds (a run with a mismatch
+	// errors instead), so results of the timing-only kinds are
+	// bit-for-bit unchanged.
+	DataVerified bool `json:"data_verified,omitempty"`
 	// Delivery is the per-op delivery accounting of a faulted scenario:
 	// present (for the destination-bearing kinds) exactly when the spec
 	// carries a fault schedule, so fault-free results are bit-for-bit
@@ -105,6 +112,8 @@ type opState struct {
 	arriveNS, startNS, finishNS event.Time
 	blocked                     event.Time
 	messages, pendingTrees      int
+	// dataOK records a data-carrying op's payload verification.
+	dataOK bool
 	// Faulted-scenario delivery accounting.
 	delivered, failed, retries, repairs int
 }
@@ -125,6 +134,9 @@ type engine struct {
 	// sched is the spec's compiled fault schedule; nil for fault-free
 	// scenarios, which take exactly the pre-fault code paths.
 	sched *faults.Schedule
+	// dataErr is the first payload-verification failure; the run reports
+	// it as an error rather than returning silently wrong data.
+	dataErr error
 }
 
 // Run executes a scenario and returns its per-op and network results.
@@ -250,6 +262,9 @@ func (e *engine) compile() error {
 			st.injKey = op.Roots[0]
 		case KindScatter, KindGather, KindAllGather:
 			// Fixed binomial/dissemination schedules; nothing to build.
+		case KindReduceScatter, KindAllReduce, KindAllToAll:
+			// Fixed exchange schedules; payload vectors are synthesized
+			// at start so queued ops hold no memory while waiting.
 		default:
 			return fmt.Errorf("traffic: op %q: unknown kind %q", op.ID, op.Kind)
 		}
@@ -340,6 +355,48 @@ func (e *engine) start(i int) {
 		collective.GatherOn(sub, topology.NodeID(st.op.Src), st.op.Bytes)
 	case KindAllGather:
 		collective.AllGatherOn(sub, st.op.Bytes)
+	case KindReduceScatter, KindAllReduce, KindAllToAll:
+		e.startData(i, sub)
+	}
+}
+
+// startData launches a data-carrying op: synthesize the seeded per-node
+// input vectors, run the payload schedule on the shared substrate, and —
+// at the instant the collective completes, before the op is marked done —
+// verify the delivered data element by element against the analytic
+// expectation. A mismatch fails the whole run: wrong data is a scheduling
+// bug, not a statistic.
+func (e *engine) startData(i int, sub collective.Substrate) {
+	st := &e.ops[i]
+	nodes := e.cube.Nodes()
+	in := collective.RandomData(e.spec.PayloadSeed(st.op), nodes, nodes*st.op.BlockElems())
+	var want [][]float64
+	var dr *collective.DataResult
+	base := sub.OnDone
+	sub.OnDone = func(r collective.Result) {
+		if err := collective.VerifyData(dr.Data, want); err != nil {
+			if e.dataErr == nil {
+				e.dataErr = fmt.Errorf("traffic: op %q payload verification failed: %w", st.op.ID, err)
+			}
+		} else {
+			st.dataOK = true
+		}
+		base(r)
+	}
+	switch st.op.Kind {
+	case KindReduceScatter:
+		want = collective.ExpectedReduceScatter(in)
+		dr = collective.ReduceScatterOn(sub, in, 0)
+	case KindAllReduce:
+		want = collective.ExpectedAllReduce(in)
+		if st.op.Algorithm == "ring" {
+			dr = collective.AllReduceRingOn(sub, in, 0)
+		} else {
+			dr = collective.AllReduceHDOn(sub, in, 0)
+		}
+	case KindAllToAll:
+		want = collective.ExpectedAllToAll(in)
+		dr = collective.AllToAllOn(sub, in)
 	}
 }
 
@@ -403,6 +460,9 @@ func (e *engine) complete(i int) {
 
 // collect assembles the Result after the calendar drains.
 func (e *engine) collect(reg *metrics.Registry) (*Result, error) {
+	if e.dataErr != nil {
+		return nil, e.dataErr
+	}
 	res := &Result{Ops: make([]OpResult, len(e.ops))}
 	for i := range e.ops {
 		st := &e.ops[i]
@@ -427,6 +487,10 @@ func (e *engine) collect(reg *metrics.Registry) (*Result, error) {
 			SojournNS: int64(st.finishNS - st.arriveNS),
 			BlockedNS: int64(st.blocked),
 			Messages:  st.messages,
+			// Only ever true for the data kinds; a completed data op that
+			// somehow skipped verification would be a bug, and collect
+			// already failed the run on any mismatch.
+			DataVerified: st.dataOK,
 		}
 		if e.sched != nil {
 			switch st.op.Kind {
@@ -471,36 +535,45 @@ func toNodeIDs(xs []int) []topology.NodeID {
 	return out
 }
 
-// MeanSojournNS returns the mean per-op sojourn time — the y-axis of a
-// saturation curve.
-func (r *Result) MeanSojournNS() float64 {
-	if len(r.Ops) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, op := range r.Ops {
-		sum += float64(op.SojournNS)
-	}
-	return sum / float64(len(r.Ops))
+// AverageSojournNS returns the mean per-op sojourn time — the y-axis of a
+// saturation curve. A zero-op result returns 0.
+func (r *Result) AverageSojournNS() float64 {
+	mean, _ := r.SojournStatsNS()
+	return mean
 }
 
 // PercentileSojournNS returns the q-quantile (0 <= q <= 1) of per-op
-// sojourn times, by nearest-rank on the sorted values.
+// sojourn times under the repo's one shared quantile definition
+// (stats.PercentileSortedInt64 — linear interpolation between order
+// statistics, so cmd/traffic and loadgen agree on "p95" for the same
+// sample). A zero-op result returns 0.
 func (r *Result) PercentileSojournNS(q float64) int64 {
+	_, qs := r.SojournStatsNS(q)
+	return qs[0]
+}
+
+// SojournStatsNS returns the mean sojourn time and the quantiles at each
+// of qs, copying and sorting the sample exactly once — sweep code reads
+// several statistics per point. A zero-op result yields all zeros.
+func (r *Result) SojournStatsNS(qs ...float64) (mean float64, quantiles []int64) {
+	quantiles = make([]int64, len(qs))
 	if len(r.Ops) == 0 {
-		return 0
+		for _, q := range qs {
+			if q < 0 || q > 1 {
+				panic(fmt.Sprintf("traffic: percentile %v outside [0,1]", q))
+			}
+		}
+		return 0, quantiles
 	}
 	xs := make([]int64, len(r.Ops))
+	var sum float64
 	for i, op := range r.Ops {
 		xs[i] = op.SojournNS
+		sum += float64(op.SojournNS)
 	}
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-	i := int(q*float64(len(xs))+0.5) - 1
-	if i < 0 {
-		i = 0
+	for i, q := range qs {
+		quantiles[i] = stats.PercentileSortedInt64(xs, q)
 	}
-	if i >= len(xs) {
-		i = len(xs) - 1
-	}
-	return xs[i]
+	return sum / float64(len(r.Ops)), quantiles
 }

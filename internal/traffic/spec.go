@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"hypercube/internal/collective"
 	"hypercube/internal/core"
 	"hypercube/internal/event"
 	"hypercube/internal/faults"
@@ -40,16 +41,64 @@ import (
 	"hypercube/internal/workload"
 )
 
-// Op kinds understood by the engine.
+// Op kinds understood by the engine. The last three are the
+// data-carrying reduction collectives: the engine synthesizes seeded
+// per-node payload vectors, threads them through the wormhole schedule,
+// and verifies the final data against the analytic expectation — a
+// completed op of these kinds is also a proved-correct one.
 const (
-	KindMulticast   = "multicast"
-	KindBroadcast   = "broadcast"
-	KindScatter     = "scatter"
-	KindGather      = "gather"
-	KindAllGather   = "allgather"
-	KindGroupPhase  = "group-phase"
-	KindFTMulticast = "fault-tolerant-multicast"
+	KindMulticast     = "multicast"
+	KindBroadcast     = "broadcast"
+	KindScatter       = "scatter"
+	KindGather        = "gather"
+	KindAllGather     = "allgather"
+	KindGroupPhase    = "group-phase"
+	KindFTMulticast   = "fault-tolerant-multicast"
+	KindReduceScatter = "reduce-scatter"
+	KindAllReduce     = "allreduce"
+	KindAllToAll      = "alltoall"
 )
+
+// rootlessKind reports whether ops of this kind have no initiating root;
+// their canonical form pins Src to 0 (whose injector they occupy).
+func rootlessKind(kind string) bool {
+	switch kind {
+	case KindAllGather, KindReduceScatter, KindAllReduce, KindAllToAll:
+		return true
+	}
+	return false
+}
+
+// dataKind reports whether this kind carries verified payload vectors.
+func dataKind(kind string) bool {
+	switch kind {
+	case KindReduceScatter, KindAllReduce, KindAllToAll:
+		return true
+	}
+	return false
+}
+
+// ElemBytes is the wire size per payload vector element
+// (collective.ElemBytes). A data-carrying op's Bytes names its per-block
+// payload; BlockElems floors it to whole elements, minimum one.
+const ElemBytes = collective.ElemBytes
+
+// BlockElems is the element count of one payload block of a
+// data-carrying op.
+func (op *Op) BlockElems() int {
+	be := op.Bytes / ElemBytes
+	if be < 1 {
+		be = 1
+	}
+	return be
+}
+
+// PayloadSeed is the seed of an op's synthesized payload vectors: the op
+// seed mixed with the spec seed, so one spec's ops draw decorrelated data
+// while the whole trace stays a pure function of the spec.
+func (s *Spec) PayloadSeed(op *Op) int64 {
+	return s.Seed*1_000_003 + op.Seed
+}
 
 // Fault entry kinds and link-failure modes.
 const (
@@ -120,7 +169,9 @@ type Op struct {
 	// Src is the initiating node (the root for scatter/gather).
 	Src int `json:"src,omitempty"`
 	// Dests | DestCount+Seed give a multicast's destination set, as in
-	// the HTTP API: explicit, or a seeded deterministic random draw.
+	// the HTTP API: explicit, or a seeded deterministic random draw. For
+	// the data-carrying kinds, Seed instead seeds the synthesized payload
+	// vectors (mixed with the spec seed).
 	Dests     []int `json:"dests,omitempty"`
 	DestCount int   `json:"dest_count,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
@@ -177,6 +228,11 @@ type Limits struct {
 	MaxBytes  int // default 1 MiB
 	MaxOps    int // default 512, counted after arrival expansion
 	MaxFaults int // default 64, counted after draw expansion
+	// MaxDataBytes caps one data-carrying op's synthesized footprint —
+	// N nodes each holding an N-block vector of Bytes-sized blocks —
+	// since payload ops allocate real memory, unlike timing-only ops.
+	// Default 64 MiB.
+	MaxDataBytes int64
 }
 
 func (l Limits) withDefaults() Limits {
@@ -192,6 +248,9 @@ func (l Limits) withDefaults() Limits {
 	if l.MaxFaults == 0 {
 		l.MaxFaults = 64
 	}
+	if l.MaxDataBytes == 0 {
+		l.MaxDataBytes = 1 << 26
+	}
 	return l
 }
 
@@ -199,7 +258,7 @@ func (l Limits) withDefaults() Limits {
 // The engine re-canonicalizes under these so a spec admitted by a
 // stricter boundary (the server's) is never re-rejected.
 func PermissiveLimits() Limits {
-	return Limits{MaxDim: 16, MaxBytes: 1 << 30, MaxOps: 1 << 20, MaxFaults: 1 << 20}
+	return Limits{MaxDim: 16, MaxBytes: 1 << 30, MaxOps: 1 << 20, MaxFaults: 1 << 20, MaxDataBytes: 1 << 34}
 }
 
 // Parse decodes a scenario spec strictly: unknown fields and trailing
@@ -491,6 +550,26 @@ func (s *Spec) canonicalizeOp(cube topology.Cube, lim Limits, op *Op, idx int, s
 		}
 		return nil
 	}
+	// The data-carrying kinds keep op.Seed (it seeds the payload), but
+	// have no destination set to draw.
+	noDestSet := func() error {
+		if len(op.Dests) > 0 || op.DestCount > 0 {
+			return fmt.Errorf("%s takes no destination set", op.Kind)
+		}
+		return nil
+	}
+	dataCap := func() error {
+		be := int64(op.Bytes) / ElemBytes
+		if be < 1 {
+			be = 1
+		}
+		n := int64(cube.Nodes())
+		if total := n * n * be * ElemBytes; total > lim.MaxDataBytes {
+			return fmt.Errorf("payload footprint %d bytes (%d nodes x %d blocks x %d bytes) exceeds the limit of %d",
+				total, n, n, be*ElemBytes, lim.MaxDataBytes)
+		}
+		return nil
+	}
 	treeAlg := func() error {
 		if op.Algorithm == "" {
 			op.Algorithm = "w-sort"
@@ -520,6 +599,18 @@ func (s *Spec) canonicalizeOp(cube topology.Cube, lim Limits, op *Op, idx int, s
 	case KindAllGather:
 		op.Src = 0 // canonical: rootless
 		return firstErr(noAlg, noDests, noGroups)
+	case KindReduceScatter, KindAllToAll:
+		op.Src = 0 // canonical: rootless
+		return firstErr(noAlg, noDestSet, noGroups, dataCap)
+	case KindAllReduce:
+		op.Src = 0 // canonical: rootless
+		if op.Algorithm == "" {
+			op.Algorithm = "hd" // halving+doubling, the bandwidth-optimal default
+		}
+		if op.Algorithm != "hd" && op.Algorithm != "ring" {
+			return fmt.Errorf("allreduce algorithm %q (want hd or ring)", op.Algorithm)
+		}
+		return firstErr(noDestSet, noGroups, dataCap)
 	case KindGroupPhase:
 		op.Src = 0
 		if err := firstErr(treeAlg, noDests); err != nil {
@@ -628,7 +719,8 @@ func (s *Spec) expandArrivals(cube topology.Cube, lim Limits) error {
 		return fmt.Errorf("traffic: arrivals count %d outside [1, %d]", a.Count, lim.MaxOps)
 	}
 	switch a.Op.Kind {
-	case KindMulticast, KindFTMulticast, KindBroadcast, KindScatter, KindGather, KindAllGather:
+	case KindMulticast, KindFTMulticast, KindBroadcast, KindScatter, KindGather, KindAllGather,
+		KindReduceScatter, KindAllReduce, KindAllToAll:
 	case KindGroupPhase:
 		return fmt.Errorf("traffic: arrivals cannot template group-phase ops")
 	default:
@@ -647,12 +739,17 @@ func (s *Spec) expandArrivals(cube topology.Cube, lim Limits) error {
 		}
 		if a.Op.Src != nil {
 			op.Src = *a.Op.Src
-		} else if a.Op.Kind != KindAllGather {
+		} else if !rootlessKind(a.Op.Kind) {
 			op.Src = rng.Intn(cube.Nodes())
 		}
 		if a.Op.Kind == KindMulticast || a.Op.Kind == KindFTMulticast {
 			op.DestCount = a.Op.DestCount
 			op.Seed = s.Seed*1_000_003 + int64(i)
+		}
+		if dataKind(a.Op.Kind) {
+			// Per-arrival payload seed, so generated ops carry distinct
+			// vectors (PayloadSeed mixes in the spec seed).
+			op.Seed = int64(i) + 1
 		}
 		return op
 	}

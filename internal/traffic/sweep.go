@@ -89,8 +89,9 @@ func Sweep(cfg SweepConfig) (*SweepTables, error) {
 			if err != nil {
 				return nil, fmt.Errorf("traffic: sweep %s at %g ops/ms: %w", alg, rate, err)
 			}
-			mean[ai] = res.MeanSojournNS() / float64(event.Microsecond)
-			p95[ai] = float64(res.PercentileSojournNS(0.95)) / float64(event.Microsecond)
+			m, qs := res.SojournStatsNS(0.95)
+			mean[ai] = m / float64(event.Microsecond)
+			p95[ai] = float64(qs[0]) / float64(event.Microsecond)
 			util[ai] = res.Net.ChannelUtilization
 		}
 		tbs.Mean.Add(rate, mean...)

@@ -33,7 +33,8 @@ go test -run xxx -bench . -benchtime 1x .
 
 echo '== bench regression gate'
 # Re-runs the pinned gate benchmarks (Fig09 stepwise, Fig11 delay, 10-cube
-# broadcast, two traffic scenarios) and compares ns/op and allocs/op against the newest committed
+# broadcast, four traffic scenarios incl. the payload-verified allreduce
+# stream) and compares ns/op and allocs/op against the newest committed
 # results/BENCH_*.json baseline. Tolerances are generous — shared CI boxes
 # are noisy — so only a real regression (or an allocation leak on the hot
 # path) trips it. After an intentional change, refresh the baseline per
@@ -62,6 +63,11 @@ echo '== traffic engine (smoke + determinism)'
 trafdir=$(mktemp -d)
 printf '%s' '{"dim":4,"ops":[{"kind":"scatter","src":0},{"kind":"multicast","src":2,"dest_count":6,"seed":9,"after":["op000"]}]}' |
 	go run ./cmd/traffic -spec - > /dev/null
+# A payload-carrying allreduce: the result must report end-to-end data
+# verification on every op.
+printf '%s' '{"dim":4,"seed":3,"ops":[{"kind":"allreduce","bytes":256},{"kind":"allreduce","algorithm":"ring","bytes":256,"after":["op000"]}]}' |
+	go run ./cmd/traffic -spec - > "$trafdir/allreduce.json"
+[ "$(grep -c '"data_verified": true' "$trafdir/allreduce.json")" = 2 ]
 go run ./cmd/traffic -n 5 -ops 12 -rates 0.5,4 -dir "$trafdir/run1" > /dev/null
 go run ./cmd/traffic -n 5 -ops 12 -rates 0.5,4 -dir "$trafdir/run2" > /dev/null
 for f in traffic_mean traffic_p95 traffic_util; do
@@ -123,6 +129,17 @@ curl -sf -X POST "http://$addr/v1/traffic" -d "$traf" -D "$srvdir/t1" -o "$srvdi
 curl -sf -X POST "http://$addr/v1/traffic" -d "$traf" -D "$srvdir/t2" -o "$srvdir/tb2"
 cmp "$srvdir/tb1" "$srvdir/tb2"
 grep -qi 'x-cache: hit' "$srvdir/t2"
+# A data-carrying trace: reduce-scatter payloads verify end to end, and
+# repeated requests serve the identical bytes from cache.
+dtraf='{"dim":3,"seed":5,"ops":[{"kind":"reduce-scatter","bytes":64,"seed":1}]}'
+curl -sf -X POST "http://$addr/v1/traffic" -d "$dtraf" -o "$srvdir/db1"
+curl -sf -X POST "http://$addr/v1/traffic" -d "$dtraf" -D "$srvdir/d2" -o "$srvdir/db2"
+cmp "$srvdir/db1" "$srvdir/db2"
+grep -qi 'x-cache: hit' "$srvdir/d2"
+grep -q '"data_verified": true' "$srvdir/db1"
+# A fault-free data collective request on /v1/collective, verified.
+curl -sf -X POST "http://$addr/v1/collective" -d '{"op":"allreduce","variant":"hd","dim":4,"bytes":64,"seed":7}' -o "$srvdir/cb1"
+grep -q '"data_verified": true' "$srvdir/cb1"
 # A faulted scenario: accepted, and its response carries delivery accounting.
 ftraf='{"dim":4,"ops":[{"kind":"fault-tolerant-multicast","src":0,"dest_count":3,"seed":4}],"faults":[{"kind":"link","count":2,"seed":9}]}'
 curl -sf -X POST "http://$addr/v1/traffic" -d "$ftraf" -o "$srvdir/fb1"
