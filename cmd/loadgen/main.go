@@ -4,7 +4,10 @@
 // measure the generator, not the service). It drives a deterministic mix
 // of endpoints with a bounded set of distinct request bodies — the
 // key-space size sets the achievable cache-hit rate — and reports latency
-// percentiles, error rate, and the X-Cache hit/dedup/miss split.
+// percentiles, error rate, and the X-Cache hit/dedup/disk/miss split.
+// Against a cluster router (serve -cluster / -route) it also breaks the
+// run down per shard — request count and latency tail keyed by the
+// X-Shard header the router stamps on every proxied response.
 //
 // Usage:
 //
@@ -100,23 +103,34 @@ func buildMix(keys int) []request {
 type sample struct {
 	latency time.Duration
 	status  int
-	cache   string // hit | miss | dedup | "" (error before headers)
+	cache   string // hit | miss | dedup | disk | "" (error before headers)
+	shard   string // X-Shard when served through a cluster router, else ""
+}
+
+// ShardStats is the per-shard slice of a cluster run: how many requests
+// the router sent to that shard and their latency tail. Present only when
+// the target sets X-Shard (a cluster router); a plain server reports none.
+type ShardStats struct {
+	Requests  int                `json:"requests"`
+	LatencyUS map[string]float64 `json:"latency_us"`
+	Cache     map[string]int     `json:"cache_counts"`
 }
 
 // Report is the machine-readable run summary (-json).
 type Report struct {
-	URL          string             `json:"url"`
-	Concurrency  int                `json:"concurrency"`
-	Requests     int                `json:"requests"`
-	Keys         int                `json:"keys"`
-	WallSeconds  float64            `json:"wall_seconds"`
-	Throughput   float64            `json:"requests_per_second"`
-	LatencyUS    map[string]float64 `json:"latency_us"`
-	Errors       int                `json:"errors"`
-	ErrorRate    float64            `json:"error_rate"`
-	StatusCounts map[string]int     `json:"status_counts"`
-	CacheCounts  map[string]int     `json:"cache_counts"`
-	CacheHitRate float64            `json:"cache_hit_rate"`
+	URL          string                `json:"url"`
+	Concurrency  int                   `json:"concurrency"`
+	Requests     int                   `json:"requests"`
+	Keys         int                   `json:"keys"`
+	WallSeconds  float64               `json:"wall_seconds"`
+	Throughput   float64               `json:"requests_per_second"`
+	LatencyUS    map[string]float64    `json:"latency_us"`
+	Errors       int                   `json:"errors"`
+	ErrorRate    float64               `json:"error_rate"`
+	StatusCounts map[string]int        `json:"status_counts"`
+	CacheCounts  map[string]int        `json:"cache_counts"`
+	CacheHitRate float64               `json:"cache_hit_rate"`
+	Shards       map[string]ShardStats `json:"shards,omitempty"`
 }
 
 // percentile uses the repo-wide quantile definition
@@ -186,6 +200,7 @@ func main() {
 					latency: time.Since(t0),
 					status:  resp.StatusCode,
 					cache:   resp.Header.Get("X-Cache"),
+					shard:   resp.Header.Get("X-Shard"),
 				}
 			}
 		}()
@@ -196,6 +211,8 @@ func main() {
 	latencies := make([]time.Duration, 0, *n)
 	statusCounts := map[string]int{}
 	cacheCounts := map[string]int{}
+	shardLat := map[string][]time.Duration{}
+	shardCache := map[string]map[string]int{}
 	errors := 0
 	for _, s := range samples {
 		latencies = append(latencies, s.latency)
@@ -206,12 +223,38 @@ func main() {
 		if s.cache != "" {
 			cacheCounts[s.cache]++
 		}
+		if s.shard != "" {
+			shardLat[s.shard] = append(shardLat[s.shard], s.latency)
+			if shardCache[s.shard] == nil {
+				shardCache[s.shard] = map[string]int{}
+			}
+			if s.cache != "" {
+				shardCache[s.shard][s.cache]++
+			}
+		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	served := cacheCounts["hit"] + cacheCounts["dedup"] + cacheCounts["miss"]
+	// Disk-tier answers are hits too: the shard skipped the simulation.
+	served := cacheCounts["hit"] + cacheCounts["dedup"] + cacheCounts["disk"] + cacheCounts["miss"]
 	hitRate := 0.0
 	if served > 0 {
-		hitRate = float64(cacheCounts["hit"]+cacheCounts["dedup"]) / float64(served)
+		hitRate = float64(cacheCounts["hit"]+cacheCounts["dedup"]+cacheCounts["disk"]) / float64(served)
+	}
+	var shardStats map[string]ShardStats
+	if len(shardLat) > 0 {
+		shardStats = make(map[string]ShardStats, len(shardLat))
+		for id, lats := range shardLat {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			shardStats[id] = ShardStats{
+				Requests: len(lats),
+				LatencyUS: map[string]float64{
+					"p50": float64(percentile(lats, 0.50).Microseconds()),
+					"p95": float64(percentile(lats, 0.95).Microseconds()),
+					"p99": float64(percentile(lats, 0.99).Microseconds()),
+				},
+				Cache: shardCache[id],
+			}
+		}
 	}
 
 	rep := Report{
@@ -232,6 +275,7 @@ func main() {
 		StatusCounts: statusCounts,
 		CacheCounts:  cacheCounts,
 		CacheHitRate: hitRate,
+		Shards:       shardStats,
 	}
 
 	fmt.Printf("loadgen: %d requests, %d workers, %d keys against %s\n", *n, *c, *keys, base)
@@ -240,6 +284,18 @@ func main() {
 		rep.LatencyUS["p50"], rep.LatencyUS["p95"], rep.LatencyUS["p99"], rep.LatencyUS["max"])
 	fmt.Printf("  errors      %d (%.1f%%)  statuses %v\n", errors, 100*rep.ErrorRate, statusCounts)
 	fmt.Printf("  cache       hit-rate %.1f%% %v\n", 100*hitRate, cacheCounts)
+	if len(shardStats) > 0 {
+		ids := make([]string, 0, len(shardStats))
+		for id := range shardStats {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			st := shardStats[id]
+			fmt.Printf("  shard %-5s %4d reqs  p50=%.0f p95=%.0f p99=%.0f us  %v\n",
+				id, st.Requests, st.LatencyUS["p50"], st.LatencyUS["p95"], st.LatencyUS["p99"], st.Cache)
+		}
+	}
 	if *jsonPath != "" {
 		if err := cliutil.WriteJSON(*jsonPath, rep); err != nil {
 			log.Fatalf("loadgen: %v", err)

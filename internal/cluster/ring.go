@@ -1,0 +1,121 @@
+// Package cluster scales the serving tier out: a consistent-hash shard
+// router (ring.go, router.go) places every canonical request on one of N
+// internal/server shard backends by its content-hash cache key, so each
+// shard's memory and disk cache tiers see every repetition of "their"
+// requests — the cluster behaves as one cache with N× the capacity, and a
+// request is byte-identical whether it was served by one process or by
+// the fleet.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a seeded consistent-hash ring with virtual nodes. Each shard
+// owns VNodes points on a 64-bit circle; a key belongs to the shard
+// owning the first point at or after the key's own hash. Placement is a
+// pure function of (ids, vnodes, seed), so every router replica — and a
+// test asserting where a key lands — derives the identical ring, and
+// adding or removing one shard moves only the keys adjacent to its
+// points, not the whole keyspace.
+type Ring struct {
+	ids    []string
+	points []ringPoint // sorted by hash ascending
+}
+
+type ringPoint struct {
+	hash uint64
+	id   int // index into ids
+}
+
+// DefaultVNodes balances well for single-digit shard counts without
+// making ring construction noticeable.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over ids (order-insensitive: ids are sorted
+// before placement). vnodes <= 0 selects DefaultVNodes.
+func NewRing(ids []string, vnodes int, seed int64) (*Ring, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", sorted[i])
+		}
+	}
+	r := &Ring{ids: sorted, points: make([]ringPoint, 0, len(sorted)*vnodes)}
+	for i, id := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(seed, id, v), id: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].id < r.points[b].id // ties broken deterministically
+	})
+	return r, nil
+}
+
+// pointHash places one virtual node: SHA-256 over (seed, id, vnode
+// index), truncated to 64 bits.
+func pointHash(seed int64, id string, v int) uint64 {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(id))
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// search returns the index of the first ring point owning key.
+func (r *Ring) search(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle has no end
+	}
+	return i
+}
+
+// Lookup returns the shard that owns key.
+func (r *Ring) Lookup(key string) string {
+	return r.ids[r.points[r.search(key)].id]
+}
+
+// Seq returns all shards in ring-walk order from key's point: Seq[0] is
+// Lookup(key), and the remainder is the deterministic failover order —
+// when the owner is down, the next distinct shard around the circle
+// inherits the key (and, once the owner returns, the key goes home).
+func (r *Ring) Seq(key string) []string {
+	out := make([]string, 0, len(r.ids))
+	seen := make([]bool, len(r.ids))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.ids); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, r.ids[p.id])
+		}
+	}
+	return out
+}
+
+// Shards returns the ring's shard ids in sorted order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.ids...) }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"s0", "s1", "s2"}, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s2", "s0", "s1"}, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("key %s: placement depends on id order", key)
+		}
+		if !reflect.DeepEqual(a.Seq(key), b.Seq(key)) {
+			t.Fatalf("key %s: failover order depends on id order", key)
+		}
+	}
+	// A different seed is a different placement (for at least some keys).
+	c, _ := NewRing([]string{"s0", "s1", "s2"}, 64, 8)
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Lookup(key) != c.Lookup(key) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("seed does not influence placement")
+	}
+}
+
+func TestRingSeqIsCompleteFailoverOrder(t *testing.T) {
+	ids := []string{"s0", "s1", "s2", "s3"}
+	r, err := NewRing(ids, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Seq(key)
+		if len(seq) != len(ids) {
+			t.Fatalf("Seq(%s) = %v, want all %d shards", key, seq, len(ids))
+		}
+		if seq[0] != r.Lookup(key) {
+			t.Fatalf("Seq(%s)[0] = %s, want owner %s", key, seq[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("Seq(%s) repeats %s", key, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1", "s2"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	for id, n := range counts {
+		// Even-ish: every shard takes at least half its fair share.
+		if n < keys/6 {
+			t.Errorf("shard %s owns %d of %d keys — ring badly unbalanced: %v", id, n, keys, counts)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyTheRemovedShardsKeys(t *testing.T) {
+	full, err := NewRing([]string{"s0", "s1", "s2"}, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"s0", "s1"}, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if owner := full.Lookup(key); owner != "s2" && reduced.Lookup(key) != owner {
+			t.Fatalf("key %s moved from %s to %s although its shard survived",
+				key, owner, reduced.Lookup(key))
+		}
+	}
+}
+
+func TestRingRejectsBadConfigs(t *testing.T) {
+	if _, err := NewRing(nil, 64, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64, 0); err == nil {
+		t.Error("duplicate shard id accepted")
+	}
+}

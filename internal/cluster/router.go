@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypercube/internal/metrics"
+	"hypercube/internal/server"
+)
+
+// Shard names one backend of the cluster.
+type Shard struct {
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL, e.g. http://127.0.0.1:8081
+}
+
+// RouterConfig sizes a Router. Shards is required; everything else
+// defaults.
+type RouterConfig struct {
+	Shards []Shard
+	// VNodes / Seed parameterize the ring (defaults DefaultVNodes, 0).
+	// Every router over the same shard set and seed derives the same
+	// placement.
+	VNodes int
+	Seed   int64
+	// ProbeInterval is the health-prober period (default 1s; negative
+	// disables probing — shards then recover only via the proxy path).
+	ProbeInterval time.Duration
+	// Client issues shard requests (default: a client with a 35s timeout,
+	// just above the shard's own 30s request deadline).
+	Client *http.Client
+	// Keyer canonicalizes request bodies for placement (default: a Keyer
+	// over the zero server Config). Give it the same Config the shards run
+	// with so router placement matches shard cache identity exactly.
+	Keyer *server.Keyer
+	// Metrics receives the router's cluster_* instruments; nil allocates a
+	// private registry.
+	Metrics *metrics.Registry
+}
+
+// Router is the cluster front door: it owns no simulation state, only the
+// ring. Each POST /v1/* request is canonicalized to its cache key and
+// forwarded to the key's shard; if that shard is down or draining, the
+// request walks the ring to the next shard (bounded failover, counted).
+// GET endpoints aggregate the fleet: /healthz reports the shard table,
+// /readyz is ready while any shard is, /metrics and /metrics/json merge
+// every reachable shard's registry with the router's own.
+type Router struct {
+	ring   *Ring
+	shards map[string]*shardState
+	client *http.Client
+	keyer  *server.Keyer
+	reg    *metrics.Registry
+	mux    *http.ServeMux
+	start  time.Time
+
+	probeEvery time.Duration
+	stopProbe  chan struct{}
+	closeOnce  sync.Once
+
+	mRequests, mProxied, mRetries *metrics.Counter
+	mNoShard, mKeyFallback        *metrics.Counter
+	gAlive                        *metrics.Gauge
+}
+
+type shardState struct {
+	id, url string
+	down    atomic.Bool // zero value: presumed alive until proven otherwise
+}
+
+// NewRouter builds the router and starts its health prober.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ids := make([]string, len(cfg.Shards))
+	for i, sh := range cfg.Shards {
+		if sh.ID == "" || sh.URL == "" {
+			return nil, fmt.Errorf("cluster: shard %d needs both id and url", i)
+		}
+		ids[i] = sh.ID
+	}
+	ring, err := NewRing(ids, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 35 * time.Second}
+	}
+	if cfg.Keyer == nil {
+		cfg.Keyer = server.NewKeyer(server.Config{})
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	r := &Router{
+		ring:       ring,
+		shards:     make(map[string]*shardState, len(cfg.Shards)),
+		client:     cfg.Client,
+		keyer:      cfg.Keyer,
+		reg:        cfg.Metrics,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		probeEvery: cfg.ProbeInterval,
+		stopProbe:  make(chan struct{}),
+
+		mRequests:    cfg.Metrics.Counter("cluster_requests"),
+		mProxied:     cfg.Metrics.Counter("cluster_proxied"),
+		mRetries:     cfg.Metrics.Counter("cluster_retries"),
+		mNoShard:     cfg.Metrics.Counter("cluster_no_shard"),
+		mKeyFallback: cfg.Metrics.Counter("cluster_key_fallbacks"),
+		gAlive:       cfg.Metrics.Gauge("cluster_shards_alive"),
+	}
+	for _, sh := range cfg.Shards {
+		r.shards[sh.ID] = &shardState{id: sh.ID, url: sh.URL}
+	}
+	r.gAlive.Set(int64(len(r.shards)))
+	r.mux.HandleFunc("/v1/", r.handleProxy)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/readyz", r.handleReadyz)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
+	r.mux.HandleFunc("/metrics/json", r.handleMetricsJSON)
+	if r.probeEvery > 0 {
+		go r.probeLoop()
+	}
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler tree.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Registry returns the router's own metrics registry (shard metrics are
+// merged in at serving time, not stored here).
+func (r *Router) Registry() *metrics.Registry { return r.reg }
+
+// Close stops the health prober. Safe to call more than once.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.stopProbe) })
+}
+
+// routeKey canonicalizes the request body to the shard cache key. Bodies
+// the Keyer rejects (invalid requests) fall back to a raw content hash:
+// placement stays deterministic and the chosen shard produces the
+// authoritative 400.
+func (r *Router) routeKey(path string, body []byte) string {
+	key, err := r.keyer.Key(path, body)
+	if err != nil {
+		r.mKeyFallback.Inc()
+		sum := sha256.Sum256(append([]byte(path+"\x00"), body...))
+		return hex.EncodeToString(sum[:])
+	}
+	return key
+}
+
+func (r *Router) aliveCount() int {
+	n := 0
+	for _, st := range r.shards {
+		if !st.down.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Router) markDown(st *shardState) {
+	st.down.Store(true)
+	r.gAlive.Set(int64(r.aliveCount()))
+}
+
+func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
+	r.mRequests.Inc()
+	if req.Method != http.MethodPost {
+		r.writeError(w, http.StatusMethodNotAllowed, "bad_request", "simulation endpoints require POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		r.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	key := r.routeKey(req.URL.Path, body)
+	// Two passes over the ring walk: first the shards believed alive, then
+	// — only if every one of them failed — the shards marked down, in case
+	// one restarted before the prober noticed. Every retry is bounded by
+	// the fleet size.
+	seq := r.ring.Seq(key)
+	for _, pass := range [2]bool{false, true} {
+		for _, id := range seq {
+			st := r.shards[id]
+			if st.down.Load() != pass {
+				continue
+			}
+			if r.forward(w, req, st, key, body) {
+				return
+			}
+			r.mRetries.Inc()
+		}
+	}
+	r.mNoShard.Inc()
+	r.writeError(w, http.StatusServiceUnavailable, "no_shard", "no shard available for this request")
+}
+
+// forward relays the request to one shard. It returns true when the shard
+// produced an authoritative response (success or error, relayed to the
+// client) and false when the request should fail over: the shard was
+// unreachable, or answered 503 draining.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, st *shardState, key string, body []byte) bool {
+	preq, err := http.NewRequestWithContext(req.Context(), http.MethodPost,
+		st.url+req.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(preq)
+	if err != nil {
+		// Transport failure: the shard is gone (or unreachable); the next
+		// shard on the ring inherits the key until the prober sees it back.
+		r.markDown(st)
+		return false
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		r.markDown(st)
+		return false
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable && errorCode(respBody) == "draining" {
+		// Draining is voluntary departure: stop routing there, fail over.
+		// Every other status — 200, 400, 429, 504 — is authoritative.
+		r.markDown(st)
+		return false
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "" {
+		w.Header().Set("X-Cache", xc)
+	}
+	w.Header().Set("X-Shard", st.id)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+	r.mProxied.Inc()
+	return true
+}
+
+// errorCode extracts the structured error code from a shard error body.
+func errorCode(body []byte) string {
+	var e server.ErrorResponse
+	if json.Unmarshal(body, &e) != nil {
+		return ""
+	}
+	return e.Code
+}
+
+func (r *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.MarshalIndent(server.ErrorResponse{Error: msg, Code: code}, "", "  ")
+	w.Write(append(b, '\n'))
+}
+
+// probeLoop keeps the shard table honest: every ProbeInterval each shard's
+// /readyz is checked, flipping it alive (200) or down (anything else).
+// This is how a killed shard's restart — or a drain's completion — gets
+// the shard back into rotation.
+func (r *Router) probeLoop() {
+	tick := time.NewTicker(r.probeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopProbe:
+			return
+		case <-tick.C:
+			r.probeOnce()
+		}
+	}
+}
+
+func (r *Router) probeOnce() {
+	for _, st := range r.shards {
+		resp, err := r.client.Get(st.url + "/readyz")
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		st.down.Store(!ok)
+	}
+	r.gAlive.Set(int64(r.aliveCount()))
+}
+
+// shardHealth is one row of the router /healthz shard table.
+type shardHealth struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+}
+
+type routerHealth struct {
+	Status        string        `json:"status"` // "ok" or "degraded" (not every shard alive)
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	ShardsAlive   int           `json:"shards_alive"`
+	Shards        []shardHealth `json:"shards"`
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	alive := r.aliveCount()
+	h := routerHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		ShardsAlive:   alive,
+	}
+	if alive < len(r.shards) {
+		h.Status = "degraded"
+	}
+	for _, id := range r.ring.Shards() {
+		st := r.shards[id]
+		h.Shards = append(h.Shards, shardHealth{ID: st.id, URL: st.url, Alive: !st.down.Load()})
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if r.aliveCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": "no shards alive"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// aggregate merges the router's own snapshot with every reachable shard's
+// /metrics/json document: the fleet as one registry. Unreachable shards
+// are skipped — an aggregate that fails because one shard died would be
+// useless exactly when it matters.
+func (r *Router) aggregate() metrics.Snapshot {
+	total := r.reg.Snapshot()
+	for _, id := range r.ring.Shards() {
+		st := r.shards[id]
+		resp, err := r.client.Get(st.url + "/metrics/json")
+		if err != nil {
+			continue
+		}
+		var doc metrics.Doc
+		err = json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		metrics.Merge(&total, doc.Metrics)
+	}
+	return total
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WritePrometheus(w, r.aggregate())
+}
+
+func (r *Router) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
+	doc := r.reg.Doc("route", time.Since(r.start).Seconds(), map[string]any{
+		"shards":       len(r.shards),
+		"shards_alive": r.aliveCount(),
+	})
+	doc.Metrics = r.aggregate()
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hypercube/internal/metrics"
+	"hypercube/internal/server"
+)
+
+// testShard is one in-process shard backend.
+type testShard struct {
+	id  string
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// newTestCluster boots n shards and a router over them. ProbeInterval is
+// negative — tests drive probeOnce explicitly for determinism.
+func newTestCluster(t *testing.T, n int, probe time.Duration) (*Router, *httptest.Server, []*testShard) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	cfgShards := make([]Shard, n)
+	for i := range shards {
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		shards[i] = &testShard{id: fmt.Sprintf("s%d", i), srv: srv, ts: ts}
+		cfgShards[i] = Shard{ID: shards[i].id, URL: ts.URL}
+	}
+	r, err := NewRouter(RouterConfig{Shards: cfgShards, ProbeInterval: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	front := httptest.NewServer(r.Handler())
+	t.Cleanup(front.Close)
+	return r, front, shards
+}
+
+func post(t *testing.T, url, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func simBody(m int) string {
+	return fmt.Sprintf(`{"dim":5,"algorithm":"w-sort","src":0,"dest_count":%d,"seed":3,"bytes":1024}`, m)
+}
+
+// TestRouterByteIdenticalToSoloServer is the routing acceptance test: a
+// set of mixed requests through the router must return exactly the bytes
+// a single un-clustered server returns, with stable shard placement.
+func TestRouterByteIdenticalToSoloServer(t *testing.T) {
+	_, front, _ := newTestCluster(t, 3, -1)
+	solo := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer solo.Close()
+
+	reqs := []struct{ path, body string }{
+		{"/v1/simulate", simBody(3)},
+		{"/v1/simulate", simBody(7)},
+		{"/v1/collective", `{"op":"scatter","dim":5,"root":0,"bytes":2048}`},
+		{"/v1/tree", `{"dim":5,"algorithm":"w-sort","src":0,"dest_count":6,"seed":2}`},
+		{"/v1/sweep", `{"kind":"stepwise","dim":5,"trials":2,"points":3}`},
+		{"/v1/traffic", `{"dim":4,"ops":[{"kind":"multicast","src":0,"dests":[1,2],"bytes":512}]}`},
+	}
+	for _, rq := range reqs {
+		viaRouter, rb := post(t, front.URL, rq.path, rq.body)
+		if viaRouter.StatusCode != 200 {
+			t.Fatalf("%s via router: %d %s", rq.path, viaRouter.StatusCode, rb)
+		}
+		shard := viaRouter.Header.Get("X-Shard")
+		if shard == "" {
+			t.Errorf("%s: no X-Shard header", rq.path)
+		}
+		_, sb := post(t, solo.URL, rq.path, rq.body)
+		if !bytes.Equal(rb, sb) {
+			t.Errorf("%s: router body differs from solo body:\n%s\nvs\n%s", rq.path, rb, sb)
+		}
+		// Placement is sticky: the repetition lands on the same shard and
+		// hits its cache.
+		rep, _ := post(t, front.URL, rq.path, rq.body)
+		if got := rep.Header.Get("X-Shard"); got != shard {
+			t.Errorf("%s: repetition routed to %s, first to %s", rq.path, got, shard)
+		}
+		if got := rep.Header.Get("X-Cache"); got != "hit" {
+			t.Errorf("%s: repetition X-Cache = %q, want hit (perfect affinity)", rq.path, got)
+		}
+	}
+	// Differently phrased equivalents route identically too.
+	r1, _ := post(t, front.URL, "/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,3,5],"bytes":1024}`)
+	r2, _ := post(t, front.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"w-sort","machine":"ncube2","port":"all-port","src":0,"dests":[5,3,1,1],"bytes":1024}`)
+	if r1.Header.Get("X-Shard") != r2.Header.Get("X-Shard") {
+		t.Error("equivalent requests routed to different shards")
+	}
+	if r2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("equivalent request X-Cache = %q, want hit", r2.Header.Get("X-Cache"))
+	}
+	// An invalid body still gets an authoritative shard 400 (key fallback).
+	rbad, body := post(t, front.URL, "/v1/simulate", `{"dim":99,"algorithm":"w-sort","src":0,"dests":[1]}`)
+	if rbad.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte("bad_request")) {
+		t.Errorf("invalid body via router: %d %s, want shard 400", rbad.StatusCode, body)
+	}
+}
+
+// bodyOwnedBy finds a /v1/simulate body whose key the ring places on the
+// wanted shard.
+func bodyOwnedBy(t *testing.T, r *Router, shard string) string {
+	t.Helper()
+	for m := 1; m < 30; m++ {
+		body := simBody(m)
+		if r.ring.Lookup(r.routeKey("/v1/simulate", []byte(body))) == shard {
+			return body
+		}
+	}
+	t.Fatalf("no probe body maps to shard %s", shard)
+	return ""
+}
+
+// TestRouterFailsOverWhenShardDies: killing a shard mid-flight reroutes
+// its keys to the next shard on the ring; the request still succeeds.
+func TestRouterFailsOverWhenShardDies(t *testing.T) {
+	r, front, shards := newTestCluster(t, 3, -1)
+	victim := shards[1]
+	body := bodyOwnedBy(t, r, victim.id)
+
+	// Before the kill: the key's owner answers it.
+	resp, _ := post(t, front.URL, "/v1/simulate", body)
+	if got := resp.Header.Get("X-Shard"); got != victim.id {
+		t.Fatalf("owner = %s, expected %s", got, victim.id)
+	}
+
+	victim.ts.CloseClientConnections()
+	victim.ts.Close()
+	resp, b := post(t, front.URL, "/v1/simulate", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-kill request: %d %s, want 200 via failover", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Shard"); got == victim.id || got == "" {
+		t.Errorf("post-kill X-Shard = %q, want a surviving shard", got)
+	}
+	if n := r.reg.Snapshot().Counters["cluster_retries"]; n == 0 {
+		t.Error("failover not counted as a retry")
+	}
+
+	// The shard table reflects the death.
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	var h routerHealth
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.ShardsAlive != 2 {
+		t.Errorf("healthz after kill = %+v, want degraded with 2 alive", h)
+	}
+	// Router stays ready while any shard lives.
+	rresp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != 200 {
+		t.Errorf("readyz after one death = %d, want 200", rresp.StatusCode)
+	}
+}
+
+// TestRouterAvoidsDrainingShard: a shard in BeginDrain answers 503
+// draining; the router must fail the request over and take the shard out
+// of rotation.
+func TestRouterAvoidsDrainingShard(t *testing.T) {
+	r, front, shards := newTestCluster(t, 3, -1)
+	draining := shards[2]
+	body := bodyOwnedBy(t, r, draining.id)
+	draining.srv.BeginDrain()
+
+	resp, b := post(t, front.URL, "/v1/simulate", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("request owned by draining shard: %d %s, want 200 via failover", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Shard"); got == draining.id {
+		t.Errorf("request served by the draining shard")
+	}
+	// The prober keeps it out until /readyz recovers.
+	r.probeOnce()
+	if !r.shards[draining.id].down.Load() {
+		t.Error("prober did not mark the draining shard down")
+	}
+}
+
+// TestRouterProbeRestoresShard: a shard marked down comes back once its
+// /readyz answers again — the restart path.
+func TestRouterProbeRestoresShard(t *testing.T) {
+	r, front, shards := newTestCluster(t, 2, -1)
+	st := r.shards[shards[0].id]
+	st.down.Store(true)
+	r.probeOnce()
+	if st.down.Load() {
+		t.Fatal("probe did not restore a healthy shard")
+	}
+	// And its keys go home.
+	body := bodyOwnedBy(t, r, shards[0].id)
+	resp, _ := post(t, front.URL, "/v1/simulate", body)
+	if got := resp.Header.Get("X-Shard"); got != shards[0].id {
+		t.Errorf("restored shard's key served by %s", got)
+	}
+}
+
+// TestRouterNoShardAvailable: with every shard gone, the router sheds
+// with a structured 503 instead of hanging.
+func TestRouterNoShardAvailable(t *testing.T) {
+	_, front, shards := newTestCluster(t, 2, -1)
+	for _, sh := range shards {
+		sh.ts.CloseClientConnections()
+		sh.ts.Close()
+	}
+	resp, b := post(t, front.URL, "/v1/simulate", simBody(3))
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(b, []byte("no_shard")) {
+		t.Errorf("all-dead cluster: %d %s, want 503 no_shard", resp.StatusCode, b)
+	}
+	rresp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz with no shards = %d, want 503", rresp.StatusCode)
+	}
+}
+
+// TestRouterAggregatesMetrics: /metrics and /metrics/json present the
+// fleet as one registry — shard counters sum with the router's own.
+func TestRouterAggregatesMetrics(t *testing.T) {
+	_, front, shards := newTestCluster(t, 3, -1)
+	const n = 6
+	for m := 1; m <= n; m++ {
+		if resp, b := post(t, front.URL, "/v1/simulate", simBody(m)); resp.StatusCode != 200 {
+			t.Fatalf("request %d: %d %s", m, resp.StatusCode, b)
+		}
+	}
+	resp, err := http.Get(front.URL + "/metrics/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc metrics.Doc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != metrics.DocSchema || doc.Command != "route" {
+		t.Errorf("doc = schema %q command %q", doc.Schema, doc.Command)
+	}
+	if got := doc.Metrics.Counters["server_requests"]; got != n {
+		t.Errorf("aggregated server_requests = %d, want %d", got, n)
+	}
+	if got := doc.Metrics.Counters["cluster_requests"]; got != n {
+		t.Errorf("cluster_requests = %d, want %d", got, n)
+	}
+	// Shard-local accounting really is spread across shards.
+	total, shardsServing := int64(0), 0
+	for _, sh := range shards {
+		v := sh.srv.Registry().Snapshot().Counters["server_requests"]
+		total += v
+		if v > 0 {
+			shardsServing++
+		}
+	}
+	if total != n {
+		t.Errorf("shard-local requests sum to %d, want %d", total, n)
+	}
+	if shardsServing < 2 {
+		t.Errorf("only %d shards served %d distinct requests — placement suspiciously skewed", shardsServing, n)
+	}
+
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"server_requests 6", "cluster_requests 6", "# TYPE cluster_shards_alive gauge"} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

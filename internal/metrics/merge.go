@@ -1,0 +1,53 @@
+package metrics
+
+// Merge folds src into dst instrument-by-instrument: counters and gauges
+// sum, histograms add their counts, sums, and per-bucket tallies. It is
+// the aggregation primitive of the cluster router, which presents N shard
+// registries as one fleet-wide view — counters (requests, sims, cache
+// hits) sum naturally, and the additive-gauge convention holds for every
+// gauge this repository exports (entry counts, byte totals, inflight
+// counts are all per-shard quantities whose cluster value is the sum).
+func Merge(dst *Snapshot, src Snapshot) {
+	if len(src.Counters) > 0 && dst.Counters == nil {
+		dst.Counters = make(map[string]int64, len(src.Counters))
+	}
+	for name, v := range src.Counters {
+		dst.Counters[name] += v
+	}
+	if len(src.Gauges) > 0 && dst.Gauges == nil {
+		dst.Gauges = make(map[string]int64, len(src.Gauges))
+	}
+	for name, v := range src.Gauges {
+		dst.Gauges[name] += v
+	}
+	if len(src.Histograms) > 0 && dst.Histograms == nil {
+		dst.Histograms = make(map[string]HistogramSnapshot, len(src.Histograms))
+	}
+	for name, h := range src.Histograms {
+		dst.Histograms[name] = mergeHistograms(dst.Histograms[name], h)
+	}
+}
+
+// mergeHistograms adds b into a. Buckets are keyed by their upper bound;
+// both inputs keep them sorted, so a linear merge preserves the order.
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].Le < b.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, a.Buckets[i])
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].Le < a.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, b.Buckets[j])
+			j++
+		default: // equal bounds
+			out.Buckets = append(out.Buckets, Bucket{Le: a.Buckets[i].Le, N: a.Buckets[i].N + b.Buckets[j].N})
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"hypercube/internal/metrics"
+	"hypercube/internal/simcache"
+	"hypercube/internal/workload"
+)
+
+// Cross-request sweep batching. Clients sweeping a parameter space send
+// bursts of /v1/simulate requests that are identical up to the swept
+// point: same canonical machine parameters, same algorithm, same payload
+// size, different destination sets. Each such family shares its execution
+// setup; running its points back-to-back in one pooled job amortizes
+// admission, scheduling, and cache traffic across the burst, exactly as
+// the workload package already does for its own sweeps.
+//
+// The coalescer holds the first request of a family for a bounded window
+// (Config.BatchWindow) and folds every same-family arrival into the same
+// batch. On flush — window expiry or Config.MaxBatch reached — the whole
+// batch is submitted as ONE pool job that runs every point via
+// workload.ForEachPoint and fans each point's encoded body back to its
+// own waiter. Requests keep their individual identities end to end:
+// per-point cache keys, per-request wall-clock deadlines, and late-result
+// salvage all behave exactly as they do on the un-coalesced path.
+
+// outcome is one request's terminal result, delivered on a buffered
+// channel so the producer never blocks on an abandoned waiter.
+type outcome struct {
+	body []byte
+	err  error
+}
+
+// batchPoint is one waiter inside a batch: its cache key, its canonical
+// request, and the channel its body comes back on.
+type batchPoint struct {
+	key string
+	req SimulateRequest
+	ch  chan outcome
+}
+
+// batch accumulates same-family points until it flushes. flushed flips
+// under the coalescer mutex exactly once — whichever of the window timer
+// and the max-batch arrival gets there first owns the flush.
+type batch struct {
+	points  []batchPoint
+	flushed bool
+	timer   *time.Timer
+}
+
+type coalescer struct {
+	s        *Server
+	window   time.Duration
+	maxBatch int
+	workers  int
+
+	mu      sync.Mutex
+	batches map[string]*batch // open batch per family key
+
+	mBatches, mPoints *metrics.Counter
+	hBatchSize        *metrics.Histogram
+}
+
+func newCoalescer(s *Server) *coalescer {
+	return &coalescer{
+		s:        s,
+		window:   s.cfg.BatchWindow,
+		maxBatch: s.cfg.MaxBatch,
+		workers:  s.cfg.BatchWorkers,
+		batches:  make(map[string]*batch),
+
+		mBatches:   s.reg.Counter("server_batches"),
+		mPoints:    s.reg.Counter("server_batched_points"),
+		hBatchSize: s.reg.Histogram("server_batch_points"),
+	}
+}
+
+// familyKey strips the swept point (the destination set) from an
+// already-canonical request: what remains — machine, port, algorithm,
+// dimension, payload — is the batching family.
+func familyKey(req SimulateRequest) (string, error) {
+	req.Dests = nil
+	return simcache.Key("simulate-family", req)
+}
+
+// exec is the /v1/simulate execution path behind the cache: enqueue the
+// (already canonical, already keyed) request into its family's batch and
+// wait for the fanned-back body under the request's own deadline.
+func (c *coalescer) exec(key string, req SimulateRequest) ([]byte, error) {
+	return c.s.await(key, c.enqueue(key, req))
+}
+
+// enqueue places the request in its family's open batch, starting one
+// (and its window timer) if none is open. A full batch flushes inline.
+func (c *coalescer) enqueue(key string, req SimulateRequest) chan outcome {
+	pt := batchPoint{key: key, req: req, ch: make(chan outcome, 1)}
+	fam, err := familyKey(req)
+	if c.window <= 0 || err != nil {
+		// Batching disabled (or an unkeyable family, which cannot happen
+		// for a decoded request): run the point as its own batch.
+		c.flush([]batchPoint{pt})
+		return pt.ch
+	}
+	c.mu.Lock()
+	b := c.batches[fam]
+	if b == nil {
+		b = &batch{}
+		c.batches[fam] = b
+		b.timer = time.AfterFunc(c.window, func() { c.closeBatch(fam, b) })
+	}
+	b.points = append(b.points, pt)
+	full := len(b.points) >= c.maxBatch
+	if full {
+		b.flushed = true
+		delete(c.batches, fam)
+	}
+	points := b.points
+	c.mu.Unlock()
+	if full {
+		b.timer.Stop()
+		c.flush(points)
+	}
+	return pt.ch
+}
+
+// closeBatch is the window timer firing: flush the batch unless the
+// max-batch path already did.
+func (c *coalescer) closeBatch(fam string, b *batch) {
+	c.mu.Lock()
+	if b.flushed {
+		c.mu.Unlock()
+		return
+	}
+	b.flushed = true
+	if c.batches[fam] == b {
+		delete(c.batches, fam)
+	}
+	points := b.points
+	c.mu.Unlock()
+	c.flush(points)
+}
+
+// flush submits the batch as one pool job. An admission rejection (queue
+// full, draining) is broadcast to every waiter — each request still sees
+// the standard load-shedding taxonomy.
+func (c *coalescer) flush(points []batchPoint) {
+	if err := c.s.pool.submit(func() { c.run(points) }); err != nil {
+		for _, pt := range points {
+			pt.ch <- outcome{nil, err}
+		}
+	}
+}
+
+// run executes on a pool worker: one batch, one simulation-run account,
+// every point fanned back to its own waiter. A panic in one point is
+// recovered per point (its waiter gets the sanitized error; co-batched
+// requests are untouched); a panic in the shared prologue fails the whole
+// batch.
+func (c *coalescer) run(points []batchPoint) {
+	ran := false
+	defer func() {
+		if v := recover(); v != nil && !ran {
+			err := panicError(v)
+			for _, pt := range points {
+				pt.ch <- outcome{nil, err}
+			}
+		}
+	}()
+	if c.s.testHook != nil {
+		c.s.testHook()
+	}
+	c.s.mSims.Inc()
+	c.mBatches.Inc()
+	c.mPoints.Add(int64(len(points)))
+	c.hBatchSize.Observe(int64(len(points)))
+	ran = true
+	workload.ForEachPoint(len(points), c.workers, func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				points[i].ch <- outcome{nil, panicError(v)}
+			}
+		}()
+		body, err := c.s.simulateBody(points[i].req)
+		points[i].ch <- outcome{body, err}
+	})
+}

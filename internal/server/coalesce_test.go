@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hypercube/internal/metrics"
+	"hypercube/internal/simcache"
+)
+
+// TestCoalescedBurstRunsFewerSimulations is the coalescer's acceptance
+// test: a burst of near-identical requests — one sweep family, distinct
+// destination sets, plus duplicates — must execute strictly fewer pooled
+// simulations than it has requests, while every waiter receives the exact
+// body a solo (un-coalesced) server produces for its point.
+func TestCoalescedBurstRunsFewerSimulations(t *testing.T) {
+	reg := metrics.New()
+	// A long window so the whole burst lands in one open batch even under
+	// the race detector's scheduling.
+	_, ts := newTestServer(t, Config{BatchWindow: 500 * time.Millisecond, Metrics: reg})
+	// The solo reference never batches: every request is its own job.
+	_, solo := newTestServer(t, Config{BatchWindow: -1})
+
+	family := func(m int) string {
+		return fmt.Sprintf(`{"dim":5,"algorithm":"w-sort","src":0,"dest_count":%d,"seed":7,"bytes":2048}`, m)
+	}
+	const distinct = 8
+	const requests = 2 * distinct // every point requested twice
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+				strings.NewReader(family(1+i%distinct)))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+			if resp.StatusCode != 200 {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, bodies[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sims := reg.Snapshot().Counters["server_sims_executed"]
+	if sims >= requests {
+		t.Errorf("executed %d simulations for %d requests, want strictly fewer", sims, requests)
+	}
+	if pts := reg.Snapshot().Counters["server_batched_points"]; pts != distinct {
+		t.Errorf("batched points = %d, want %d (duplicates dedup at the cache, not the batch)", pts, distinct)
+	}
+	// Every waiter got its own point's body, byte-identical to the solo
+	// server's answer for the same request.
+	for m := 1; m <= distinct; m++ {
+		_, want := post(t, solo.URL, "/v1/simulate", family(m))
+		for i := 0; i < requests; i++ {
+			if 1+i%distinct != m {
+				continue
+			}
+			if !bytes.Equal(bodies[i], want) {
+				t.Fatalf("request %d (point %d): coalesced body differs from solo body:\n%s\nvs\n%s",
+					i, m, bodies[i], want)
+			}
+		}
+	}
+}
+
+// TestCoalescingDisabled: a negative window turns the coalescer into a
+// pass-through — sequential distinct requests each run as their own batch.
+func TestCoalescingDisabled(t *testing.T) {
+	reg := metrics.New()
+	_, ts := newTestServer(t, Config{BatchWindow: -1, Metrics: reg})
+	for m := 3; m <= 5; m++ {
+		resp, body := post(t, ts.URL, "/v1/simulate",
+			fmt.Sprintf(`{"dim":5,"algorithm":"u-cube","src":0,"dest_count":%d,"seed":1}`, m))
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if sims := reg.Snapshot().Counters["server_sims_executed"]; sims != 3 {
+		t.Errorf("sims executed = %d, want 3 with coalescing disabled", sims)
+	}
+}
+
+// TestMaxBatchFlushesEarly: a batch that reaches MaxBatch flushes without
+// waiting out the window.
+func TestMaxBatchFlushesEarly(t *testing.T) {
+	reg := metrics.New()
+	_, ts := newTestServer(t, Config{
+		// A window far beyond the test timeout: only the MaxBatch path can
+		// flush in time.
+		BatchWindow: time.Hour,
+		MaxBatch:    4,
+		Metrics:     reg,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"dim":5,"algorithm":"w-sort","src":0,"dest_count":%d,"seed":2}`, 1+i)))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := reg.Snapshot().Counters["server_batches"]; n != 1 {
+		t.Errorf("batches = %d, want 1 full batch", n)
+	}
+}
+
+// TestDiskTierWarmRestart is the restart acceptance test: a cold-started
+// server holding only the previous process's disk directory must answer a
+// previously seen request without simulating — the disk-hit counter, not
+// the sims counter, accounts for the response.
+func TestDiskTierWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := metrics.New()
+	disk1, err := simcache.OpenDisk(dir, 0, reg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Disk: disk1, Metrics: reg1})
+	r1, b1 := post(t, ts1.URL, "/v1/simulate", simReq)
+	if r1.StatusCode != 200 || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first request: %d %s, X-Cache %q", r1.StatusCode, b1, r1.Header.Get("X-Cache"))
+	}
+
+	// "Restart": a brand-new server — empty memory cache, fresh registry —
+	// over the same disk directory.
+	reg2 := metrics.New()
+	disk2, err := simcache.OpenDisk(dir, 0, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Disk: disk2, Metrics: reg2})
+	r2, b2 := post(t, ts2.URL, "/v1/simulate", simReq)
+	if r2.StatusCode != 200 {
+		t.Fatalf("post-restart request: %d %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "disk" {
+		t.Errorf("post-restart X-Cache = %q, want disk", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("disk-served body differs from the originally computed body")
+	}
+	s := reg2.Snapshot()
+	if s.Counters["server_sims_executed"] != 0 {
+		t.Errorf("restarted server simulated %d times, want 0 (disk must absorb it)", s.Counters["server_sims_executed"])
+	}
+	if s.Counters["simcache_disk_hits"] != 1 {
+		t.Errorf("disk hits = %d, want 1", s.Counters["simcache_disk_hits"])
+	}
+	// The disk hit promoted the entry: the next repetition is a memory hit.
+	r3, _ := post(t, ts2.URL, "/v1/simulate", simReq)
+	if got := r3.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("post-promotion X-Cache = %q, want hit", got)
+	}
+	// healthz reports the tier.
+	resp, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(hb), `"disk_entries": 1`) {
+		t.Errorf("healthz does not report the disk tier: %s", hb)
+	}
+}
+
+// TestReadyzSplitsFromHealthz: /readyz is readiness, /healthz is
+// liveness. BeginDrain fails readiness while the process stays live and
+// in-flight requests run to completion.
+func TestReadyzSplitsFromHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("fresh readyz = %d %s, want 200 ready", code, body)
+	}
+
+	// Hold a request in flight, then begin draining around it.
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.testHook = func() { entered <- struct{}{}; <-release }
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(simReq))
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered
+	s.BeginDrain()
+
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("draining readyz = %d %s, want 503 draining", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "draining") {
+		t.Errorf("draining healthz = %d %s, want 200 reporting draining", code, body)
+	}
+	// New simulation work is refused while draining...
+	if resp, body := post(t, ts.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"u-cube","src":0,"dests":[9]}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-BeginDrain request = %d (%s), want 503", resp.StatusCode, body)
+	}
+	// ...but the in-flight request still completes.
+	close(release)
+	if code := <-done; code != 200 {
+		t.Errorf("in-flight request finished %d, want 200", code)
+	}
+	s.Drain() // now the pool closes; Drain after BeginDrain is the full sequence
+}

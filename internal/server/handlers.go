@@ -25,12 +25,27 @@ import (
 func us(t event.Time) float64 { return float64(t) / float64(event.Microsecond) }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	// /v1/simulate executes through the coalescer, not poolExec: requests
+	// of one sweep family arriving within the batch window run as a single
+	// pooled job (one sims-executed account, like a sweep), each point
+	// cached and answered under its own key.
 	serveCached(s, "simulate", w, r,
 		func(req *SimulateRequest) error {
 			_, _, _, err := req.normalize(s.lim)
 			return err
 		},
-		s.runSimulate)
+		s.coalesce.exec)
+}
+
+// simulateBody is one coalesced point: run the simulation and encode the
+// response exactly as the solo path would, so batched and un-batched
+// executions of the same canonical request are byte-identical.
+func (s *Server) simulateBody(req SimulateRequest) ([]byte, error) {
+	resp, err := s.runSimulate(req)
+	if err != nil {
+		return nil, err
+	}
+	return encodeBody(resp)
 }
 
 func (s *Server) runSimulate(req SimulateRequest) (any, error) {
@@ -39,7 +54,6 @@ func (s *Server) runSimulate(req SimulateRequest) (any, error) {
 		return nil, err
 	}
 	tr := core.Build(cube, alg, topology.NodeID(req.Src), toNodeIDs(req.Dests))
-	s.mSims.Inc()
 	res, err := ncube.RunInstrumentedBudget(p, tr, req.Bytes,
 		ncube.Instrumentation{Metrics: s.reg}, s.cfg.WatchdogSteps, s.cfg.WatchdogTime)
 	if err != nil {
@@ -60,7 +74,7 @@ func (s *Server) handleFaultTolerant(w http.ResponseWriter, r *http.Request) {
 			_, _, _, _, err := req.normalize(s.lim)
 			return err
 		},
-		s.runFaultTolerant)
+		poolExec(s, s.runFaultTolerant))
 }
 
 func (s *Server) runFaultTolerant(req FaultTolerantRequest) (any, error) {
@@ -109,7 +123,7 @@ func (s *Server) handleCollective(w http.ResponseWriter, r *http.Request) {
 			_, _, err := req.normalize(s.lim)
 			return err
 		},
-		s.runCollective)
+		poolExec(s, s.runCollective))
 }
 
 func (s *Server) runCollective(req CollectiveRequest) (any, error) {
@@ -198,7 +212,7 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 			_, _, _, err := req.normalize(s.lim)
 			return err
 		},
-		s.runTree)
+		poolExec(s, s.runTree))
 }
 
 func (s *Server) runTree(req TreeRequest) (any, error) {
@@ -235,7 +249,7 @@ func (s *Server) runTree(req TreeRequest) (any, error) {
 func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	serveCached(s, "traffic", w, r,
 		func(req *TrafficRequest) error { return req.normalize(s.lim) },
-		s.runTraffic)
+		poolExec(s, s.runTraffic))
 }
 
 func (s *Server) runTraffic(req TrafficRequest) (any, error) {
@@ -259,7 +273,7 @@ func (s *Server) runTraffic(req TrafficRequest) (any, error) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	serveCached(s, "sweep", w, r,
 		func(req *SweepRequest) error { return req.normalize(s.lim) },
-		s.runSweep)
+		poolExec(s, s.runSweep))
 }
 
 // sweepGrid spaces points destination counts evenly across [1, 2^dim-1] —

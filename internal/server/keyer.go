@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"hypercube/internal/simcache"
+)
+
+// Keyer computes, outside any running server, the exact cache key a shard
+// derives for a request body posted to one of the /v1 endpoints. The
+// cluster router routes by this key: because every simulation is a pure
+// function of its canonical request, placing a key on a consistent-hash
+// ring gives each shard perfect cache affinity — every repetition of a
+// request lands on the shard that already holds (or is computing) its
+// body, no matter how the client phrased it.
+//
+// Keying runs the same strict decode and canonicalization the shard's
+// serving pipeline runs, under the same Config-derived limits, so router
+// and shard can never disagree about a request's identity. A body the
+// Keyer rejects would be rejected by the shard too; the router falls back
+// to content-hash routing and lets the shard produce the authoritative
+// error.
+type Keyer struct {
+	lim limits
+}
+
+// NewKeyer derives a Keyer from the same Config the shards run with.
+func NewKeyer(cfg Config) *Keyer {
+	cfg.setDefaults()
+	return &Keyer{lim: cfg.limits()}
+}
+
+// Key returns the cache key a shard would use for body posted to path.
+func (k *Keyer) Key(path string, body []byte) (string, error) {
+	switch path {
+	case "/v1/simulate":
+		return keyFor(k, "simulate", body, func(r *SimulateRequest) error {
+			_, _, _, err := r.normalize(k.lim)
+			return err
+		})
+	case "/v1/simulate/fault-tolerant":
+		return keyFor(k, "simulate/fault-tolerant", body, func(r *FaultTolerantRequest) error {
+			_, _, _, _, err := r.normalize(k.lim)
+			return err
+		})
+	case "/v1/collective":
+		return keyFor(k, "collective", body, func(r *CollectiveRequest) error {
+			_, _, err := r.normalize(k.lim)
+			return err
+		})
+	case "/v1/tree":
+		return keyFor(k, "tree", body, func(r *TreeRequest) error {
+			_, _, _, err := r.normalize(k.lim)
+			return err
+		})
+	case "/v1/sweep":
+		return keyFor(k, "sweep", body, func(r *SweepRequest) error {
+			return r.normalize(k.lim)
+		})
+	case "/v1/traffic":
+		return keyFor(k, "traffic", body, func(r *TrafficRequest) error {
+			return r.normalize(k.lim)
+		})
+	}
+	return "", fmt.Errorf("server: no keyed endpoint at %s", path)
+}
+
+// keyFor mirrors serveCached's decode → normalize → Key prefix for one
+// request type. The kind strings must match serveCached's call sites
+// exactly — they are part of every cache key.
+func keyFor[Req any](k *Keyer, kind string, body []byte, normalize func(*Req) error) (string, error) {
+	var req Req
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("server: keying %s request: %v", kind, err)
+	}
+	if err := normalize(&req); err != nil {
+		return "", err
+	}
+	return simcache.Key(kind, req)
+}

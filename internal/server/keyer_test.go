@@ -1,0 +1,94 @@
+package server
+
+import (
+	"testing"
+)
+
+func TestKeyerCanonicalEquivalence(t *testing.T) {
+	k := NewKeyer(Config{})
+	// Differently phrased equivalents of one request must key identically:
+	// the router's placement then matches the shard's cache identity.
+	a, err := k.Key("/v1/simulate", []byte(simReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Key("/v1/simulate",
+		[]byte(`{"dim":5,"algorithm":"w-sort","machine":"ncube2","port":"all-port","src":0,"dests":[31,19,12,7,5,3,1,1],"bytes":4096}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equivalent bodies keyed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("key %q is not a hex SHA-256", a)
+	}
+	// A different point of the same family is a different key.
+	c, err := k.Key("/v1/simulate",
+		[]byte(`{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,3,5,7,12,19,30],"bytes":4096}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("distinct destination sets share a key")
+	}
+}
+
+func TestKeyerMatchesServerKeys(t *testing.T) {
+	// The keys the Keyer computes are the keys a server actually caches
+	// under: serve a request, then verify a cache Put under the Keyer's
+	// key is visible as that request's cached body — i.e. the identities
+	// agree end to end.
+	k := NewKeyer(Config{})
+	s, ts := newTestServer(t, Config{})
+	r1, b1 := post(t, ts.URL, "/v1/simulate", simReq)
+	if r1.StatusCode != 200 {
+		t.Fatalf("simulate: %d %s", r1.StatusCode, b1)
+	}
+	key, err := k.Key("/v1/simulate", []byte(simReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	body, src, err := s.cache.Do(key, func() ([]byte, error) { hit = true; return nil, nil })
+	if err != nil || hit {
+		t.Fatalf("keyer key missed the server's cache (err=%v computed=%v)", err, hit)
+	}
+	if src.String() != "hit" || string(body) != string(b1) {
+		t.Errorf("keyer key found %q bytes (src %v), want the served body", body, src)
+	}
+}
+
+func TestKeyerRejectsWhatServersReject(t *testing.T) {
+	k := NewKeyer(Config{})
+	for _, c := range []struct{ path, body string }{
+		{"/v1/simulate", `{"dim":25,"algorithm":"w-sort","src":0,"dests":[1]}`},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"surprise":1}`},
+		{"/v1/simulate", `not json`},
+		{"/v1/metrics", `{}`},
+	} {
+		if _, err := k.Key(c.path, []byte(c.body)); err == nil {
+			t.Errorf("Key(%s, %s) accepted an invalid request", c.path, c.body)
+		}
+	}
+	// Every routed endpoint keys, with distinct namespaces.
+	seen := map[string]string{}
+	for path, body := range map[string]string{
+		"/v1/simulate":                `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,2]}`,
+		"/v1/simulate/fault-tolerant": `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,2]}`,
+		"/v1/tree":                    `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,2]}`,
+		"/v1/collective":              `{"op":"scatter","dim":4}`,
+		"/v1/sweep":                   `{"kind":"stepwise","dim":4}`,
+		"/v1/traffic":                 `{"dim":4,"ops":[{"kind":"broadcast"}]}`,
+	} {
+		key, err := k.Key(path, []byte(body))
+		if err != nil {
+			t.Errorf("Key(%s): %v", path, err)
+			continue
+		}
+		if prev, ok := seen[key]; ok {
+			t.Errorf("%s and %s share key %s", path, prev, key)
+		}
+		seen[key] = path
+	}
+}

@@ -57,6 +57,22 @@ type Config struct {
 	// simcache: 4096 entries, 64 MiB).
 	CacheEntries int
 	CacheBytes   int64
+	// Disk, when non-nil, is the second-level result cache tier: checked
+	// on memory miss before simulating, written on every fill, so a
+	// restarted process answers previously seen requests from disk.
+	Disk *simcache.Disk
+	// BatchWindow is how long the first /v1/simulate request of a sweep
+	// family (same canonical request up to the destination set) is held so
+	// same-family arrivals coalesce into one pooled batch (default 2ms;
+	// negative disables coalescing — every request is its own batch).
+	BatchWindow time.Duration
+	// MaxBatch caps one coalesced batch; a full batch flushes without
+	// waiting out the window (default 32).
+	MaxBatch int
+	// BatchWorkers is the intra-batch point parallelism (default 1 — one
+	// pool worker per batch, mirroring sweep jobs, so a batch cannot
+	// starve the admission controller).
+	BatchWorkers int
 	// Timeout is the wall-clock cap on one request's queue wait plus
 	// execution (default 30s).
 	Timeout time.Duration
@@ -85,6 +101,21 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// limits derives the request-shape admission policy from a Config whose
+// defaults are already set. The exported Keyer shares it with New, so a
+// router process canonicalizes requests exactly as its shards do.
+func (c Config) limits() limits {
+	return limits{
+		maxDim:         c.MaxDim,
+		maxBytes:       c.MaxBytes,
+		maxSweepDim:    c.MaxSweepDim,
+		maxSweepTrials: c.MaxSweepTrials,
+		maxSweepPoints: c.MaxSweepPoints,
+		maxTrafficOps:  c.MaxTrafficOps,
+		maxDataBytes:   c.MaxDataBytes,
+	}
+}
+
 func (c *Config) setDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -97,6 +128,15 @@ func (c *Config) setDefaults() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = 1
 	}
 	if c.WatchdogTime == 0 {
 		c.WatchdogTime = 30 * event.Second
@@ -139,6 +179,7 @@ type Server struct {
 	reg      *metrics.Registry
 	cache    *simcache.Cache
 	pool     *pool
+	coalesce *coalescer
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
@@ -160,19 +201,12 @@ func New(cfg Config) *Server {
 	reg := cfg.Metrics
 	s := &Server{
 		cfg: cfg,
-		lim: limits{
-			maxDim:         cfg.MaxDim,
-			maxBytes:       cfg.MaxBytes,
-			maxSweepDim:    cfg.MaxSweepDim,
-			maxSweepTrials: cfg.MaxSweepTrials,
-			maxSweepPoints: cfg.MaxSweepPoints,
-			maxTrafficOps:  cfg.MaxTrafficOps,
-			maxDataBytes:   cfg.MaxDataBytes,
-		},
+		lim: cfg.limits(),
 		reg: reg,
 		cache: simcache.New(simcache.Config{
 			MaxEntries: cfg.CacheEntries,
 			MaxBytes:   cfg.CacheBytes,
+			Disk:       cfg.Disk,
 			Metrics:    reg,
 		}),
 		pool:  newPool(cfg.Workers, cfg.QueueDepth, reg),
@@ -187,7 +221,9 @@ func New(cfg Config) *Server {
 		mLate:     reg.Counter("server_late_cache_inserts"),
 		hLatency:  reg.Histogram("server_request_us"),
 	}
+	s.coalesce = newCoalescer(s)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
@@ -205,11 +241,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
+// BeginDrain marks the server draining without waiting: /readyz starts
+// failing (so a cluster router stops routing here) and new simulation
+// work is refused with 503, while in-flight requests run to completion
+// and /healthz keeps answering. Call it first, give load balancers a
+// beat to notice, then finish with Drain.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Drain stops admitting simulation work (new requests get 503) and blocks
 // until every accepted job has finished. Call after http.Server.Shutdown
 // has stopped accepting connections.
 func (s *Server) Drain() {
-	s.draining.Store(true)
+	s.BeginDrain()
 	s.pool.drain()
 }
 
@@ -219,10 +262,6 @@ func (s *Server) Drain() {
 // intermediate layer such as a workload sweep) so one poisonous request
 // cannot kill a worker.
 func (s *Server) runOnPool(key string, job func() ([]byte, error)) ([]byte, error) {
-	type outcome struct {
-		body []byte
-		err  error
-	}
 	ch := make(chan outcome, 1) // buffered: the worker never blocks on an abandoned request
 	wrapped := func() {
 		defer func() {
@@ -239,6 +278,14 @@ func (s *Server) runOnPool(key string, job func() ([]byte, error)) ([]byte, erro
 	if err := s.pool.submit(wrapped); err != nil {
 		return nil, err
 	}
+	return s.await(key, ch)
+}
+
+// await waits for a submitted job's outcome under the wall-clock timeout.
+// Shared by the direct pool path and the coalescer, so batched requests
+// keep exactly the per-request deadline and salvage semantics of solo
+// ones.
+func (s *Server) await(key string, ch chan outcome) ([]byte, error) {
 	timer := time.NewTimer(s.cfg.Timeout)
 	defer timer.Stop()
 	select {
@@ -281,13 +328,27 @@ func panicError(v any) error {
 	return fmt.Errorf("server: simulation panicked: %s", msg)
 }
 
+// poolExec adapts a run function into the standard execution path behind
+// the cache: one pool job per request, encoded under the request's key.
+func poolExec[Req any](s *Server, run func(Req) (any, error)) func(string, Req) ([]byte, error) {
+	return func(key string, req Req) ([]byte, error) {
+		return s.runOnPool(key, func() ([]byte, error) {
+			resp, err := run(req)
+			if err != nil {
+				return nil, err
+			}
+			return encodeBody(resp)
+		})
+	}
+}
+
 // serveCached is the shared POST pipeline: decode strictly, normalize into
 // canonical form, then answer from the cache — computing at most once per
-// key via the pool. run receives the canonical request and returns the
-// response value to encode; its encoded bytes are what gets cached, so
-// hits, dedup joins, and misses all serve identical bodies.
+// key via exec (usually poolExec; /v1/simulate routes through the
+// coalescer instead). exec's encoded bytes are what gets cached, so hits,
+// dedup joins, and misses all serve identical bodies.
 func serveCached[Req any](s *Server, kind string, w http.ResponseWriter, r *http.Request,
-	normalize func(*Req) error, run func(Req) (any, error)) {
+	normalize func(*Req) error, exec func(key string, req Req) ([]byte, error)) {
 	started := time.Now()
 	s.mRequests.Inc()
 	// Latency covers every outcome — shed, timed-out, and errored requests
@@ -318,13 +379,7 @@ func serveCached[Req any](s *Server, kind string, w http.ResponseWriter, r *http
 		return
 	}
 	body, src, err := s.cache.Do(key, func() ([]byte, error) {
-		return s.runOnPool(key, func() ([]byte, error) {
-			resp, err := run(req)
-			if err != nil {
-				return nil, err
-			}
-			return encodeBody(resp)
-		})
+		return exec(key, req)
 	})
 	if err != nil {
 		s.writeRunError(w, err)
@@ -386,7 +441,10 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string,
 	w.Write(body)
 }
 
-// healthzResponse is the /healthz body.
+// healthzResponse is the /healthz body. /healthz is LIVENESS: it answers
+// 200 for as long as the process can serve HTTP at all, draining
+// included — restarting a shard that is deliberately draining would turn
+// every graceful shutdown into an outage. Routability is /readyz.
 type healthzResponse struct {
 	Status        string  `json:"status"` // "ok" or "draining"
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -395,6 +453,8 @@ type healthzResponse struct {
 	QueueLen      int     `json:"queue_len"`
 	CacheEntries  int     `json:"cache_entries"`
 	CacheBytes    int64   `json:"cache_bytes"`
+	DiskEntries   int     `json:"disk_entries,omitempty"`
+	DiskBytes     int64   `json:"disk_bytes,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -411,8 +471,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:  s.cache.Len(),
 		CacheBytes:    s.cache.Bytes(),
 	}
+	if s.cfg.Disk != nil {
+		resp.DiskEntries = s.cfg.Disk.Len()
+		resp.DiskBytes = s.cfg.Disk.Bytes()
+	}
 	body, _ := encodeBody(resp)
 	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// readyzResponse is the /readyz body. /readyz is READINESS: 200 only
+// while the server is accepting new simulation work. BeginDrain flips it
+// to 503 while in-flight requests finish, so routers stop sending traffic
+// before the pool closes.
+type readyzResponse struct {
+	Ready  bool   `json:"ready"`
+	Status string `json:"status"` // "ok" or "draining"
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{Ready: true, Status: "ok"}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp = readyzResponse{Ready: false, Status: "draining"}
+		code = http.StatusServiceUnavailable
+	}
+	body, _ := encodeBody(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	w.Write(body)
 }
 

@@ -1,0 +1,292 @@
+package simcache
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hypercube/internal/metrics"
+)
+
+// Disk is the second-level cache tier: content-hash-named files on local
+// disk, so a server restart starts warm instead of recomputing every
+// simulation it ever answered. It is deliberately simple — a directory of
+// immutable entry files plus an in-memory recency index — because every
+// value is a pure function of its key and can be regenerated at the cost
+// of one simulation:
+//
+//   - Entries are files named by the hex-encoded key. Writes go to a
+//     temp file in the same directory and rename into place, so readers
+//     (including a concurrent process scanning the directory) never see a
+//     partial entry under a final name.
+//
+//   - Each file carries a self-check header (body length and SHA-256).
+//     A truncated, corrupted, or foreign file fails the check and is
+//     evicted on read — a damaged tier degrades to misses, never to
+//     wrong bytes.
+//
+//   - Eviction is LRU by access time under a byte budget. The index
+//     orders entries by mtime at open (Get refreshes mtime, standing in
+//     for atime, which most filesystems no longer maintain), so recency
+//     survives restarts too.
+//
+// Budget accounting charges each entry's key bytes alongside its file
+// bytes, mirroring the memory tier. Safe for concurrent use.
+type Disk struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+
+	mHits, mMisses, mWrites, mEvictions, mCorrupt *metrics.Counter
+	gEntries, gBytes                              *metrics.Gauge
+}
+
+// diskEntry is one indexed file.
+type diskEntry struct {
+	key  string
+	cost int64 // len(key) + on-disk file size
+}
+
+const (
+	diskMagic  = "hcdisk1"
+	diskSuffix = ".sc"
+)
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir with the
+// given byte budget (<=0 selects 256 MiB). Existing entries are indexed
+// by modification time so the LRU order carries across restarts;
+// leftover temp files from an interrupted write are removed.
+func OpenDisk(dir string, maxBytes int64, reg *metrics.Registry) (*Disk, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: opening disk tier: %v", err)
+	}
+	d := &Disk{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+
+		mHits:      reg.Counter("simcache_disk_hits"),
+		mMisses:    reg.Counter("simcache_disk_misses"),
+		mWrites:    reg.Counter("simcache_disk_writes"),
+		mEvictions: reg.Counter("simcache_disk_evictions"),
+		mCorrupt:   reg.Counter("simcache_disk_corrupt"),
+		gEntries:   reg.Gauge("simcache_disk_entries"),
+		gBytes:     reg.Gauge("simcache_disk_bytes"),
+	}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// scan builds the recency index from the directory contents.
+func (d *Disk) scan() error {
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("simcache: scanning disk tier: %v", err)
+	}
+	type found struct {
+		key   string
+		cost  int64
+		mtime time.Time
+	}
+	var all []found
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(d.dir, name)) // interrupted write
+			continue
+		}
+		if !strings.HasSuffix(name, diskSuffix) {
+			continue
+		}
+		keyBytes, err := hex.DecodeString(strings.TrimSuffix(name, diskSuffix))
+		if err != nil {
+			continue // not one of ours
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		key := string(keyBytes)
+		all = append(all, found{key: key, cost: int64(len(key)) + info.Size(), mtime: info.ModTime()})
+	}
+	// Oldest first, so the most recently used entry ends up at the front.
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, f := range all {
+		d.entries[f.key] = d.lru.PushFront(&diskEntry{key: f.key, cost: f.cost})
+		d.bytes += f.cost
+	}
+	d.evictLocked(nil)
+	d.publishLocked()
+	return nil
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+diskSuffix)
+}
+
+// encode frames body with the self-check header:
+//
+//	hcdisk1 <body-len> <hex sha256(body)>\n<body>
+func encodeDiskEntry(body []byte) []byte {
+	sum := sha256.Sum256(body)
+	header := fmt.Sprintf("%s %d %s\n", diskMagic, len(body), hex.EncodeToString(sum[:]))
+	out := make([]byte, 0, len(header)+len(body))
+	out = append(out, header...)
+	return append(out, body...)
+}
+
+// decodeDiskEntry verifies the frame and returns the body, or an error
+// for any corruption (wrong magic, truncation, checksum mismatch).
+func decodeDiskEntry(raw []byte) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header")
+	}
+	var n int
+	var sum string
+	magic := ""
+	if _, err := fmt.Fscanf(bufio.NewReader(bytes.NewReader(raw[:nl])), "%s %d %s", &magic, &n, &sum); err != nil || magic != diskMagic {
+		return nil, fmt.Errorf("bad header")
+	}
+	body := raw[nl+1:]
+	if len(body) != n {
+		return nil, fmt.Errorf("length %d, header says %d", len(body), n)
+	}
+	got := sha256.Sum256(body)
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return body, nil
+}
+
+// Get returns the stored body for key, refreshing its recency. A missing
+// or corrupt entry reports a miss; corrupt files are deleted.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, ok := d.entries[key]
+	if !ok {
+		d.mMisses.Inc()
+		return nil, false
+	}
+	raw, err := os.ReadFile(d.path(key))
+	body, derr := []byte(nil), error(nil)
+	if err == nil {
+		body, derr = decodeDiskEntry(raw)
+	}
+	if err != nil || derr != nil {
+		// Corrupt-entry tolerance: drop it and report a miss — the value
+		// is recomputable, wrong bytes are not recoverable.
+		d.removeLocked(el)
+		d.mCorrupt.Inc()
+		d.mMisses.Inc()
+		d.publishLocked()
+		return nil, false
+	}
+	d.lru.MoveToFront(el)
+	now := time.Now()
+	os.Chtimes(d.path(key), now, now) // persist recency for the next restart
+	d.mHits.Inc()
+	return body, true
+}
+
+// Put stores body under key (idempotent: an existing entry is only
+// touched, its bytes are identical by construction) and evicts least
+// recently used entries until the byte budget holds.
+func (d *Disk) Put(key string, body []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.entries[key]; ok {
+		d.lru.MoveToFront(el)
+		return nil
+	}
+	framed := encodeDiskEntry(body)
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("simcache: disk write: %v", err)
+	}
+	_, werr := tmp.Write(framed)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: disk write: %v", werr)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: disk write: %v", err)
+	}
+	el := d.lru.PushFront(&diskEntry{key: key, cost: int64(len(key) + len(framed))})
+	d.entries[key] = el
+	d.bytes += int64(len(key) + len(framed))
+	d.mWrites.Inc()
+	d.evictLocked(el)
+	d.publishLocked()
+	return nil
+}
+
+// evictLocked removes LRU-tail entries until the budget holds, never
+// evicting keep (the entry just inserted).
+func (d *Disk) evictLocked(keep *list.Element) {
+	for d.bytes > d.maxBytes && d.lru.Len() > 0 {
+		back := d.lru.Back()
+		if back == keep {
+			break
+		}
+		d.removeLocked(back)
+		d.mEvictions.Inc()
+	}
+}
+
+func (d *Disk) removeLocked(el *list.Element) {
+	e := el.Value.(*diskEntry)
+	d.lru.Remove(el)
+	delete(d.entries, e.key)
+	d.bytes -= e.cost
+	os.Remove(d.path(e.key))
+}
+
+func (d *Disk) publishLocked() {
+	d.gEntries.Set(int64(d.lru.Len()))
+	d.gBytes.Set(d.bytes)
+}
+
+// Len returns the number of indexed entries.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lru.Len()
+}
+
+// Bytes returns the charged bytes (key bytes + on-disk file bytes).
+func (d *Disk) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// Dir returns the tier's root directory.
+func (d *Disk) Dir() string { return d.dir }

@@ -1,0 +1,234 @@
+package simcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hypercube/internal/metrics"
+)
+
+func TestDiskPutGetRoundTrip(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"makespan_ns": 12345}` + "\n")
+	if err := d.Put("key-1", body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("key-1")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want stored body", got, ok)
+	}
+	if _, ok := d.Get("key-2"); ok {
+		t.Error("Get of unknown key reported a hit")
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		bodies[k] = []byte(fmt.Sprintf("body of %s", k))
+		if err := d.Put(k, bodies[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh Disk over the same directory — the warm-restart path —
+	// indexes every entry and serves identical bytes.
+	reg := metrics.New()
+	d2, err := OpenDisk(dir, 1<<20, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 5 {
+		t.Fatalf("reopened tier indexed %d entries, want 5", d2.Len())
+	}
+	for k, want := range bodies {
+		got, ok := d2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Errorf("after reopen, Get(%s) = %q, %v; want %q", k, got, ok, want)
+		}
+	}
+	if hits := reg.Snapshot().Counters["simcache_disk_hits"]; hits != 5 {
+		t.Errorf("disk hits = %d, want 5", hits)
+	}
+}
+
+func TestDiskCorruptEntryTolerated(t *testing.T) {
+	reg := metrics.New()
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("the true body")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file behind the tier's back: the self-check must fail,
+	// the entry must be dropped, and the caller must see a plain miss.
+	path := d.path("k")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get("k"); ok {
+		t.Fatalf("corrupt entry served as a hit: %q", got)
+	}
+	if reg.Snapshot().Counters["simcache_disk_corrupt"] != 1 {
+		t.Error("corruption not counted")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("corrupt file not removed")
+	}
+	// A bit-flip inside the body (length intact) must fail the checksum too.
+	if err := d.Put("k2", []byte("another body")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(d.path("k2"))
+	raw[len(raw)-1] ^= 0x40
+	os.WriteFile(d.path("k2"), raw, 0o644)
+	if _, ok := d.Get("k2"); ok {
+		t.Error("bit-flipped entry served as a hit")
+	}
+	// Foreign and temp files in the directory are ignored or cleaned.
+	os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644)
+	os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("interrupted"), 0o644)
+	d3, err := OpenDisk(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Len() != 0 {
+		t.Errorf("reopened tier indexed %d entries, want 0", d3.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-123")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("leftover temp file not cleaned at open")
+	}
+}
+
+func TestDiskByteBudgetLRUEviction(t *testing.T) {
+	reg := metrics.New()
+	d, err := OpenDisk(t.TempDir(), 1, reg) // absurdly tight: at most one entry survives each Put
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("a", []byte("aaaa"))
+	d.Put("b", []byte("bbbb"))
+	if _, ok := d.Get("a"); ok {
+		t.Error("a survived a budget that cannot hold two entries")
+	}
+	if got, ok := d.Get("b"); !ok || !bytes.Equal(got, []byte("bbbb")) {
+		t.Errorf("most recent entry gone: %q, %v", got, ok)
+	}
+	if reg.Snapshot().Counters["simcache_disk_evictions"] == 0 {
+		t.Error("evictions not counted")
+	}
+	// Recency, not insertion order, decides the victim under a budget
+	// that holds two: touch the older entry, insert a third, and the
+	// untouched middle entry must be the one evicted.
+	d2, err := OpenDisk(t.TempDir(), 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Put("a", []byte("aaaa"))
+	d2.Put("b", []byte("bbbb"))
+	d2.Get("a")
+	d2.Put("c", []byte("cccc"))
+	if _, ok := d2.Get("b"); ok {
+		t.Error("LRU victim was not b")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := d2.Get(k); !ok {
+			t.Errorf("%s evicted despite recency", k)
+		}
+	}
+}
+
+func TestDiskRecencySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("old", []byte("old body"))
+	// Age the first entry well below the second so coarse mtime
+	// granularity cannot blur the order.
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(d.path("old"), past, past)
+	d.Put("new", []byte("new body"))
+
+	// Reopen with a budget that only holds one entry: the older file
+	// must be the eviction victim.
+	d2, err := OpenDisk(dir, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get("old"); ok {
+		t.Error("older entry survived the reopen eviction")
+	}
+	if _, ok := d2.Get("new"); !ok {
+		t.Error("newer entry evicted at reopen")
+	}
+}
+
+func TestCacheDiskTierIntegration(t *testing.T) {
+	reg := metrics.New()
+	dir := t.TempDir()
+	disk, err := OpenDisk(dir, 1<<20, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Disk: disk, Metrics: reg})
+	computes := 0
+	compute := func() ([]byte, error) { computes++; return []byte("computed once"), nil }
+
+	if _, src, _ := c.Do("k", compute); src != Miss {
+		t.Fatalf("first Do source = %v, want miss", src)
+	}
+	if _, src, _ := c.Do("k", compute); src != Hit {
+		t.Fatalf("second Do source = %v, want memory hit", src)
+	}
+
+	// A fresh Cache over the same directory — the restart — must answer
+	// from disk without computing, promote into memory, and then serve
+	// memory hits.
+	reg2 := metrics.New()
+	disk2, err := OpenDisk(dir, 1<<20, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(Config{Disk: disk2, Metrics: reg2})
+	v, src, err := c2.Do("k", compute)
+	if err != nil || src != DiskHit || !bytes.Equal(v, []byte("computed once")) {
+		t.Fatalf("restarted Do = %q, %v, %v; want disk hit with original bytes", v, src, err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1 (disk tier must absorb the restart)", computes)
+	}
+	if _, src, _ = c2.Do("k", compute); src != Hit {
+		t.Errorf("post-promotion source = %v, want memory hit", src)
+	}
+	s := reg2.Snapshot()
+	if s.Counters["simcache_disk_hits"] != 1 || s.Counters["simcache_misses"] != 0 {
+		t.Errorf("restart counters = %v, want 1 disk hit and 0 compute misses", s.Counters)
+	}
+
+	// Put (late-result salvage) writes through to disk as well.
+	c.Put("late", []byte("salvaged"))
+	if got, ok := disk.Get("late"); !ok || !bytes.Equal(got, []byte("salvaged")) {
+		t.Errorf("salvaged value not written through to disk: %q, %v", got, ok)
+	}
+}

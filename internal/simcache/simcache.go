@@ -19,7 +19,14 @@
 //
 //   - Bounded memory. Entries live in a sharded LRU with per-shard entry
 //     and byte budgets; shards keep lock hold times short under
-//     concurrent serving load.
+//     concurrent serving load. Budgets charge each entry's key bytes as
+//     well as its value bytes — sweep workloads store many small bodies,
+//     and 64-byte keys would otherwise be invisible overhead.
+//
+//   - Tiering. An optional Disk tier (Config.Disk) is consulted on a
+//     memory miss before compute runs and written on every fill, so a
+//     restarted process answers previously seen requests from disk
+//     instead of re-simulating. Do reports a disk hit as its own Source.
 //
 // Hit/miss/dedup/eviction counters and entry/byte/inflight gauges land on
 // an optional metrics.Registry.
@@ -64,6 +71,9 @@ const (
 	// Dedup: an identical request was already in flight; this call
 	// joined it and received the leader's bytes without computing.
 	Dedup
+	// DiskHit: the memory tier missed but the disk tier held the bytes;
+	// no compute ran, and the entry was promoted into memory.
+	DiskHit
 )
 
 func (s Source) String() string {
@@ -74,6 +84,8 @@ func (s Source) String() string {
 		return "hit"
 	case Dedup:
 		return "dedup"
+	case DiskHit:
+		return "disk"
 	}
 	return fmt.Sprintf("Source(%d)", int(s))
 }
@@ -85,8 +97,12 @@ type Config struct {
 	Shards int
 	// MaxEntries bounds the total cached entry count (default 4096).
 	MaxEntries int
-	// MaxBytes bounds the total cached value bytes (default 64 MiB).
+	// MaxBytes bounds the total cached bytes — each entry is charged
+	// len(key)+len(value) (default 64 MiB).
 	MaxBytes int64
+	// Disk, when non-nil, is the second-level tier: checked on memory
+	// miss before compute, written on every fill (including Put).
+	Disk *Disk
 	// Metrics, when non-nil, receives simcache_* instruments.
 	Metrics *metrics.Registry
 }
@@ -97,6 +113,7 @@ type Config struct {
 type Cache struct {
 	shards    []shard
 	mask      uint64
+	disk      *Disk
 	inflightN atomic.Int64
 	entriesN  atomic.Int64
 	bytesN    atomic.Int64
@@ -145,6 +162,7 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		shards: make([]shard, shards),
 		mask:   uint64(shards - 1),
+		disk:   cfg.Disk,
 
 		mHits:      cfg.Metrics.Counter("simcache_hits"),
 		mMisses:    cfg.Metrics.Counter("simcache_misses"),
@@ -193,12 +211,15 @@ func hexVal(b byte) byte {
 	return b
 }
 
-// Do returns the cached bytes for key, or computes them. On a miss the
-// caller becomes the flight leader: compute runs exactly once no matter
-// how many identical calls arrive while it is in flight, and its non-error
-// result is inserted into the LRU. Errors (and panics, which re-raise in
-// the leader after unblocking joiners) are broadcast to joiners but never
-// cached, so a failed request does not poison the key.
+// Do returns the cached bytes for key, or computes them. On a memory
+// miss the caller becomes the flight leader: the disk tier (if any) is
+// consulted first — a disk hit promotes the bytes into memory without
+// computing — otherwise compute runs exactly once no matter how many
+// identical calls arrive while it is in flight, and its non-error result
+// is inserted into the LRU and written through to disk. Errors (and
+// panics, which re-raise in the leader after unblocking joiners) are
+// broadcast to joiners but never cached, so a failed request does not
+// poison the key.
 func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Source, error) {
 	s := c.shardOf(key)
 	s.mu.Lock()
@@ -218,8 +239,15 @@ func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Source, 
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
 	s.mu.Unlock()
-	c.mMisses.Inc()
 	c.gInflight.Set(c.inflightN.Add(1))
+
+	if c.disk != nil {
+		if val, ok := c.disk.Get(key); ok {
+			c.settle(s, key, f, val, nil)
+			return val, DiskHit, nil
+		}
+	}
+	c.mMisses.Inc()
 
 	finished := false
 	defer func() {
@@ -232,6 +260,9 @@ func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Source, 
 	val, err := compute()
 	finished = true
 	c.settle(s, key, f, val, err)
+	if err == nil && c.disk != nil {
+		c.disk.Put(key, val)
+	}
 	return val, Miss, err
 }
 
@@ -249,6 +280,12 @@ func (c *Cache) settle(s *shard, key string, f *flight, val []byte, err error) {
 	close(f.done)
 }
 
+// cost is the budgeted size of one entry. The key is charged alongside
+// the value: sweep workloads cache many bodies not much larger than
+// their 64-byte content-hash keys, and charging only the body would let
+// the real footprint run well past MaxBytes.
+func cost(key string, val []byte) int64 { return int64(len(key) + len(val)) }
+
 func (c *Cache) insertLocked(s *shard, key string, val []byte) {
 	if el, ok := s.entries[key]; ok {
 		// A concurrent leader of the same key settled first; identical
@@ -257,9 +294,9 @@ func (c *Cache) insertLocked(s *shard, key string, val []byte) {
 		return
 	}
 	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
-	s.bytes += int64(len(val))
+	s.bytes += cost(key, val)
 	c.entriesN.Add(1)
-	c.bytesN.Add(int64(len(val)))
+	c.bytesN.Add(cost(key, val))
 	for s.lru.Len() > s.maxEntries || s.bytes > s.maxBytes {
 		if s.lru.Len() <= 1 {
 			break // never evict the entry just inserted
@@ -268,9 +305,9 @@ func (c *Cache) insertLocked(s *shard, key string, val []byte) {
 		e := back.Value.(*entry)
 		s.lru.Remove(back)
 		delete(s.entries, e.key)
-		s.bytes -= int64(len(e.val))
+		s.bytes -= cost(e.key, e.val)
 		c.entriesN.Add(-1)
-		c.bytesN.Add(-int64(len(e.val)))
+		c.bytesN.Add(-cost(e.key, e.val))
 		c.mEvictions.Inc()
 	}
 	c.gEntries.Set(c.entriesN.Load())
@@ -281,16 +318,20 @@ func (c *Cache) insertLocked(s *shard, key string, val []byte) {
 // results that finish after their flight was abandoned (e.g. a wall-clock
 // timeout settled the flight with an error while the computation kept
 // running): salvaging the late value lets subsequent identical requests
-// hit the cache instead of recomputing.
+// hit the cache instead of recomputing. The disk tier is written too, so
+// salvage survives restarts.
 func (c *Cache) Put(key string, val []byte) {
 	s := c.shardOf(key)
 	s.mu.Lock()
 	c.insertLocked(s, key, val)
 	s.mu.Unlock()
+	if c.disk != nil {
+		c.disk.Put(key, val)
+	}
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return int(c.entriesN.Load()) }
 
-// Bytes returns the total cached value bytes.
+// Bytes returns the total charged bytes (key bytes + value bytes).
 func (c *Cache) Bytes() int64 { return c.bytesN.Load() }

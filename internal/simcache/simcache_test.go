@@ -43,8 +43,8 @@ func TestPutInsertsDirectly(t *testing.T) {
 	// flight serves subsequent Dos as plain hits without recomputing.
 	c := New(Config{})
 	c.Put("k", []byte("late"))
-	if c.Len() != 1 || c.Bytes() != 4 {
-		t.Fatalf("after Put: %d entries / %d bytes, want 1 / 4", c.Len(), c.Bytes())
+	if c.Len() != 1 || c.Bytes() != 5 { // len("k") + len("late"): keys are charged
+		t.Fatalf("after Put: %d entries / %d bytes, want 1 / 5", c.Len(), c.Bytes())
 	}
 	v, src, err := c.Do("k", func() ([]byte, error) {
 		t.Error("compute ran despite Put")
@@ -56,8 +56,8 @@ func TestPutInsertsDirectly(t *testing.T) {
 	// Put on an existing key keeps the original bytes (identical by
 	// construction) rather than double-counting.
 	c.Put("k", []byte("late"))
-	if c.Len() != 1 || c.Bytes() != 4 {
-		t.Errorf("after duplicate Put: %d entries / %d bytes, want 1 / 4", c.Len(), c.Bytes())
+	if c.Len() != 1 || c.Bytes() != 5 {
+		t.Errorf("after duplicate Put: %d entries / %d bytes, want 1 / 5", c.Len(), c.Bytes())
 	}
 }
 
@@ -193,15 +193,48 @@ func TestByteBudgetEviction(t *testing.T) {
 	c := New(Config{Shards: 1, MaxEntries: 1000, MaxBytes: 100})
 	big := make([]byte, 60)
 	c.Do("a", func() ([]byte, error) { return big, nil })
-	c.Do("b", func() ([]byte, error) { return big, nil }) // 120 > 100: evicts a
+	c.Do("b", func() ([]byte, error) { return big, nil }) // 122 > 100: evicts a
 	if c.Len() != 1 {
 		t.Errorf("len = %d, want 1", c.Len())
 	}
-	if c.Bytes() != 60 {
-		t.Errorf("bytes = %d, want 60", c.Bytes())
+	if c.Bytes() != 61 { // len("b") + 60
+		t.Errorf("bytes = %d, want 61", c.Bytes())
 	}
 	if _, src, _ := c.Do("b", func() ([]byte, error) { return big, nil }); src != Hit {
 		t.Errorf("b evicted instead of a: %v", src)
+	}
+}
+
+// TestKeyBytesChargedAgainstBudget is the budget-accounting regression
+// test: entries whose bodies alone fit the budget but whose key+body
+// costs do not must trigger eviction. Small-body sweep responses behind
+// 64-byte content-hash keys used to under-account by the key size.
+func TestKeyBytesChargedAgainstBudget(t *testing.T) {
+	// 4 entries of key=64 bytes + body=10 bytes: bodies alone are 40
+	// bytes, but the true footprint is 296. A 160-byte budget holds
+	// exactly two entries (2x74=148) — under body-only accounting all
+	// four would fit and the budget would be a fiction.
+	c := New(Config{Shards: 1, MaxEntries: 1000, MaxBytes: 160})
+	key := func(i int) string { return fmt.Sprintf("%064d", i) }
+	body := []byte("0123456789")
+	for i := 0; i < 4; i++ {
+		c.Put(key(i), body)
+	}
+	if c.Len() != 2 {
+		t.Errorf("entries = %d, want 2 (key bytes must count against the budget)", c.Len())
+	}
+	if got, want := c.Bytes(), int64(2*(64+10)); got != want {
+		t.Errorf("bytes = %d, want %d", got, want)
+	}
+	if got := c.Bytes(); got > 160 {
+		t.Errorf("budget exceeded: %d > 160", got)
+	}
+	// The survivors are the most recently inserted, and intact.
+	for i := 2; i < 4; i++ {
+		v, src, err := c.Do(key(i), func() ([]byte, error) { return nil, errors.New("recompute") })
+		if err != nil || src != Hit || !bytes.Equal(v, body) {
+			t.Errorf("entry %d: %q, %v, %v; want cached body", i, v, src, err)
+		}
 	}
 }
 

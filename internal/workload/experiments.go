@@ -82,6 +82,15 @@ func forEachPoint(points, workers int, work func(i int)) {
 	}
 }
 
+// ForEachPoint is the exported face of forEachPoint for callers outside
+// this package that batch independent per-point work — the server's
+// request coalescer runs each batched request as one point. Semantics are
+// identical: results match a serial run, and a point panic is annotated
+// with its index and re-raised once from the caller.
+func ForEachPoint(points, workers int, work func(i int)) {
+	forEachPoint(points, workers, work)
+}
+
 // pointPanic wraps a panic recovered from one sweep point's worker with
 // the point index and the original goroutine's stack.
 type pointPanic struct {

@@ -150,6 +150,102 @@ curl -sf "http://$addr/metrics/json" | grep -q '"schema": "hypercube-metrics/v1"
 kill -TERM "$srvpid"
 wait "$srvpid"                  # graceful drain must exit 0
 
+echo '== cluster serving tier (smoke)'
+# Router + 2 shard processes with disk tiers, subprocess-composed via
+# -route. Checks: byte-identity vs a single-process server, failover when
+# a shard is SIGKILLed mid-run, and disk-tier cache hits after the dead
+# shard restarts cold on the same port and disk directory.
+cldir=$(mktemp -d)
+start_shard() { # $1 = index, $2 = listen address
+	"$srvdir/serve" -addr "$2" -port-file "$cldir/addr$1" \
+		-disk-dir "$cldir/disk$1" >> "$cldir/shard$1.log" 2>&1 &
+	eval "spid$1=\$!"
+}
+wait_file() { # $1 = file that must become non-empty
+	i=0
+	while [ ! -s "$1" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "timed out waiting for $1"
+			cat "$cldir"/*.log 2> /dev/null || true
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+start_shard 0 127.0.0.1:0
+start_shard 1 127.0.0.1:0
+wait_file "$cldir/addr0"
+wait_file "$cldir/addr1"
+a0=$(cat "$cldir/addr0")
+a1=$(cat "$cldir/addr1")
+"$srvdir/serve" -addr 127.0.0.1:0 -port-file "$cldir/raddr" -probe 100ms \
+	-route "http://$a0,http://$a1" > "$cldir/router.log" 2>&1 &
+rpid=$!
+# Solo baseline: the same requests against one plain server must produce
+# byte-identical responses to the routed cluster.
+"$srvdir/serve" -addr 127.0.0.1:0 -port-file "$cldir/saddr" > "$cldir/solo.log" 2>&1 &
+solopid=$!
+wait_file "$cldir/raddr"
+wait_file "$cldir/saddr"
+raddr=$(cat "$cldir/raddr")
+saddr=$(cat "$cldir/saddr")
+curl -sf "http://$raddr/healthz" | grep -q '"shards_alive": 2'
+for m in 1 2 3 4 5 6 7 8; do
+	body="{\"dim\":5,\"algorithm\":\"w-sort\",\"src\":0,\"dest_count\":$m,\"seed\":7,\"bytes\":2048}"
+	curl -sf -X POST "http://$raddr/v1/simulate" -d "$body" -D "$cldir/ch$m" -o "$cldir/cb$m"
+	curl -sf -X POST "http://$saddr/v1/simulate" -d "$body" -o "$cldir/sb$m"
+	cmp "$cldir/cb$m" "$cldir/sb$m" # routed == single-process, byte for byte
+	grep -qi 'x-shard:' "$cldir/ch$m"
+done
+# Kill the shard that owns key m=1, then re-request it: the router must
+# fail over to the survivor and still answer 200 with identical bytes.
+victim=$(sed -n 's/^[Xx]-[Ss]hard: *s\([01]\).*/\1/p' "$cldir/ch1")
+eval "vpid=\$spid$victim"
+eval "vaddr=\$a$victim"
+kill -9 "$vpid"
+body='{"dim":5,"algorithm":"w-sort","src":0,"dest_count":1,"seed":7,"bytes":2048}'
+curl -sf -X POST "http://$raddr/v1/simulate" -d "$body" -o "$cldir/fb1"
+cmp "$cldir/cb1" "$cldir/fb1"
+i=0
+until curl -sf "http://$raddr/healthz" | grep -q '"shards_alive": 1'; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo 'router never noticed the dead shard'; exit 1; }
+	sleep 0.1
+done
+# Restart the victim cold on the same port and disk directory; once the
+# router's probe restores it, its keys route home and are answered from
+# the disk tier without re-simulating.
+start_shard "$victim" "$vaddr"
+i=0
+until curl -sf "http://$raddr/healthz" | grep -q '"status": "ok"'; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo 'router never restored the restarted shard'; exit 1; }
+	sleep 0.1
+done
+curl -sf -X POST "http://$raddr/v1/simulate" -d "$body" -D "$cldir/rh1" -o "$cldir/rb1"
+cmp "$cldir/cb1" "$cldir/rb1"
+grep -qi "x-shard: s$victim" "$cldir/rh1"
+grep -qi 'x-cache: disk' "$cldir/rh1"
+curl -sf "http://$raddr/metrics" | grep -q '# TYPE cluster_requests counter'
+"$srvdir/loadgen" -url "http://$raddr" -c 4 -n 60 -keys 8 > "$cldir/loadgen.out"
+grep -q 'shard s' "$cldir/loadgen.out" # per-shard breakdown present
+kill -TERM "$rpid" "$solopid"
+eval "kill -TERM \$spid0 \$spid1"
+wait "$rpid" "$solopid" || true
+
+# In-process cluster: one flag, same router surface.
+"$srvdir/serve" -addr 127.0.0.1:0 -port-file "$cldir/ipaddr" -cluster 2 \
+	> "$cldir/inproc.log" 2>&1 &
+ippid=$!
+wait_file "$cldir/ipaddr"
+ipaddr=$(cat "$cldir/ipaddr")
+curl -sf "http://$ipaddr/healthz" | grep -q '"shards_alive": 2'
+curl -sf -X POST "http://$ipaddr/v1/simulate" -d "$body" -D "$cldir/iph" -o /dev/null
+grep -qi 'x-shard:' "$cldir/iph"
+kill -TERM "$ippid"
+wait "$ippid"
+
 echo '== examples (smoke)'
 for e in quickstart broadcast datapar collectives protocol; do
 	go run "./examples/$e" > /dev/null
