@@ -171,6 +171,14 @@ func SimulateMany(p MachineParams, trees []*Tree, bytes int) []MachineResult {
 	return ncube.RunMany(p, trees, bytes)
 }
 
+// SimulateBatch executes independent multicast trees — each on its own
+// private interconnect — fanned across p.Workers parallel event-kernel
+// workers, returning results in tree order. Every result is byte-identical
+// to Simulate on the same tree at any worker count.
+func SimulateBatch(p MachineParams, trees []*Tree, bytes int) []MachineResult {
+	return ncube.RunParallel(p, trees, bytes)
+}
+
 // Comm is an MPI-style communicator: an ordered process group over the
 // cube with rank-addressed collectives.
 type Comm = group.Comm
@@ -359,3 +367,10 @@ func CanonicalTrafficJSON(s *TrafficSpec) ([]byte, error) {
 // canonicalizing the spec in place first. Identical specs produce
 // identical results.
 func SimulateTraffic(s *TrafficSpec) (*TrafficResult, error) { return traffic.Run(s) }
+
+// SimulateTrafficWorkers is SimulateTraffic driven through the parallel
+// event executor at the given worker count; the result is byte-identical
+// at every setting.
+func SimulateTrafficWorkers(s *TrafficSpec, workers int) (*TrafficResult, error) {
+	return traffic.RunWorkers(s, workers)
+}

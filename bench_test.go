@@ -10,6 +10,8 @@
 package hypercube_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"hypercube"
@@ -318,6 +320,37 @@ func BenchmarkSimulateManyConcurrent(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hypercube.SimulateMany(p, trees, 4096)
+	}
+}
+
+// parallelBroadcastTrees is the 12-cube broadcast batch of the parallel
+// scaling benchmark and the cmd/bench gate: eight independent broadcasts
+// from distinct sources, each its own conflict domain.
+func parallelBroadcastTrees() (hypercube.MachineParams, []*hypercube.Tree) {
+	cube := hypercube.New(12, hypercube.HighToLow)
+	var trees []*hypercube.Tree
+	for k := 0; k < 8; k++ {
+		trees = append(trees, hypercube.Broadcast(cube, hypercube.WSort, hypercube.NodeID(k*512)))
+	}
+	return hypercube.NCube2Params(hypercube.AllPort), trees
+}
+
+// BenchmarkParallelBroadcast12Cube measures the parallel batch executor on
+// eight independent 12-cube broadcasts at 1 worker versus every available
+// CPU. The results are byte-identical at both counts (the differential
+// wall pins that); the only thing at stake here is wall time.
+func BenchmarkParallelBroadcast12Cube(b *testing.B) {
+	p, trees := parallelBroadcastTrees()
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			pw := p
+			pw.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hypercube.SimulateBatch(pw, trees, 4096)
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -141,7 +142,67 @@ func gateBenchmarks() []struct {
 				}
 			}
 		}},
+		{"BenchmarkParallelBroadcast12Cube/workers=1", func(b *testing.B) {
+			benchParallelBroadcast(b, 1)
+		}},
+		{"BenchmarkParallelBroadcast12Cube/workers=8", func(b *testing.B) {
+			benchParallelBroadcast(b, 8)
+		}},
 	}
+}
+
+// benchParallelBroadcast mirrors bench_test.go's
+// BenchmarkParallelBroadcast12Cube at a pinned worker count (the test file
+// uses runtime.NumCPU for its upper point; the gate pins 8 so baselines
+// compare across hosts): eight independent 12-cube broadcasts through the
+// parallel batch executor.
+func benchParallelBroadcast(b *testing.B, workers int) {
+	cube := hypercube.New(12, hypercube.HighToLow)
+	var trees []*hypercube.Tree
+	for k := 0; k < 8; k++ {
+		trees = append(trees, hypercube.Broadcast(cube, hypercube.WSort, hypercube.NodeID(k*512)))
+	}
+	p := hypercube.NCube2Params(hypercube.AllPort)
+	p.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypercube.SimulateBatch(p, trees, 4096)
+	}
+}
+
+// gateSpeedup asserts the parallel executor's scaling contract from the
+// gate's own measurements: with >= 4 CPUs available, the 8-worker batch
+// must run >= 1.5x faster than the 1-worker batch; on smaller hosts the
+// speedup is physically unattainable, so the gate only rejects a
+// significant slowdown (parallel overhead) and says why the scaling
+// assertion was skipped.
+func gateSpeedup(cur []GateResult) error {
+	var w1, w8 float64
+	for _, c := range cur {
+		switch c.Name {
+		case "BenchmarkParallelBroadcast12Cube/workers=1":
+			w1 = c.NsPerOp
+		case "BenchmarkParallelBroadcast12Cube/workers=8":
+			w8 = c.NsPerOp
+		}
+	}
+	if w1 == 0 || w8 == 0 {
+		return fmt.Errorf("gate: parallel broadcast measurements missing")
+	}
+	speedup := w1 / w8
+	cpus := runtime.GOMAXPROCS(0)
+	if cpus >= 4 {
+		fmt.Printf("gate parallel speedup: %.2fx at 8 workers on %d CPUs (require >= 1.50x)\n", speedup, cpus)
+		if speedup < 1.5 {
+			return fmt.Errorf("gate: parallel broadcast speedup %.2fx at 8 workers below required 1.5x on %d CPUs", speedup, cpus)
+		}
+		return nil
+	}
+	fmt.Printf("gate parallel speedup: %.2fx at 8 workers on %d CPU(s) — scaling assertion skipped (needs >= 4 CPUs), checking for slowdown only\n", speedup, cpus)
+	if speedup < 0.65 {
+		return fmt.Errorf("gate: parallel executor is %.2fx slower than sequential on %d CPU(s) — overhead regression", 1/speedup, cpus)
+	}
+	return nil
 }
 
 // runGate measures every pinned benchmark once via testing.Benchmark
@@ -229,6 +290,9 @@ func gateCompare(baselinePath string, tolNs, tolAllocs float64) error {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
 				c.Name, c.AllocsPerOp, b.AllocsPerOp, tolAllocs*100))
 		}
+	}
+	if err := gateSpeedup(cur); err != nil {
+		failures = append(failures, err.Error())
 	}
 	if len(failures) > 0 {
 		msg := "performance regression:"

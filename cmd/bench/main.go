@@ -74,6 +74,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline `file` for -gate (default: latest results/BENCH_*.json with gate data)")
 		tolNs     = flag.Float64("tol-ns", 0.40, "relative ns/op regression tolerance for -gate")
 		tolAllocs = flag.Float64("tol-allocs", 0.15, "relative allocs/op regression tolerance for -gate")
+		scaling   = flag.Bool("scaling", false, "measure parallel-executor speedup vs workers {1,2,4,8} and write results/parallel_speedup.{txt,csv}")
 	)
 	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
@@ -83,6 +84,16 @@ func main() {
 			log.Fatalf("%s: %v", *check, err)
 		}
 		fmt.Printf("ok: %s\n", *check)
+		return
+	}
+	if *scaling {
+		paths, err := runScaling(*dir, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Printf("wrote %s\n", p)
+		}
 		return
 	}
 	if *gate {

@@ -1,0 +1,53 @@
+// The -scaling mode: measure the parallel batch executor's wall-clock
+// speedup against worker count on the gate's 12-cube broadcast batch and
+// write the table to results/parallel_speedup.{txt,csv} — the artifact
+// behind EXPERIMENTS.md's scaling recipe. The simulated results are
+// byte-identical at every worker count (the differential wall pins that);
+// this measures only wall time, so the numbers are hardware-honest: the
+// emitted header names the CPU budget the run actually had.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// runScaling measures the batch at each worker count and writes the
+// speedup table. Returns the paths written.
+func runScaling(dir string, workerCounts []int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	type row struct {
+		workers int
+		nsPerOp float64
+	}
+	rows := make([]row, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		r := testing.Benchmark(func(b *testing.B) { benchParallelBroadcast(b, w) })
+		rows = append(rows, row{w, float64(r.NsPerOp())})
+		fmt.Printf("scaling workers=%-2d %12.0f ns/op\n", w, float64(r.NsPerOp()))
+	}
+	base := rows[0].nsPerOp
+
+	txt := fmt.Sprintf("# Parallel batch scaling: 8x 12-cube W-sort broadcasts, 4096 B\n# host: GOMAXPROCS=%d %s/%s %s\nworkers  ns/op        speedup\n",
+		runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version())
+	csv := "workers,ns_op,speedup\n"
+	for _, r := range rows {
+		sp := base / r.nsPerOp
+		txt += fmt.Sprintf("%-7d  %-12.0f %.2fx\n", r.workers, r.nsPerOp, sp)
+		csv += fmt.Sprintf("%d,%.0f,%.3f\n", r.workers, r.nsPerOp, sp)
+	}
+	txtPath := filepath.Join(dir, "parallel_speedup.txt")
+	csvPath := filepath.Join(dir, "parallel_speedup.csv")
+	if err := os.WriteFile(txtPath, []byte(txt), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		return nil, err
+	}
+	return []string{txtPath, csvPath}, nil
+}

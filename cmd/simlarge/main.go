@@ -33,6 +33,7 @@ func main() {
 		algos  = flag.String("algos", "u-cube,maxport,combine,w-sort", "comma-separated algorithms")
 		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plotIt = flag.Bool("plot", false, "render a text line chart instead of a table")
+		nwork  = flag.Int("workers", 0, "event-kernel workers per point (>1 fans trial runs across the parallel executor; output is identical at any count)")
 	)
 	obs := cliutil.ObservabilityFlags()
 	flag.Parse()
@@ -48,12 +49,17 @@ func main() {
 	if err := obs.Start("simlarge"); err != nil {
 		log.Fatal(err)
 	}
+	params := ncube.NCube2(core.AllPort)
+	params.Workers = *nwork
+	if err := params.Err(); err != nil {
+		log.Fatal(err)
+	}
 	tb := workload.Delay(workload.DelayConfig{
 		Dim:        *dim,
 		Trials:     *trials,
 		Seed:       *seed,
 		Bytes:      *bytes,
-		Params:     ncube.NCube2(core.AllPort),
+		Params:     params,
 		Stat:       st,
 		Algorithms: as,
 		DestCounts: workload.DestCounts(*dim, *points),

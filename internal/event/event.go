@@ -189,6 +189,24 @@ func (q *Queue) Step() bool {
 	return true
 }
 
+// peekTime returns the earliest pending event time, if any.
+func (q *Queue) peekTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// stepIfBefore runs the earliest event only if it lies strictly before
+// horizon, reporting whether one ran. This is the window primitive of the
+// parallel executor: each logical process drains exactly its safe window.
+func (q *Queue) stepIfBefore(horizon Time) bool {
+	if len(q.h) == 0 || q.h[0].at >= horizon {
+		return false
+	}
+	return q.Step()
+}
+
 // Reset returns the queue to its zero state while keeping the calendar's
 // backing array, so pooled runs reuse its capacity. Pending entries are
 // zeroed (a watchdog-aborted run leaves events behind; their references

@@ -125,7 +125,7 @@ func RunFaultTolerantInstrumented(jp JitterParams, cube topology.Cube, a core.Al
 
 	r.got[src] = true // the initiator holds the message
 	r.forward(src, core.StartPayload(cube, a, src, dests), false)
-	end, werr := r.q.RunBudget(jp.WatchdogSteps, jp.WatchdogTime)
+	end, werr := runQueue(r.q, jp.Workers, jp.WatchdogSteps, jp.WatchdogTime)
 	r.res.TotalBlocked = r.net.TotalBlocked()
 	// Flush open trace intervals even (especially) on a watchdog abort:
 	// a stall-mode fault run ends with channels still held, and those

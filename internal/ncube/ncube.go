@@ -61,6 +61,17 @@ type Params struct {
 	// time bound respectively.
 	WatchdogSteps int
 	WatchdogTime  event.Time
+
+	// Workers selects the event-kernel execution mode: 0 or 1 runs the
+	// classic single-threaded calendar; >1 drives the run through the
+	// conservative parallel executor (event.ParallelQueue) with that
+	// many workers. One shared network is one conflict domain — a single
+	// run gains no concurrency by itself — but the batch entry points
+	// (RunParallel, workload sweeps, traffic sweeps, the serving tier)
+	// fan independent conflict domains across the workers. Results are
+	// byte-identical at every worker count; the differential test wall
+	// pins this.
+	Workers int
 }
 
 // NCube2 returns parameters calibrated to published nCUBE-2 figures:
@@ -111,6 +122,9 @@ func (p Params) Err() error {
 	}
 	if p.WatchdogSteps < 0 || p.WatchdogTime < 0 {
 		return fmt.Errorf("ncube: negative watchdog budget")
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("ncube: negative worker count %d", p.Workers)
 	}
 	return nil
 }
@@ -249,12 +263,12 @@ func (st *nodeState) RunEvent() {
 // drivers and the serving worker pool amortize these structures across
 // runs; everything run-specific is rebound in getEnv.
 type runEnv struct {
-	q      event.Queue
-	net    *wormhole.Network
-	p      Params
-	bytes  int
-	states []nodeState
-	res    *Result
+	q     event.Queue
+	net   *wormhole.Network
+	p     Params
+	bytes int
+	nodes nodeTable
+	res   *Result
 
 	// Method values cached once per env so the hot paths do not allocate
 	// one per send (deliver) or per run (the diagnoser).
@@ -277,16 +291,9 @@ func getEnv(p Params, tr *core.Tree, res *Result, bytes int) *runEnv {
 		env.net.Reset(&env.q, tr.Cube, cfg)
 	}
 	env.p, env.bytes, env.res = p, bytes, res
-	n := tr.Cube.Nodes()
-	if cap(env.states) < n {
-		env.states = make([]nodeState, n)
-	}
-	env.states = env.states[:n]
-	for i := range env.states {
-		env.states[i] = nodeState{env: env}
-	}
+	env.nodes.init(env, tr.Cube.Nodes())
 	for v, sends := range tr.Sends {
-		env.states[v].sends = sends
+		env.nodes.state(env, v).sends = sends
 	}
 	return env
 }
@@ -295,9 +302,7 @@ func getEnv(p Params, tr *core.Tree, res *Result, bytes int) *runEnv {
 // Callers skip it when the run panicked — a half-torn-down env must not be
 // reused.
 func (env *runEnv) release() {
-	for i := range env.states {
-		env.states[i].sends = nil
-	}
+	env.nodes.release()
 	env.res = nil
 	envPool.Put(env)
 }
@@ -341,7 +346,7 @@ func (env *runEnv) deliver(d wormhole.Delivery) {
 	if d.Arrived > res.Makespan {
 		res.Makespan = d.Arrived
 	}
-	st := &env.states[d.To]
+	st := env.nodes.state(env, d.To)
 	st.stage = nodeRecvDone
 	env.q.AfterOp(env.p.TRecv, st)
 }
@@ -420,9 +425,9 @@ func RunInstrumentedBudget(p Params, tr *core.Tree, bytes int, ins Instrumentati
 	ins.instrument(&env.q, env.net)
 	ins.Metrics.Counter("mcast_runs").Inc()
 
-	env.issueNext(&env.states[tr.Source])
+	env.issueNext(env.nodes.state(env, tr.Source))
 	env.q.SetDiagnoser(env.diagFn)
-	_, err := env.q.RunBudget(maxSteps, maxTime)
+	_, err := runQueue(&env.q, p.Workers, maxSteps, maxTime)
 	res.TotalBlocked = env.net.TotalBlocked()
 	finishTracer(ins.Tracer, env.q.Now())
 	env.release()

@@ -1,0 +1,111 @@
+package ncube
+
+import (
+	"hypercube/internal/topology"
+)
+
+// denseNodeLimit bounds the dense per-node software-state table: cubes
+// with at most this many nodes (dim <= 14) use a flat slice indexed by
+// address — the allocation-free hot path of every paper workload — while
+// giant cubes (dim 15 up to bits.MaxDim = 20, a million nodes) switch to
+// a map holding state only for the nodes a tree actually touches. A
+// 20-cube multicast to 64 destinations allocates 65 node states instead
+// of 2^20. The backends are observationally identical (the sparse
+// regression suite pins reflect.DeepEqual equality on overlapping dims);
+// it is a var, not a const, so tests can force the sparse backend onto
+// small cubes and diff it against dense.
+var denseNodeLimit = 1 << 14
+
+// nodeTable is the per-run node software-state store: dense below
+// denseNodeLimit, sparse (lazily populated map) above. Exactly one
+// backend is active. Lookups never iterate the map, so the backend
+// cannot influence event order.
+type nodeTable struct {
+	dense  []nodeState
+	sparse map[topology.NodeID]*nodeState
+}
+
+// init rebinds the table for a run over n nodes, reusing backing storage
+// where shapes allow.
+func (nt *nodeTable) init(env *runEnv, n int) {
+	if n <= denseNodeLimit {
+		nt.sparse = nil
+		if cap(nt.dense) < n {
+			nt.dense = make([]nodeState, n)
+		}
+		nt.dense = nt.dense[:n]
+		for i := range nt.dense {
+			nt.dense[i] = nodeState{env: env}
+		}
+		return
+	}
+	nt.dense = nil
+	if nt.sparse == nil {
+		nt.sparse = make(map[topology.NodeID]*nodeState)
+	} else {
+		clear(nt.sparse)
+	}
+}
+
+// state returns node v's software state, materializing it on first touch
+// under the sparse backend.
+func (nt *nodeTable) state(env *runEnv, v topology.NodeID) *nodeState {
+	if nt.dense != nil {
+		return &nt.dense[v]
+	}
+	st, ok := nt.sparse[v]
+	if !ok {
+		st = &nodeState{env: env}
+		nt.sparse[v] = st
+	}
+	return st
+}
+
+// release drops run-specific references so the pooled env retains no
+// trees: dense entries keep their storage with sends cleared; the sparse
+// map is emptied outright (its states belong to the finished run).
+func (nt *nodeTable) release() {
+	for i := range nt.dense {
+		nt.dense[i].sends = nil
+	}
+	if nt.sparse != nil {
+		clear(nt.sparse)
+	}
+}
+
+// opTable is nodeTable's counterpart for a Session treeOp: the per-op node
+// store is dense below denseNodeLimit and a lazily populated map above, so
+// injecting a small multicast into a giant cube costs per-touched-node
+// state, not per-cube. treeOps are not pooled, so init builds fresh
+// storage each time.
+type opTable struct {
+	dense  []opNode
+	sparse map[topology.NodeID]*opNode
+}
+
+// init sizes the table for a cube of n nodes; hint is the expected number
+// of touched nodes under the sparse backend.
+func (ot *opTable) init(op *treeOp, n, hint int) {
+	if n <= denseNodeLimit {
+		ot.dense = make([]opNode, n)
+		for i := range ot.dense {
+			ot.dense[i].op = op
+		}
+		return
+	}
+	ot.sparse = make(map[topology.NodeID]*opNode, hint)
+}
+
+// state returns node v's per-op state, materializing it on first touch
+// under the sparse backend.
+func (ot *opTable) state(op *treeOp, v topology.NodeID) *opNode {
+	if ot.dense != nil {
+		return &ot.dense[v]
+	}
+	st, ok := ot.sparse[v]
+	if !ok {
+		st = &opNode{op: op}
+		ot.sparse[v] = st
+	}
+	return st
+}

@@ -108,7 +108,7 @@ func (s *Session) Run(maxSteps int, maxTime event.Time) error {
 	} else {
 		s.q.SetDiagnoser(s.diagFn)
 	}
-	_, err := s.q.RunBudget(maxSteps, maxTime)
+	_, err := runQueue(&s.q, s.p.Workers, maxSteps, maxTime)
 	finishTracer(s.ins.Tracer, s.q.Now())
 	return err
 }
@@ -141,7 +141,7 @@ type treeOp struct {
 	lost     int // deliveries the fault model destroyed (stranded subtrees)
 	res      Result
 	done     func(*Result)
-	nodes    []opNode
+	nodes    opTable
 
 	// deliver bound once per op so all-port sends don't allocate a
 	// closure per unicast.
@@ -192,12 +192,9 @@ func (s *Session) InjectTree(at event.Time, tr *core.Tree, bytes int, done func(
 		},
 	}
 	op.deliverFn = op.deliver
-	op.nodes = make([]opNode, tr.Cube.Nodes())
-	for i := range op.nodes {
-		op.nodes[i].op = op
-	}
+	op.nodes.init(op, tr.Cube.Nodes(), len(tr.Sends))
 	for v, sends := range tr.Sends {
-		op.nodes[v].sends = sends
+		op.nodes.state(op, v).sends = sends
 	}
 	s.q.AtOp(at, op)
 	return &op.res
@@ -212,7 +209,7 @@ func (op *treeOp) RunEvent() {
 		}
 		return
 	}
-	op.issueNext(&op.nodes[op.src])
+	op.issueNext(op.nodes.state(op, op.src))
 }
 
 // issueNext and setupDone mirror runEnv's mechanics exactly: serial
@@ -278,7 +275,7 @@ func (op *treeOp) lose(to topology.NodeID) {
 func (op *treeOp) strand(v topology.NodeID) {
 	op.expected--
 	op.lost++
-	for _, snd := range op.nodes[v].sends {
+	for _, snd := range op.nodes.state(op, v).sends {
 		op.strand(snd.To)
 	}
 }
@@ -298,7 +295,7 @@ func (op *treeOp) deliver(d wormhole.Delivery) {
 		op.res.Makespan = rel
 	}
 	op.res.TotalBlocked += d.Blocked
-	st := &op.nodes[d.To]
+	st := op.nodes.state(op, d.To)
 	st.stage = nodeRecvDone
 	op.s.q.AfterOp(op.s.p.TRecv, st)
 	op.expected--

@@ -257,7 +257,7 @@ func (s *Server) runTraffic(req TrafficRequest) (any, error) {
 	// the engine re-canonicalizes under permissive limits, which is a no-op
 	// on canonical specs, so the trace is a pure function of the cache key.
 	s.mSims.Inc()
-	res, err := traffic.RunBudget(&req.Spec, s.cfg.WatchdogSteps, s.cfg.WatchdogTime)
+	res, err := traffic.RunBudgetWorkers(&req.Spec, s.cfg.SimWorkers, s.cfg.WatchdogSteps, s.cfg.WatchdogTime)
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +338,10 @@ func (s *Server) runSweep(req SweepRequest) (any, error) {
 		if req.Stat == "avg" {
 			stat = workload.AvgDelay
 		}
+		// SimWorkers fans the trials of one point through the parallel
+		// batch runner while point-level Workers stays 1, so a sweep job
+		// still occupies exactly one pool worker.
+		p.Workers = s.cfg.SimWorkers
 		tb = workload.Delay(workload.DelayConfig{
 			Dim: req.Dim, Trials: req.Trials, Seed: req.Seed, Bytes: req.Bytes,
 			Params: p, Stat: stat, Algorithms: algs, DestCounts: grid,

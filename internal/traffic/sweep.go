@@ -21,6 +21,11 @@ type SweepConfig struct {
 	DestCount  int       // destinations per multicast (0 selects half the cube)
 	Bytes      int       // payload (0 selects 4096)
 	Seed       int64
+	// Workers fans the independent (rate, algorithm) cells across the
+	// parallel event executor: each cell is its own conflict domain (a
+	// private session and calendar), so the tables are byte-identical at
+	// every worker count. 0 or 1 runs the cells serially.
+	Workers int
 }
 
 // SweepTables are the saturation curves of one sweep: per-op latency
@@ -63,29 +68,51 @@ func Sweep(cfg SweepConfig) (*SweepTables, error) {
 		P95:  stats.NewTable(title+" — p95 sojourn µs", "ops/ms", cfg.Algorithms...),
 		Util: stats.NewTable(title+" — channel utilization", "ops/ms", cfg.Algorithms...),
 	}
-	for _, rate := range cfg.RatesPerMS {
-		mean := make([]float64, len(cfg.Algorithms))
-		p95 := make([]float64, len(cfg.Algorithms))
-		util := make([]float64, len(cfg.Algorithms))
-		for ai, alg := range cfg.Algorithms {
-			spec := &Spec{
-				Dim:     cfg.Dim,
-				Machine: cfg.Machine,
-				Port:    cfg.Port,
-				Seed:    cfg.Seed,
-				Arrivals: &Arrivals{
-					Kind:      "poisson",
-					Count:     cfg.Ops,
-					RatePerMS: rate,
-					Op: Template{
-						Kind:      KindMulticast,
-						Algorithm: alg,
-						Bytes:     cfg.Bytes,
-						DestCount: cfg.DestCount,
+	// Each (rate, algorithm) cell is an independent scenario — its own
+	// session, calendar, and network. Fan the cells across the parallel
+	// event executor as one logical process each (a single time-zero
+	// event runs the whole scenario), then fold the results back in
+	// deterministic cell order.
+	nr, na := len(cfg.RatesPerMS), len(cfg.Algorithms)
+	results := make([]*Result, nr*na)
+	errs := make([]error, nr*na)
+	pq := event.NewParallel(cfg.Workers, 0)
+	for ri := range cfg.RatesPerMS {
+		for ai := range cfg.Algorithms {
+			rate, alg := cfg.RatesPerMS[ri], cfg.Algorithms[ai]
+			var q event.Queue
+			q.At(0, func() {
+				spec := &Spec{
+					Dim:     cfg.Dim,
+					Machine: cfg.Machine,
+					Port:    cfg.Port,
+					Seed:    cfg.Seed,
+					Arrivals: &Arrivals{
+						Kind:      "poisson",
+						Count:     cfg.Ops,
+						RatePerMS: rate,
+						Op: Template{
+							Kind:      KindMulticast,
+							Algorithm: alg,
+							Bytes:     cfg.Bytes,
+							DestCount: cfg.DestCount,
+						},
 					},
-				},
-			}
-			res, err := Run(spec)
+				}
+				results[ri*na+ai], errs[ri*na+ai] = Run(spec)
+			})
+			pq.Add(&q)
+		}
+	}
+	if _, err := pq.Run(0, 0); err != nil {
+		return nil, err
+	}
+	for ri, rate := range cfg.RatesPerMS {
+		mean := make([]float64, na)
+		p95 := make([]float64, na)
+		util := make([]float64, na)
+		for ai, alg := range cfg.Algorithms {
+			res, err := results[ri*na+ai], errs[ri*na+ai]
 			if err != nil {
 				return nil, fmt.Errorf("traffic: sweep %s at %g ops/ms: %w", alg, rate, err)
 			}

@@ -391,20 +391,48 @@ func Delay(cfg DelayConfig) *stats.Table {
 		m := cfg.DestCounts[pi]
 		gen := NewGenerator(cube, cfg.Seed+int64(m))
 		samples := make([][]float64, len(cfg.Algorithms))
-		for trial := 0; trial < cfg.Trials; trial++ {
-			src := gen.Source()
-			dests := gen.Dests(src, m)
-			mTrials.Inc()
-			for i, a := range cfg.Algorithms {
-				r := ncube.RunInstrumented(cfg.Params, core.Build(cube, a, src, dests), cfg.Bytes, ins)
-				avg, max := r.Stats(dests)
-				v := avg
-				if cfg.Stat == MaxDelay {
-					v = max
+		observe := func(i int, r ncube.Result, dests []topology.NodeID) {
+			avg, max := r.Stats(dests)
+			v := avg
+			if cfg.Stat == MaxDelay {
+				v = max
+			}
+			us := float64(v) / float64(event.Microsecond)
+			mDelay.Observe(int64(us))
+			samples[i] = append(samples[i], us)
+		}
+		if cfg.Params.Workers > 1 {
+			// Batch path: the generator draws stay in the exact
+			// sequential order (the RNG stream defines the experiment),
+			// then the independent runs fan across the parallel
+			// executor. Result folding follows tree order, so the table
+			// is byte-identical to the sequential path at any worker
+			// count.
+			trees := make([]*core.Tree, 0, cfg.Trials*len(cfg.Algorithms))
+			dsets := make([][]topology.NodeID, 0, cfg.Trials)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				src := gen.Source()
+				dests := gen.Dests(src, m)
+				mTrials.Inc()
+				dsets = append(dsets, dests)
+				for _, a := range cfg.Algorithms {
+					trees = append(trees, core.Build(cube, a, src, dests))
 				}
-				us := float64(v) / float64(event.Microsecond)
-				mDelay.Observe(int64(us))
-				samples[i] = append(samples[i], us)
+			}
+			results := ncube.RunParallelInstrumented(cfg.Params, trees, cfg.Bytes, ins)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				for i := range cfg.Algorithms {
+					observe(i, results[trial*len(cfg.Algorithms)+i], dsets[trial])
+				}
+			}
+		} else {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				src := gen.Source()
+				dests := gen.Dests(src, m)
+				mTrials.Inc()
+				for i, a := range cfg.Algorithms {
+					observe(i, ncube.RunInstrumented(cfg.Params, core.Build(cube, a, src, dests), cfg.Bytes, ins), dests)
+				}
 			}
 		}
 		cells := make([]float64, len(samples))

@@ -57,6 +57,15 @@ go run ./cmd/faultsweep -n 4 -trials 3 -points 4 > /dev/null
 go run ./cmd/faultsweep -n 4 -trials 3 -points 4 -mode drop -csv > /dev/null
 go run ./cmd/figures -quick -dir "$(mktemp -d)" > /dev/null
 
+echo '== parallel kernel (smoke + determinism)'
+# The differential wall proper runs under `go test` above; this smoke pins
+# the end-to-end CLI surface: a sparse-backend 16-cube sweep must emit
+# byte-identical output at workers 1 and 8.
+pardir="$(mktemp -d)"
+go run ./cmd/simlarge -n 16 -trials 2 -points 3 -workers 1 -csv > "$pardir/w1.csv"
+go run ./cmd/simlarge -n 16 -trials 2 -points 3 -workers 8 -csv > "$pardir/w8.csv"
+cmp "$pardir/w1.csv" "$pardir/w8.csv"
+
 echo '== traffic engine (smoke + determinism)'
 # One explicit scenario from stdin, then the same reduced sweep twice:
 # fixed spec + seed must render byte-identical files across runs.
