@@ -10,6 +10,7 @@ import (
 	"hypercube/internal/topology"
 	"hypercube/internal/trace"
 	"hypercube/internal/traffic"
+	"hypercube/internal/vc"
 	"hypercube/internal/workload"
 	"hypercube/internal/wormhole"
 )
@@ -66,6 +67,10 @@ type (
 	// an event-loop budget trips: which budget, and a snapshot of the
 	// channels the wedged network holds.
 	WatchdogDiagnostic = event.Diagnostic
+
+	// VCPolicy selects the virtual-channel lane-allocation policy of a
+	// multi-lane interconnect (MachineParams.Lanes >= 2).
+	VCPolicy = vc.Kind
 )
 
 // Resolution orders.
@@ -100,6 +105,18 @@ const (
 	OnePort = core.OnePort
 	// AllPort nodes use all dimensions simultaneously.
 	AllPort = core.AllPort
+)
+
+// Virtual-channel lane-allocation policies (MachineParams.VCPolicy).
+const (
+	// VCRoundRobin rotates a per-arc cursor over the lanes.
+	VCRoundRobin = vc.RoundRobin
+	// VCLowestOccupancy grants the historically least-used free lane.
+	VCLowestOccupancy = vc.LowestOccupancy
+	// VCEscape reserves lane 0 as an escape lane (torus/dateline prep).
+	VCEscape = vc.Escape
+	// MaxLanes bounds MachineParams.Lanes.
+	MaxLanes = vc.MaxLanes
 )
 
 // Fault modes.

@@ -414,6 +414,32 @@ func BenchmarkTrafficSaturation6Cube(b *testing.B) {
 	}
 }
 
+// Multi-lane path: the same Poisson-storm shape on a 4-lane 5-cube —
+// guards the virtual-channel machinery's cost (per-lane tables, policy
+// dispatch, arc-level arbitration) on a workload where the lanes are
+// actually contended. The 1-lane hot path is guarded separately by
+// BenchmarkTrafficSaturation6Cube, which never enters the VC slow path.
+func BenchmarkTrafficMultiLane5Cube(b *testing.B) {
+	b.ReportAllocs()
+	mk := func() *traffic.Spec {
+		return &traffic.Spec{
+			Dim:      5,
+			Seed:     1993,
+			Lanes:    4,
+			VCPolicy: "round-robin",
+			Arrivals: &traffic.Arrivals{
+				Kind: "poisson", Count: 24, RatePerMS: 6,
+				Op: traffic.Template{Kind: traffic.KindMulticast, DestCount: 16, Bytes: 4096},
+			},
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Run(mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Data-carrying path: a Poisson stream of payload-verified allreduces —
 // the gradient-aggregation workload. Guards the combined cost of payload
 // synthesis, the halving+doubling schedule, and end-to-end verification

@@ -142,6 +142,25 @@ func gateBenchmarks() []struct {
 				}
 			}
 		}},
+		{"BenchmarkTrafficMultiLane5Cube", func(b *testing.B) {
+			mk := func() *traffic.Spec {
+				return &traffic.Spec{
+					Dim:      5,
+					Seed:     1993,
+					Lanes:    4,
+					VCPolicy: "round-robin",
+					Arrivals: &traffic.Arrivals{
+						Kind: "poisson", Count: 24, RatePerMS: 6,
+						Op: traffic.Template{Kind: traffic.KindMulticast, DestCount: 16, Bytes: 4096},
+					},
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := traffic.Run(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"BenchmarkParallelBroadcast12Cube/workers=1", func(b *testing.B) {
 			benchParallelBroadcast(b, 1)
 		}},

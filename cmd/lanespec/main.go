@@ -1,0 +1,128 @@
+// Command lanespec sweeps the port×lane spectrum: the same seeded Poisson
+// multicast trace replayed on every (port model, lane count) machine
+// across an offered-load grid, surfacing where extra router ports and
+// where extra virtual channels move the saturation point — the two axes
+// the related multi-lane studies trade off.
+//
+// Usage:
+//
+//	lanespec                          # 6-cube, one-port/all-port × 1/2/4 lanes
+//	lanespec -lanes 1,8 -rates 2,8   # choose the lane and load grids
+//	lanespec -policy escape          # lane-allocation policy for k-lane columns
+//	lanespec -dir results            # write lanes_*.{txt,csv} (two runs with
+//	                                  # equal flags are byte-identical)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hypercube/internal/cliutil"
+	"hypercube/internal/stats"
+	"hypercube/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lanespec: ")
+	var (
+		dim     = flag.Int("n", 6, "hypercube dimensionality")
+		algo    = flag.String("algo", "w-sort", "multicast algorithm")
+		ports   = flag.String("ports", "one-port,all-port", "comma-separated port models")
+		lanes   = flag.String("lanes", "1,2,4", "comma-separated virtual-channel counts")
+		policy  = flag.String("policy", "round-robin", "lane policy: round-robin, lowest-occupancy, or escape")
+		rates   = flag.String("rates", "0.25,0.5,1,2,4,8", "comma-separated offered loads, ops per simulated ms")
+		ops     = flag.Int("ops", 64, "Poisson arrivals per scenario")
+		m       = flag.Int("m", 0, "destinations per multicast (0 = half the cube)")
+		bytesF  = flag.Int("bytes", 4096, "message length")
+		seed    = flag.Int64("seed", 1993, "arrival and destination RNG seed")
+		machine = flag.String("machine", "ncube2", "machine model: ncube2 or ncube3")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotIt  = flag.Bool("plot", false, "render text line charts instead of tables")
+		dir     = flag.String("dir", "", "write the tables to this directory instead of stdout")
+	)
+	obs := cliutil.ObservabilityFlags()
+	flag.Parse()
+
+	if err := obs.Start("lanespec"); err != nil {
+		log.Fatal(err)
+	}
+	var rs []float64
+	for _, f := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || !(r > 0) {
+			log.Fatalf("bad rate %q in -rates", f)
+		}
+		rs = append(rs, r)
+	}
+	var ls []int
+	for _, f := range strings.Split(*lanes, ",") {
+		l, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || l < 1 {
+			log.Fatalf("bad lane count %q in -lanes", f)
+		}
+		ls = append(ls, l)
+	}
+	tbs, err := traffic.LaneSweep(traffic.LaneSweepConfig{
+		Dim:        *dim,
+		Machine:    *machine,
+		Algorithm:  *algo,
+		Ports:      splitTrim(*ports),
+		Lanes:      ls,
+		Policy:     *policy,
+		RatesPerMS: rs,
+		Ops:        *ops,
+		DestCount:  *m,
+		Bytes:      *bytesF,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := []struct {
+		name string
+		tb   *stats.Table
+	}{
+		{"lanes_blocked", tbs.Blocked},
+		{"lanes_sojourn", tbs.Sojourn},
+		{"lanes_util", tbs.Util},
+	}
+	if *dir == "" {
+		for i, t := range tables {
+			if i > 0 && !*csv {
+				fmt.Println()
+			}
+			fmt.Print(cliutil.RenderTable(t.tb, *csv, *plotIt))
+		}
+	} else {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			if err := os.WriteFile(filepath.Join(*dir, t.name+".txt"), []byte(t.tb.Render()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*dir, t.name+".csv"), []byte(t.tb.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := obs.Finish(map[string]any{"dim": *dim, "ops": *ops, "seed": *seed}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

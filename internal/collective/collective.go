@@ -62,7 +62,7 @@ type engine struct {
 func newEngine(p ncube.Params, cube topology.Cube) *engine {
 	p.Validate()
 	q := &event.Queue{}
-	return newEngineWith(q, wormhole.New(q, cube, wormhole.Config{THop: p.THop, TByte: p.TByte}), p, cube, nil)
+	return newEngineWith(q, wormhole.New(q, cube, p.NetConfig()), p, cube, nil)
 }
 
 func newEngineOn(sub Substrate) *engine {

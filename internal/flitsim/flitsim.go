@@ -19,12 +19,21 @@ import (
 
 	"hypercube/internal/metrics"
 	"hypercube/internal/topology"
+	"hypercube/internal/vc"
 )
 
 // Config sets the router microarchitecture.
 type Config struct {
 	// BufFlits is the flit capacity of each input buffer (>= 1).
 	BufFlits int
+	// Lanes is the number of virtual channels per directed arc; 0 and 1
+	// both select the single-lane legacy model. Each lane still moves at
+	// most one flit per cycle — the physical wire is not multiplied — so
+	// lanes buy admission concurrency, matching the message-level model.
+	Lanes int
+	// Policy selects the lane-allocation policy (vc.Kind); meaningful only
+	// when Lanes > 1.
+	Policy vc.Kind
 }
 
 // FaultHook injects failures at cycle granularity (faults.Cycles adapts
@@ -71,10 +80,11 @@ type finisher interface {
 // map.
 type hop struct {
 	arc      topology.Arc
-	ch       *channelState
+	ch       *arcChannels
 	crossed  int  // flits that have traversed this channel
-	owned    bool // header owns this channel
-	queued   bool // waiting in this channel's arbitration queue
+	lane     int8 // lane owned at this arc (valid while owned)
+	owned    bool // header owns a lane of this channel
+	queued   bool // waiting in this arc's arbitration queue
 	notified bool // HeaderBlocked already fired for this channel
 }
 
@@ -101,21 +111,31 @@ type Message struct {
 // Latency returns delivery time measured from the injection-eligible cycle.
 func (m *Message) Latency() int64 { return m.DeliveredAt - m.start }
 
-type channelState struct {
-	owner *Message
+// arcChannels is the per-arc state: one owner slot per lane, the arc's
+// FIFO arbitration queue (shared by all lanes, exactly the legacy
+// single-channel queue at one lane), and the lane-policy scratch.
+type arcChannels struct {
+	lanes []*Message // owner per lane; nil is free
 	queue []*Message
+	alloc vc.ArcState
 }
 
 // Network is one flit-level interconnect.
 type Network struct {
 	cube     topology.Cube
 	cfg      Config
-	channels map[topology.Arc]*channelState
+	nlanes   int
+	policy   vc.Kind
+	channels map[topology.Arc]*arcChannels
 	msgs     []*Message
 	cycle    int64
 	faults   FaultHook
 	failed   int
 	tracer   Tracer
+
+	// laneGrants counts arbitration wins per lane index across all arcs;
+	// nil on single-lane networks.
+	laneGrants []int64
 
 	// Concurrent-injection bookkeeping: messages scheduled but not yet
 	// completed, and the peak of that count — the flit-level counterpart
@@ -166,7 +186,32 @@ func New(cube topology.Cube, cfg Config) *Network {
 	if cfg.BufFlits < 1 {
 		panic("flitsim: buffer depth must be >= 1")
 	}
-	return &Network{cube: cube, cfg: cfg, channels: make(map[topology.Arc]*channelState)}
+	vcCfg := vc.Config{Lanes: cfg.Lanes, Policy: cfg.Policy, BufFlits: cfg.BufFlits}
+	if err := vcCfg.Err(); err != nil {
+		panic("flitsim: " + err.Error())
+	}
+	n := &Network{
+		cube:     cube,
+		cfg:      cfg,
+		nlanes:   vcCfg.LaneCount(),
+		policy:   cfg.Policy,
+		channels: make(map[topology.Arc]*arcChannels),
+	}
+	if n.nlanes > 1 {
+		n.laneGrants = make([]int64, n.nlanes)
+	}
+	return n
+}
+
+// LaneGrants returns cumulative arbitration wins per lane index across all
+// arcs, or nil for single-lane networks.
+func (n *Network) LaneGrants() []int64 {
+	if n.laneGrants == nil {
+		return nil
+	}
+	out := make([]int64, len(n.laneGrants))
+	copy(out, n.laneGrants)
+	return out
 }
 
 // Cycle returns the current cycle count.
@@ -226,10 +271,10 @@ func (n *Network) putHops(hs []hop) {
 	}
 }
 
-func (n *Network) channel(a topology.Arc) *channelState {
+func (n *Network) channel(a topology.Arc) *arcChannels {
 	ch, ok := n.channels[a]
 	if !ok {
-		ch = &channelState{}
+		ch = &arcChannels{lanes: make([]*Message, n.nlanes)}
 		n.channels[a] = ch
 	}
 	return ch
@@ -316,7 +361,7 @@ func (n *Network) fail(m *Message) {
 		h := &m.hops[i]
 		if h.owned {
 			h.owned = false
-			h.ch.owner = nil
+			h.ch.lanes[h.lane] = nil
 			if n.tracer != nil {
 				n.tracer.ChannelReleased(h.arc, n.cycle)
 			}
@@ -383,11 +428,26 @@ func (n *Network) step() bool {
 		if i >= 0 && m.hops[i].queued {
 			h := &m.hops[i]
 			ch := h.ch
-			if ch.owner == nil && len(ch.queue) > 0 && ch.queue[0] == m {
-				ch.owner = m
+			pick := -1
+			if len(ch.queue) > 0 && ch.queue[0] == m {
+				var free uint8
+				for l := 0; l < n.nlanes; l++ {
+					if ch.lanes[l] == nil {
+						free |= 1 << l
+					}
+				}
+				pick = vc.Pick(n.policy, &ch.alloc, n.nlanes, free)
+			}
+			if pick >= 0 {
+				vc.Claimed(n.policy, &ch.alloc, n.nlanes, pick)
+				ch.lanes[pick] = m
 				ch.queue = ch.queue[1:]
 				h.owned = true
 				h.queued = false
+				h.lane = int8(pick)
+				if n.laneGrants != nil {
+					n.laneGrants[pick]++
+				}
 				if n.tracer != nil {
 					n.tracer.ChannelAcquired(h.arc, m.From, m.To, n.cycle)
 				}
@@ -453,9 +513,9 @@ func (n *Network) step() bool {
 				n.mMoves.Inc()
 			}
 			if hp.crossed == m.Flits {
-				// Tail passed: release the channel.
+				// Tail passed: release the lane.
 				hp.owned = false
-				hp.ch.owner = nil
+				hp.ch.lanes[hp.lane] = nil
 				if n.tracer != nil {
 					n.tracer.ChannelReleased(hp.arc, n.cycle)
 				}
@@ -492,7 +552,7 @@ func (n *Network) finish(m *Message) {
 			// Defensive: tails release channels as they pass, so
 			// nothing should remain owned here.
 			h.owned = false
-			h.ch.owner = nil
+			h.ch.lanes[h.lane] = nil
 			if n.tracer != nil {
 				n.tracer.ChannelReleased(h.arc, n.cycle)
 			}

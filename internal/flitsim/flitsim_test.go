@@ -185,8 +185,13 @@ func TestRandomTrafficDrains(t *testing.T) {
 		}
 	}
 	for arc, ch := range nw.channels {
-		if ch.owner != nil || len(ch.queue) != 0 {
-			t.Fatalf("channel %v left owned/queued", arc)
+		for lane, owner := range ch.lanes {
+			if owner != nil {
+				t.Fatalf("channel %v lane %d left owned", arc, lane)
+			}
+		}
+		if len(ch.queue) != 0 {
+			t.Fatalf("channel %v left queued", arc)
 		}
 	}
 }

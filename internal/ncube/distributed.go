@@ -52,7 +52,7 @@ func (jp JitterParams) Validate() {
 func RunDistributed(jp JitterParams, cube topology.Cube, a core.Algorithm, src topology.NodeID, dests []topology.NodeID, bytes int) Result {
 	jp.Validate()
 	q := &event.Queue{}
-	net := wormhole.New(q, cube, wormhole.Config{THop: jp.THop, TByte: jp.TByte})
+	net := wormhole.New(q, cube, jp.NetConfig())
 	rng := rand.New(rand.NewSource(jp.Seed))
 	jitter := func(d event.Time) event.Time {
 		if jp.Amount == 0 {

@@ -110,7 +110,7 @@ func RunFaultTolerantInstrumented(jp JitterParams, cube topology.Cube, a core.Al
 		got:    make(map[topology.NodeID]bool),
 		isDest: destSet(src, dests),
 	}
-	r.net = wormhole.New(r.q, cube, wormhole.Config{THop: jp.THop, TByte: jp.TByte})
+	r.net = wormhole.New(r.q, cube, jp.NetConfig())
 	r.net.SetFaults(inj)
 	r.q.SetDiagnoser(r.net.Diagnose)
 	ins.instrument(r.q, r.net)

@@ -36,7 +36,7 @@ func RunManyInstrumented(p Params, trees []*core.Tree, bytes int, ins Instrument
 		}
 	}
 	q := &event.Queue{}
-	net := wormhole.New(q, cube, wormhole.Config{THop: p.THop, TByte: p.TByte})
+	net := wormhole.New(q, cube, p.NetConfig())
 	ins.instrument(q, net)
 	ins.Metrics.Counter("mcast_runs").Add(int64(len(trees)))
 

@@ -22,6 +22,7 @@ import (
 	"hypercube/internal/event"
 	"hypercube/internal/metrics"
 	"hypercube/internal/topology"
+	"hypercube/internal/vc"
 	"hypercube/internal/wormhole"
 )
 
@@ -39,6 +40,14 @@ type Params struct {
 	TByte event.Time
 	// Port chooses the node/router interface model.
 	Port core.PortModel
+
+	// Lanes is the number of virtual channels per directed network arc;
+	// 0 and 1 both select the single-lane legacy interconnect
+	// (byte-identical to the pre-VC simulator). See internal/vc.
+	Lanes int
+	// VCPolicy selects the lane-allocation policy; meaningful only when
+	// Lanes > 1.
+	VCPolicy vc.Kind
 
 	// Reliability knobs for the fault-tolerant protocol
 	// (RunFaultTolerant). The fault-free entry points ignore them.
@@ -111,6 +120,9 @@ func (p Params) Err() error {
 	if p.Port != core.OnePort && p.Port != core.AllPort {
 		return fmt.Errorf("ncube: invalid port model %d", int(p.Port))
 	}
+	if err := (vc.Config{Lanes: p.Lanes, Policy: p.VCPolicy}).Err(); err != nil {
+		return fmt.Errorf("ncube: %v", err)
+	}
 	if p.AckTimeout < 0 {
 		return fmt.Errorf("ncube: negative ack timeout %v", p.AckTimeout)
 	}
@@ -121,7 +133,8 @@ func (p Params) Err() error {
 		return fmt.Errorf("ncube: negative retry budget %d", p.MaxRetries)
 	}
 	if p.WatchdogSteps < 0 || p.WatchdogTime < 0 {
-		return fmt.Errorf("ncube: negative watchdog budget")
+		return fmt.Errorf("ncube: negative watchdog budget (WatchdogSteps=%d WatchdogTime=%v)",
+			p.WatchdogSteps, p.WatchdogTime)
 	}
 	if p.Workers < 0 {
 		return fmt.Errorf("ncube: negative worker count %d", p.Workers)
@@ -135,6 +148,13 @@ func (p Params) Validate() {
 	if err := p.Err(); err != nil {
 		panic(err)
 	}
+}
+
+// NetConfig projects the machine parameters onto the interconnect model:
+// timing plus the virtual-channel shape. Every network built for these
+// params must go through this, so the lane knob cannot silently drop.
+func (p Params) NetConfig() wormhole.Config {
+	return wormhole.Config{THop: p.THop, TByte: p.TByte, Lanes: p.Lanes, Policy: p.VCPolicy}
 }
 
 // Result reports one multicast execution.
@@ -281,7 +301,7 @@ var envPool = sync.Pool{New: func() any { return new(runEnv) }}
 // getEnv borrows an env and rebinds it to one run's machine and tree.
 func getEnv(p Params, tr *core.Tree, res *Result, bytes int) *runEnv {
 	env := envPool.Get().(*runEnv)
-	cfg := wormhole.Config{THop: p.THop, TByte: p.TByte}
+	cfg := p.NetConfig()
 	env.q.Reset()
 	if env.net == nil {
 		env.net = wormhole.New(&env.q, tr.Cube, cfg)

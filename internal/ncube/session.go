@@ -45,7 +45,7 @@ var sessionPool = sync.Pool{New: func() any { return new(Session) }}
 func NewSession(p Params, cube topology.Cube, ins Instrumentation) *Session {
 	p.Validate()
 	s := sessionPool.Get().(*Session)
-	cfg := wormhole.Config{THop: p.THop, TByte: p.TByte}
+	cfg := p.NetConfig()
 	s.q.Reset()
 	if s.net == nil {
 		s.net = wormhole.New(&s.q, cube, cfg)

@@ -97,6 +97,49 @@ func TestCanonicalizationSharesCacheEntry(t *testing.T) {
 	}
 }
 
+func TestLaneRequestsCanonicalizeAndCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// lanes:1 is the legacy model spelled out: it canonicalizes to the
+	// field being absent and shares the legacy request's cache entry.
+	_, b1 := post(t, ts.URL, "/v1/simulate", simReq)
+	r2, b2 := post(t, ts.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,3,5,7,12,19,31],"bytes":4096,"lanes":1}`)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("lanes:1 request X-Cache = %q, want hit (should share the legacy cache entry)", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("lanes:1 request body differs from the legacy body")
+	}
+	// A genuinely multi-lane request runs, echoes its canonical lane
+	// config (default policy filled in), and lands in its own cache entry.
+	r3, b3 := post(t, ts.URL, "/v1/simulate",
+		`{"dim":5,"algorithm":"w-sort","src":0,"dests":[1,3,5,7,12,19,31],"bytes":4096,"lanes":4}`)
+	if r3.StatusCode != 200 {
+		t.Fatalf("lanes:4 request: %d %s", r3.StatusCode, b3)
+	}
+	if got := r3.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("lanes:4 request X-Cache = %q, want miss (lane config must join the cache key)", got)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(b3, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Request.Lanes != 4 || resp.Request.VCPolicy != "round-robin" {
+		t.Errorf("canonical lane config = (%d, %q), want (4, round-robin)",
+			resp.Request.Lanes, resp.Request.VCPolicy)
+	}
+	// Arc-disjoint multicast traffic (one broadcast): lanes must not
+	// change the contention-free makespan.
+	var legacy SimulateResponse
+	if err := json.Unmarshal(b1, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if resp.MakespanNS != legacy.MakespanNS {
+		t.Errorf("multi-lane makespan %d != legacy %d on a contention-free multicast",
+			resp.MakespanNS, legacy.MakespanNS)
+	}
+}
+
 func TestSingleflightConcurrentIdenticalRequests(t *testing.T) {
 	// N identical concurrent requests must execute exactly one simulation
 	// and return byte-identical bodies.
@@ -325,6 +368,16 @@ func TestValidationErrors(t *testing.T) {
 		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[32]}`, "outside"},
 		{"/v1/collective", `{"op":"sort","dim":5}`, "unknown op"},
 		{"/v1/sweep", `{"kind":"stepwise","dim":5,"trials":9999}`, "trials"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"lanes":9}`, "lanes 9"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"lanes":-1}`, "lanes -1"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"vc_policy":"escape"}`, "lanes >= 2"},
+		{"/v1/simulate", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"lanes":2,"vc_policy":"fifo"}`, "unknown policy"},
+		{"/v1/collective", `{"op":"allgather","dim":5,"lanes":12}`, "lanes 12"},
+		{"/v1/collective", `{"op":"allgather","dim":5,"vc_policy":"escape"}`, "lanes >= 2"},
+		{"/v1/collective", `{"op":"allgather","dim":5,"t_compute_ns":-4}`, "t_compute_ns -4"},
+		{"/v1/simulate/fault-tolerant", `{"dim":5,"algorithm":"w-sort","src":0,"dests":[1],"max_sim_steps":-7}`, "max_sim_steps=-7"},
+		{"/v1/traffic", `{"dim":4,"lanes":99,"ops":[{"kind":"broadcast","src":0}]}`, "lanes 99"},
+		{"/v1/traffic", `{"dim":4,"vc_policy":"escape","ops":[{"kind":"broadcast","src":0}]}`, "lanes >= 2"},
 	}
 	for _, c := range cases {
 		resp, body := post(t, ts.URL, c.path, c.body)

@@ -11,6 +11,7 @@ import (
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
 	"hypercube/internal/traffic"
+	"hypercube/internal/vc"
 	"hypercube/internal/workload"
 )
 
@@ -102,6 +103,33 @@ func normalizeDests(cube topology.Cube, src topology.NodeID, dests []int, destCo
 	return out, nil
 }
 
+// normalizeLanes canonicalizes the (lanes, vc_policy) pair shared by the
+// simulation endpoints and applies it to the machine params: 0 and 1 both
+// mean the single-lane legacy interconnect and canonicalize to absent
+// fields, so every pre-VC request keeps its cache key; vc_policy is legal
+// only with lanes >= 2 and defaults to round-robin there.
+func normalizeLanes(lanes *int, policy *string, p *ncube.Params) error {
+	if *lanes < 0 || *lanes > vc.MaxLanes {
+		return badf("lanes %d outside [0, %d]", *lanes, vc.MaxLanes)
+	}
+	if *lanes <= 1 {
+		if *policy != "" {
+			return badf("vc_policy %q needs lanes >= 2", *policy)
+		}
+		*lanes = 0
+		return nil
+	}
+	if *policy == "" {
+		*policy = vc.RoundRobin.String()
+	}
+	k, err := vc.ParseKind(*policy)
+	if err != nil {
+		return badf("%v", err)
+	}
+	p.Lanes, p.VCPolicy = *lanes, k
+	return nil
+}
+
 func toNodeIDs(xs []int) []topology.NodeID {
 	out := make([]topology.NodeID, len(xs))
 	for i, x := range xs {
@@ -124,6 +152,11 @@ type SimulateRequest struct {
 	DestCount int    `json:"dest_count,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
 	Bytes     int    `json:"bytes,omitempty"` // default 4096
+	// Lanes is the virtual-channel count per directed arc (0/1: legacy
+	// single-lane); VCPolicy (round-robin | lowest-occupancy | escape)
+	// requires lanes >= 2.
+	Lanes    int    `json:"lanes,omitempty"`
+	VCPolicy string `json:"vc_policy,omitempty"`
 }
 
 // normalize validates r against lim and rewrites it into canonical form.
@@ -154,6 +187,9 @@ func (r *SimulateRequest) normalize(lim limits) (topology.Cube, ncube.Params, co
 	}
 	p, err := parseMachine(r.Machine, pm)
 	if err != nil {
+		return topology.Cube{}, ncube.Params{}, 0, err
+	}
+	if err := normalizeLanes(&r.Lanes, &r.VCPolicy, &p); err != nil {
 		return topology.Cube{}, ncube.Params{}, 0, err
 	}
 	if err := p.Err(); err != nil {
@@ -237,7 +273,7 @@ func (r *FaultTolerantRequest) normalize(lim limits) (topology.Cube, ncube.Param
 		return topology.Cube{}, ncube.Params{}, 0, faults.Plan{}, badf("negative link_faults %d", r.LinkFaults)
 	}
 	if r.MaxSimSteps < 0 || r.MaxSimTimeUS < 0 {
-		return topology.Cube{}, ncube.Params{}, 0, faults.Plan{}, badf("negative watchdog budget")
+		return topology.Cube{}, ncube.Params{}, 0, faults.Plan{}, badf("negative watchdog budget (max_sim_steps=%d max_sim_time_us=%d)", r.MaxSimSteps, r.MaxSimTimeUS)
 	}
 	plan := faults.Plan{
 		Seed:         r.FaultSeed,
@@ -302,6 +338,11 @@ type CollectiveRequest struct {
 	// IncludeFinish adds every node's completion time to the response
 	// (verbose on large cubes).
 	IncludeFinish bool `json:"include_finish,omitempty"`
+	// Lanes is the virtual-channel count per directed arc (0/1: legacy
+	// single-lane); VCPolicy (round-robin | lowest-occupancy | escape)
+	// requires lanes >= 2.
+	Lanes    int    `json:"lanes,omitempty"`
+	VCPolicy string `json:"vc_policy,omitempty"`
 }
 
 var collectiveOps = map[string]bool{
@@ -356,7 +397,7 @@ func (r *CollectiveRequest) normalize(lim limits) (topology.Cube, ncube.Params, 
 		return topology.Cube{}, ncube.Params{}, badf("bytes %d outside [0, %d]", r.Bytes, lim.maxBytes)
 	}
 	if r.TComputeNS < 0 {
-		return topology.Cube{}, ncube.Params{}, badf("negative t_compute_ns")
+		return topology.Cube{}, ncube.Params{}, badf("negative t_compute_ns %d", r.TComputeNS)
 	}
 	if r.Op == "alltoall" && r.TComputeNS != 0 {
 		return topology.Cube{}, ncube.Params{}, badf("alltoall has no combining step (drop t_compute_ns)")
@@ -371,6 +412,9 @@ func (r *CollectiveRequest) normalize(lim limits) (topology.Cube, ncube.Params, 
 	}
 	p, err := parseMachine(r.Machine, pm)
 	if err != nil {
+		return topology.Cube{}, ncube.Params{}, err
+	}
+	if err := normalizeLanes(&r.Lanes, &r.VCPolicy, &p); err != nil {
 		return topology.Cube{}, ncube.Params{}, err
 	}
 	if err := p.Err(); err != nil {

@@ -83,6 +83,22 @@ type NetStats struct {
 	// unicasts; PeakQueue is the deepest channel arbitration queue.
 	MaxInFlight int `json:"max_in_flight"`
 	PeakQueue   int `json:"peak_queue"`
+	// Lanes breaks the aggregates down per virtual channel; present only
+	// for multi-lane scenarios, so single-lane results keep their exact
+	// legacy bytes.
+	Lanes []LaneNetStats `json:"lanes,omitempty"`
+}
+
+// LaneNetStats is one lane's share of the network aggregates.
+type LaneNetStats struct {
+	Lane      int   `json:"lane"`
+	Acquires  int64 `json:"acquires"`
+	HoldNS    int64 `json:"hold_ns"`
+	Blocks    int64 `json:"blocks"`
+	BlockedNS int64 `json:"blocked_ns"`
+	// Utilization is HoldNS over total arc-time (arcs x duration) — the
+	// fraction of physical channel-time this lane kept occupied.
+	Utilization float64 `json:"utilization"`
 }
 
 // Result is one scenario execution. Ops are in trace order.
@@ -536,9 +552,26 @@ func (e *engine) collect(reg *metrics.Registry) (*Result, error) {
 		MaxInFlight:   net.MaxInFlight(),
 		PeakQueue:     net.MaxQueueLen(),
 	}
-	if arcTime := float64(e.cube.Nodes()) * float64(e.cube.Dim()) * float64(dur); arcTime > 0 {
+	arcTime := float64(e.cube.Nodes()) * float64(e.cube.Dim()) * float64(dur)
+	if arcTime > 0 {
 		res.Net.ChannelUtilization = float64(res.Net.ChannelHoldNS) / arcTime
 		res.Net.BlockedFraction = float64(res.Net.BlockedNS) / arcTime
+	}
+	if ls := net.LaneStats(); ls != nil {
+		res.Net.Lanes = make([]LaneNetStats, len(ls))
+		for l, st := range ls {
+			out := LaneNetStats{
+				Lane:      l,
+				Acquires:  st.Acquires,
+				HoldNS:    st.HoldNS,
+				Blocks:    st.Blocks,
+				BlockedNS: st.BlockedNS,
+			}
+			if arcTime > 0 {
+				out.Utilization = float64(st.HoldNS) / arcTime
+			}
+			res.Net.Lanes[l] = out
+		}
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"hypercube/internal/group"
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
+	"hypercube/internal/vc"
 )
 
 const farApartUS = 100_000 // 100ms: far beyond any single op's makespan here
@@ -96,7 +98,9 @@ func subcubeGroups() ([][]int, []int) {
 // 4-subcubes of a 6-cube use disjoint channel sets (E-cube paths never
 // leave a subcube), so running them CONCURRENTLY must give every op
 // exactly its isolated single-run delay, zero queueing, zero blocking.
-// Run under -race via `go test -race`.
+// Run under -race via `go test -race`. The theorem is lane-independent:
+// arc-disjoint schedules never contend, so every lane count must report
+// the identical isolated delays with zero blocking, spare lanes idle.
 func TestArcDisjointBroadcastsContentionFree(t *testing.T) {
 	const dim, bytes = 6, 2048
 	cube := topology.New(dim, topology.HighToLow)
@@ -104,59 +108,92 @@ func TestArcDisjointBroadcastsContentionFree(t *testing.T) {
 	alg := mustAlg(t, "w-sort")
 	groups, roots := subcubeGroups()
 
-	spec := &Spec{Dim: dim}
-	for g := range groups {
-		var dests []int
-		for _, v := range groups[g] {
-			if v != roots[g] {
-				dests = append(dests, v)
+	for _, lanes := range []int{1, 2, 4} {
+		lanes := lanes
+		t.Run(fmt.Sprintf("%dlanes", lanes), func(t *testing.T) {
+			spec := &Spec{Dim: dim}
+			if lanes > 1 {
+				spec.Lanes = lanes
+				spec.VCPolicy = vc.RoundRobin.String()
 			}
-		}
-		spec.Ops = append(spec.Ops, Op{Kind: KindMulticast, Src: roots[g], Dests: dests, Bytes: bytes})
-	}
-	res, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for g := range groups {
-		comm, err := group.New(cube, toNodeIDs(groups[g]))
-		if err != nil {
-			t.Fatal(err)
-		}
-		rank, _ := comm.Rank(topology.NodeID(roots[g]))
-		isolated := ncube.Run(p, comm.Bcast(alg, rank), bytes).Makespan
-		op := res.Ops[g]
-		if op.ServiceNS != int64(isolated) {
-			t.Errorf("subcube %d: concurrent service %dns != isolated %dns", g, op.ServiceNS, int64(isolated))
-		}
-		if op.QueueNS != 0 || op.BlockedNS != 0 {
-			t.Errorf("subcube %d: queue %dns blocked %dns, want 0/0", g, op.QueueNS, op.BlockedNS)
-		}
-	}
-	if res.Net.BlockedNS != 0 {
-		t.Errorf("arc-disjoint scenario blocked %dns network-wide", res.Net.BlockedNS)
-	}
-	if res.Net.MaxInFlight < 4 {
-		t.Errorf("expected >= 4 concurrent in-flight unicasts, got %d", res.Net.MaxInFlight)
-	}
+			for g := range groups {
+				var dests []int
+				for _, v := range groups[g] {
+					if v != roots[g] {
+						dests = append(dests, v)
+					}
+				}
+				spec.Ops = append(spec.Ops, Op{Kind: KindMulticast, Src: roots[g], Dests: dests, Bytes: bytes})
+			}
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := range groups {
+				comm, err := group.New(cube, toNodeIDs(groups[g]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rank, _ := comm.Rank(topology.NodeID(roots[g]))
+				isolated := ncube.Run(p, comm.Bcast(alg, rank), bytes).Makespan
+				op := res.Ops[g]
+				if op.ServiceNS != int64(isolated) {
+					t.Errorf("subcube %d: concurrent service %dns != isolated %dns", g, op.ServiceNS, int64(isolated))
+				}
+				if op.QueueNS != 0 || op.BlockedNS != 0 {
+					t.Errorf("subcube %d: queue %dns blocked %dns, want 0/0", g, op.QueueNS, op.BlockedNS)
+				}
+			}
+			if res.Net.BlockedNS != 0 {
+				t.Errorf("arc-disjoint scenario blocked %dns network-wide", res.Net.BlockedNS)
+			}
+			if res.Net.MaxInFlight < 4 {
+				t.Errorf("expected >= 4 concurrent in-flight unicasts, got %d", res.Net.MaxInFlight)
+			}
+			if lanes > 1 {
+				// Contention-free round-robin never leaves lane 0: each arc
+				// is claimed exactly once, so the spare lanes stay idle and
+				// the per-lane report confirms it.
+				if len(res.Net.Lanes) != lanes {
+					t.Fatalf("per-lane report sized %d, want %d", len(res.Net.Lanes), lanes)
+				}
+				for _, ls := range res.Net.Lanes {
+					if ls.BlockedNS != 0 || ls.Blocks != 0 {
+						t.Errorf("lane %d: %d blocks %dns blocked on an arc-disjoint schedule",
+							ls.Lane, ls.Blocks, ls.BlockedNS)
+					}
+					if ls.Lane > 0 && ls.Acquires != 0 {
+						t.Errorf("spare lane %d acquired %d times on a contention-free schedule",
+							ls.Lane, ls.Acquires)
+					}
+				}
+			} else if len(res.Net.Lanes) != 0 {
+				t.Errorf("single-lane run reported %d per-lane rows, want none", len(res.Net.Lanes))
+			}
 
-	// The same phase expressed as ONE group-phase op: its service time is
-	// the max of the four isolated makespans, still contention-free.
-	phase := &Spec{Dim: dim, Ops: []Op{{Kind: KindGroupPhase, Groups: groups, Roots: roots, Bytes: bytes}}}
-	pres, err := Run(phase)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var worst event.Time
-	for g := range groups {
-		comm, _ := group.New(cube, toNodeIDs(groups[g]))
-		rank, _ := comm.Rank(topology.NodeID(roots[g]))
-		if m := ncube.Run(p, comm.Bcast(alg, rank), bytes).Makespan; m > worst {
-			worst = m
-		}
-	}
-	if got := pres.Ops[0]; got.ServiceNS != int64(worst) || got.BlockedNS != 0 {
-		t.Errorf("group-phase: service %dns blocked %dns, want %dns / 0", got.ServiceNS, got.BlockedNS, int64(worst))
+			// The same phase expressed as ONE group-phase op: its service time is
+			// the max of the four isolated makespans, still contention-free.
+			phase := &Spec{Dim: dim, Ops: []Op{{Kind: KindGroupPhase, Groups: groups, Roots: roots, Bytes: bytes}}}
+			if lanes > 1 {
+				phase.Lanes = lanes
+				phase.VCPolicy = vc.RoundRobin.String()
+			}
+			pres, err := Run(phase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var worst event.Time
+			for g := range groups {
+				comm, _ := group.New(cube, toNodeIDs(groups[g]))
+				rank, _ := comm.Rank(topology.NodeID(roots[g]))
+				if m := ncube.Run(p, comm.Bcast(alg, rank), bytes).Makespan; m > worst {
+					worst = m
+				}
+			}
+			if got := pres.Ops[0]; got.ServiceNS != int64(worst) || got.BlockedNS != 0 {
+				t.Errorf("group-phase: service %dns blocked %dns, want %dns / 0", got.ServiceNS, got.BlockedNS, int64(worst))
+			}
+		})
 	}
 }
 

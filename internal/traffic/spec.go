@@ -38,6 +38,7 @@ import (
 	"hypercube/internal/faults"
 	"hypercube/internal/ncube"
 	"hypercube/internal/topology"
+	"hypercube/internal/vc"
 	"hypercube/internal/workload"
 )
 
@@ -116,7 +117,14 @@ type Spec struct {
 	Dim     int    `json:"dim"`
 	Machine string `json:"machine,omitempty"` // ncube2 (default) | ncube3
 	Port    string `json:"port,omitempty"`    // all-port (default) | one-port
-	Seed    int64  `json:"seed,omitempty"`
+	// Lanes is the virtual-channel count per directed arc; 0 and 1 both
+	// mean the single-lane legacy interconnect, and canonicalize to the
+	// field being absent — so every pre-VC spec keeps its canonical bytes
+	// (and cache key). VCPolicy ("round-robin" default, "lowest-occupancy",
+	// "escape") is legal only with Lanes >= 2.
+	Lanes    int    `json:"lanes,omitempty"`
+	VCPolicy string `json:"vc_policy,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
 	// Arrivals, when present, is expanded into explicit Ops by
 	// Canonicalize and then cleared — the canonical form is always an
 	// explicit trace.
@@ -299,13 +307,24 @@ func (s *Spec) params() (ncube.Params, error) {
 	default:
 		return ncube.Params{}, fmt.Errorf("traffic: unknown port model %q (want one-port or all-port)", s.Port)
 	}
+	var p ncube.Params
 	switch s.Machine {
 	case "ncube2":
-		return ncube.NCube2(pm), nil
+		p = ncube.NCube2(pm)
 	case "ncube3":
-		return ncube.NCube3(pm), nil
+		p = ncube.NCube3(pm)
+	default:
+		return ncube.Params{}, fmt.Errorf("traffic: unknown machine %q (want ncube2 or ncube3)", s.Machine)
 	}
-	return ncube.Params{}, fmt.Errorf("traffic: unknown machine %q (want ncube2 or ncube3)", s.Machine)
+	if s.Lanes > 1 {
+		p.Lanes = s.Lanes
+		k, err := vc.ParseKind(s.VCPolicy)
+		if err != nil {
+			return ncube.Params{}, fmt.Errorf("traffic: %v", err)
+		}
+		p.VCPolicy = k
+	}
+	return p, nil
 }
 
 // Canonicalize validates s against lim and rewrites it in place into the
@@ -323,6 +342,19 @@ func (s *Spec) Canonicalize(lim Limits) error {
 	}
 	if s.Port == "" {
 		s.Port = "all-port"
+	}
+	if s.Lanes < 0 || s.Lanes > vc.MaxLanes {
+		return fmt.Errorf("traffic: lanes %d outside [0, %d]", s.Lanes, vc.MaxLanes)
+	}
+	if s.Lanes <= 1 {
+		// Single-lane: canonicalize to the fields being absent, keeping
+		// every legacy spec's canonical bytes (and cache key) unchanged.
+		if s.VCPolicy != "" {
+			return fmt.Errorf("traffic: vc_policy %q needs lanes >= 2", s.VCPolicy)
+		}
+		s.Lanes = 0
+	} else if s.VCPolicy == "" {
+		s.VCPolicy = vc.RoundRobin.String()
 	}
 	if _, err := s.params(); err != nil {
 		return err

@@ -1,0 +1,178 @@
+// Package vc implements per-arc virtual channels ("lanes") for the
+// wormhole interconnect models: the lane-allocation policies, the per-arc
+// allocation state, and the configuration shared by the message-level
+// model (internal/wormhole) and the flit-level model (internal/flitsim).
+//
+// A physical directed channel (topology.Arc) is split into Lanes virtual
+// channels. Each lane has its own owner; headers that find every lane busy
+// queue FIFO at the arc, exactly as they queue on the single channel of
+// the legacy model. With one lane the whole mechanism degenerates to the
+// legacy single-channel arbitration, which is why lanes=1 runs are
+// byte-identical to the pre-VC simulator (see DESIGN.md §16).
+//
+// Policies are pure functions of the per-arc ArcState and the free-lane
+// set, so a seeded scenario replays identically: no randomness, no map
+// iteration, no wall clock.
+package vc
+
+import "fmt"
+
+// Kind selects the lane-allocation policy of a multi-lane network.
+type Kind uint8
+
+const (
+	// RoundRobin rotates a per-arc cursor over the lanes, granting the
+	// first free lane at or after it — deterministic load spreading.
+	RoundRobin Kind = iota
+	// LowestOccupancy grants the free lane with the fewest cumulative
+	// grants on this arc, ties to the lowest index — long-run balancing
+	// even under skewed release patterns.
+	LowestOccupancy
+	// Escape reserves lane 0 as the escape lane and round-robins over the
+	// adaptive lanes 1..L-1, falling back to lane 0 only when every
+	// adaptive lane is busy. On a hypercube with E-cube routing this is
+	// pure policy flavor (the channel dependency graph is already
+	// acyclic); it exists as the dateline/escape discipline a future
+	// torus needs for deadlock avoidance.
+	Escape
+
+	kindCount
+)
+
+// MaxLanes bounds the per-arc lane count. Eight lanes keep ArcState one
+// cache line and cover every published multi-lane study this repo cites
+// (Träff's k-lane spectra and Stergiou's multi-lane MINs stop well short).
+const MaxLanes = 8
+
+// String returns the canonical wire name of the policy.
+func (k Kind) String() string {
+	switch k {
+	case RoundRobin:
+		return "round-robin"
+	case LowestOccupancy:
+		return "lowest-occupancy"
+	case Escape:
+		return "escape"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k names a policy.
+func (k Kind) Valid() bool { return k < kindCount }
+
+// ParseKind maps a canonical wire name to its policy.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "round-robin":
+		return RoundRobin, nil
+	case "lowest-occupancy":
+		return LowestOccupancy, nil
+	case "escape":
+		return Escape, nil
+	}
+	return 0, fmt.Errorf("vc: unknown policy %q (want round-robin, lowest-occupancy, or escape)", s)
+}
+
+// Config is the virtual-channel shape of one network.
+type Config struct {
+	// Lanes is the number of virtual channels per directed arc; 0 and 1
+	// both select the single-lane legacy model.
+	Lanes int
+	// Policy selects the lane-allocation policy; meaningful only when
+	// Lanes > 1.
+	Policy Kind
+	// BufFlits is the per-lane buffer depth of the flit-level model
+	// (ignored by the message-level model); 0 selects the model default.
+	BufFlits int
+}
+
+// LaneCount normalizes Lanes: the number of lanes actually simulated.
+func (c Config) LaneCount() int {
+	if c.Lanes <= 1 {
+		return 1
+	}
+	return c.Lanes
+}
+
+// Err reports a nonsensical configuration; nil means well-formed.
+func (c Config) Err() error {
+	if c.Lanes < 0 || c.Lanes > MaxLanes {
+		return fmt.Errorf("vc: lane count %d outside [0, %d]", c.Lanes, MaxLanes)
+	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("vc: invalid policy %d (want 0..%d)", int(c.Policy), int(kindCount)-1)
+	}
+	if c.BufFlits < 0 {
+		return fmt.Errorf("vc: negative buffer depth %d", c.BufFlits)
+	}
+	return nil
+}
+
+// ArcState is the per-arc allocation scratch of a multi-lane network.
+// Callers own the storage (a dense slice indexed by arc, or a sparse map)
+// and hand the same entry back for every decision on that arc.
+type ArcState struct {
+	// RR is the rotation cursor of RoundRobin and Escape.
+	RR uint8
+	// Uses counts cumulative grants per lane for LowestOccupancy.
+	Uses [MaxLanes]uint32
+}
+
+// Pick selects a lane of the arc under policy k. freeMask has bit l set
+// when lane l is allocatable (unowned and not faulted). It returns -1 when
+// no lane is free; it never returns a lane whose bit is clear. Callers
+// must follow a successful Pick with Claimed on the same state.
+func Pick(k Kind, st *ArcState, lanes int, freeMask uint8) int {
+	if freeMask == 0 {
+		return -1
+	}
+	switch k {
+	case LowestOccupancy:
+		best := -1
+		for l := 0; l < lanes; l++ {
+			if freeMask&(1<<l) == 0 {
+				continue
+			}
+			if best < 0 || st.Uses[l] < st.Uses[best] {
+				best = l
+			}
+		}
+		return best
+	case Escape:
+		if lanes > 1 {
+			adaptive := lanes - 1
+			for off := 0; off < adaptive; off++ {
+				l := 1 + (int(st.RR)+off)%adaptive
+				if freeMask&(1<<l) != 0 {
+					return l
+				}
+			}
+		}
+		if freeMask&1 != 0 {
+			return 0
+		}
+		return -1
+	default: // RoundRobin
+		for off := 0; off < lanes; off++ {
+			l := (int(st.RR) + off) % lanes
+			if freeMask&(1<<l) != 0 {
+				return l
+			}
+		}
+		return -1
+	}
+}
+
+// Claimed records that lane l of the arc was granted — by Pick, or
+// directly when a released lane is handed to the head of the arc's FIFO.
+func Claimed(k Kind, st *ArcState, lanes int, l int) {
+	st.Uses[l]++
+	switch k {
+	case RoundRobin:
+		st.RR = uint8((l + 1) % lanes)
+	case Escape:
+		if l > 0 && lanes > 1 {
+			st.RR = uint8(l % (lanes - 1)) // adaptive index (l-1) + 1
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package vc
+
+import "testing"
+
+func TestKindStringParseRoundTrip(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %q -> %v", k, k.String(), got)
+		}
+		if !k.Valid() {
+			t.Errorf("%v not Valid", k)
+		}
+	}
+	if _, err := ParseKind("fifo"); err == nil {
+		t.Error("ParseKind accepted an unknown policy")
+	}
+	if Kind(250).Valid() {
+		t.Error("Kind(250) reported Valid")
+	}
+}
+
+func TestConfigErr(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{}, true},
+		{Config{Lanes: 1}, true},
+		{Config{Lanes: MaxLanes, Policy: Escape, BufFlits: 4}, true},
+		{Config{Lanes: -1}, false},
+		{Config{Lanes: MaxLanes + 1}, false},
+		{Config{Policy: kindCount}, false},
+		{Config{BufFlits: -2}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Err(); (err == nil) != c.ok {
+			t.Errorf("Config%+v.Err() = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+	if got := (Config{}).LaneCount(); got != 1 {
+		t.Errorf("zero Config LaneCount = %d, want 1", got)
+	}
+	if got := (Config{Lanes: 4}).LaneCount(); got != 4 {
+		t.Errorf("LaneCount = %d, want 4", got)
+	}
+}
+
+func TestPickNoFreeLanes(t *testing.T) {
+	var st ArcState
+	for k := Kind(0); k < kindCount; k++ {
+		if got := Pick(k, &st, 4, 0); got != -1 {
+			t.Errorf("%v: Pick with empty mask = %d, want -1", k, got)
+		}
+	}
+}
+
+func TestPickSingleLaneDegeneratesToBusyCheck(t *testing.T) {
+	// At lanes=1, every policy reduces to "lane 0 if free, else wait" —
+	// the legacy single-channel arbitration.
+	for k := Kind(0); k < kindCount; k++ {
+		var st ArcState
+		if got := Pick(k, &st, 1, 1); got != 0 {
+			t.Errorf("%v: lanes=1 free pick = %d, want 0", k, got)
+		}
+		Claimed(k, &st, 1, 0)
+		if got := Pick(k, &st, 1, 0); got != -1 {
+			t.Errorf("%v: lanes=1 busy pick = %d, want -1", k, got)
+		}
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	var st ArcState
+	all := uint8(0b1111)
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		got := Pick(RoundRobin, &st, 4, all)
+		if got != w {
+			t.Fatalf("grant %d: lane %d, want %d", i, got, w)
+		}
+		Claimed(RoundRobin, &st, 4, got)
+	}
+	// Cursor skips busy lanes: with 1 and 2 busy after cursor lands on 2,
+	// the next grant wraps to the first free lane at or after it.
+	st = ArcState{RR: 1}
+	if got := Pick(RoundRobin, &st, 4, 0b1001); got != 3 {
+		t.Errorf("busy-skip pick = %d, want 3", got)
+	}
+}
+
+func TestLowestOccupancyBalancesAndBreaksTiesLow(t *testing.T) {
+	var st ArcState
+	all := uint8(0b111)
+	// Ties break to the lowest index, then grants rotate by use count.
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		got := Pick(LowestOccupancy, &st, 3, all)
+		if got != w {
+			t.Fatalf("grant %d: lane %d, want %d", i, got, w)
+		}
+		Claimed(LowestOccupancy, &st, 3, got)
+	}
+	// A lane that was granted out of band (FIFO handoff) is now the most
+	// used; the policy avoids it.
+	Claimed(LowestOccupancy, &st, 3, 0)
+	if got := Pick(LowestOccupancy, &st, 3, all); got != 1 {
+		t.Errorf("post-handoff pick = %d, want 1", got)
+	}
+}
+
+func TestEscapePrefersAdaptiveLanes(t *testing.T) {
+	var st ArcState
+	all := uint8(0b111)
+	// Adaptive lanes 1..2 rotate; lane 0 is never granted while an
+	// adaptive lane is free.
+	want := []int{1, 2, 1, 2}
+	for i, w := range want {
+		got := Pick(Escape, &st, 3, all)
+		if got != w {
+			t.Fatalf("grant %d: lane %d, want %d", i, got, w)
+		}
+		Claimed(Escape, &st, 3, got)
+	}
+	// Only the escape lane free: it is granted as the last resort.
+	if got := Pick(Escape, &st, 3, 0b001); got != 0 {
+		t.Errorf("escape fallback pick = %d, want 0", got)
+	}
+	Claimed(Escape, &st, 3, 0)
+	// Granting the escape lane must not disturb the adaptive rotation.
+	if got := Pick(Escape, &st, 3, 0b110); got != 1 {
+		t.Errorf("post-escape adaptive pick = %d, want 1", got)
+	}
+}
+
+func TestPickNeverReturnsBusyLane(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		var st ArcState
+		for mask := uint8(0); mask < 1<<4; mask++ {
+			got := Pick(k, &st, 4, mask)
+			if mask == 0 {
+				if got != -1 {
+					t.Fatalf("%v: empty mask returned lane %d", k, got)
+				}
+				continue
+			}
+			if got < 0 || got >= 4 || mask&(1<<got) == 0 {
+				t.Fatalf("%v: mask %04b returned lane %d", k, mask, got)
+			}
+		}
+	}
+}

@@ -19,10 +19,11 @@ import (
 	"hypercube/internal/event"
 	"hypercube/internal/metrics"
 	"hypercube/internal/topology"
+	"hypercube/internal/vc"
 )
 
-// Config sets the interconnect timing. Zero values are legal (they model an
-// infinitely fast component).
+// Config sets the interconnect timing and virtual-channel shape. Zero
+// values are legal (they model an infinitely fast single-lane component).
 type Config struct {
 	// THop is the router latency for a header flit to traverse one
 	// channel and be examined by the next router.
@@ -30,6 +31,15 @@ type Config struct {
 	// TByte is the transmission time per payload byte per channel (the
 	// reciprocal of channel bandwidth).
 	TByte event.Time
+	// Lanes is the number of virtual channels per directed arc; 0 and 1
+	// both select the single-lane legacy model (byte-identical to the
+	// pre-VC simulator). Each lane drains at full channel bandwidth —
+	// the message-level model has no flit multiplexing — so extra lanes
+	// buy admission concurrency, not extra wire capacity.
+	Lanes int
+	// Policy selects the lane-allocation policy (vc.Kind); meaningful
+	// only when Lanes > 1.
+	Policy vc.Kind
 }
 
 // Err reports a nonsensical configuration; nil means well-formed.
@@ -37,7 +47,18 @@ func (c Config) Err() error {
 	if c.THop < 0 || c.TByte < 0 {
 		return fmt.Errorf("wormhole: negative timing parameter (THop=%v TByte=%v)", c.THop, c.TByte)
 	}
+	if err := (vc.Config{Lanes: c.Lanes, Policy: c.Policy}).Err(); err != nil {
+		return fmt.Errorf("wormhole: %v", err)
+	}
 	return nil
+}
+
+// lanes normalizes Config.Lanes to the simulated lane count.
+func (c Config) lanes() int {
+	if c.Lanes <= 1 {
+		return 1
+	}
+	return c.Lanes
 }
 
 // Validate panics on a nonsensical configuration (internal call sites; the
@@ -120,6 +141,10 @@ type message struct {
 	lost     func() // optional loss notification (SendTracked)
 	drop     bool   // fault injection: lost in transit
 	truncate int    // fault injection: deliver only this prefix (< 0: full)
+	// lanes[i] is the lane acquired at path[i]; populated (in step with
+	// idx) only on multi-lane networks, so the single-lane hot path never
+	// touches it.
+	lanes []int8
 
 	// Pre-bound event state: the message schedules itself on the calendar
 	// (no per-hop closures), dispatching on stage when it fires.
@@ -159,12 +184,19 @@ func (ch *channel) reset() {
 	*ch = channel{waiters: ch.waiters[:0]}
 }
 
-// maxDenseChannels bounds the dense channel table: cubes with at most this
-// many directed channels (dim <= 13) index a flat slice; larger cubes — legal
-// up to bits.MaxDim, where a dense table would be gigabytes — fall back to a
-// lazily populated map. Every paper workload and the serving soak sit well
-// inside the dense regime.
+// maxDenseChannels bounds the dense channel table: cubes whose directed
+// channel count times lane count fits (dim <= 13 single-lane) index a flat
+// slice; larger cubes — legal up to bits.MaxDim, where a dense table would
+// be gigabytes — fall back to a lazily populated map. Every paper workload
+// and the serving soak sit well inside the dense regime.
 const maxDenseChannels = 1 << 17
+
+// ForceVC, set by equivalence tests only, routes single-lane networks
+// through the full multi-lane machinery (vc.Pick, per-arc allocation
+// state, lane scratch on every message) instead of the legacy fast path.
+// FuzzLaneEquivalence uses it to prove the two paths produce byte-identical
+// results at lanes=1. Never set it concurrently with running simulations.
+var ForceVC bool
 
 // Tracer observes channel-level events for visualization and utilization
 // analysis. All callbacks fire at the current simulated time.
@@ -178,6 +210,17 @@ type Tracer interface {
 	HeaderBlocked(arc topology.Arc, from, to topology.NodeID, at event.Time)
 }
 
+// LaneStat aggregates one lane index across every arc of a multi-lane
+// network: how often that lane was granted, its cumulative occupancy, and
+// the header waits resolved onto it (a blocked header queues at the arc;
+// its wait is attributed to the lane it is eventually granted).
+type LaneStat struct {
+	Acquires  int64
+	HoldNS    int64
+	Blocks    int64
+	BlockedNS int64
+}
+
 // Network simulates one hypercube interconnect attached to an event queue.
 type Network struct {
 	cube topology.Cube
@@ -185,10 +228,29 @@ type Network struct {
 	cfg  Config
 	dim  int
 
-	// Channel state: dense (indexed From*dim+Dim) for cubes within
-	// maxDenseChannels, else a sparse map. Exactly one is non-nil.
+	// Lane shape: nlanes lanes per arc under policy. multi selects the
+	// multi-lane code paths; it equals nlanes > 1 except under the
+	// ForceVC test hook.
+	nlanes int
+	policy vc.Kind
+	multi  bool
+
+	// Channel state: dense (indexed (From*dim+Dim)*nlanes+lane) for cubes
+	// within maxDenseChannels, else a sparse map of per-arc lane slices.
+	// Exactly one is non-nil. The arc's arbitration FIFO lives in its
+	// lane-0 entry's waiters — at one lane this IS the legacy per-channel
+	// queue.
 	dense  []channel
-	sparse map[topology.Arc]*channel
+	sparse map[topology.Arc][]channel
+
+	// Per-arc allocation scratch of the lane policies; nil on the legacy
+	// single-lane path.
+	alloc       []vc.ArcState
+	sparseAlloc map[topology.Arc]*vc.ArcState
+
+	// laneStats aggregates per-lane occupancy and blocking; allocated
+	// only on the multi-lane paths.
+	laneStats []LaneStat
 
 	tracer Tracer
 	faults FaultModel
@@ -211,17 +273,25 @@ type Network struct {
 	mAcquires *metrics.Counter
 	mHoldNs   *metrics.Histogram
 	mBlockNs  *metrics.Histogram
+	// Per-lane instruments, registered only for genuinely multi-lane
+	// networks so single-lane metric output is unchanged.
+	mLaneAcq    []*metrics.Counter
+	mLaneHoldNs []*metrics.Counter
 }
 
 // SetMetrics wires the network into a metrics registry: message fates
 // ("net_injected", "net_delivered", "net_lost"), header blocking incidents
 // ("net_header_blocks") and per-wait blocked time ("net_block_time_ns"),
 // and channel occupancy ("net_channel_acquires", "net_channel_hold_ns").
+// Multi-lane networks additionally register per-lane grant counts and
+// occupancy ("net_laneL_acquires", "net_laneL_hold_ns"); single-lane
+// networks register nothing extra, so their metric output is unchanged.
 // A nil registry disables instrumentation.
 func (n *Network) SetMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		n.mInjected, n.mDeliv, n.mLost, n.mBlocks, n.mAcquires = nil, nil, nil, nil, nil
 		n.mHoldNs, n.mBlockNs = nil, nil
+		n.mLaneAcq, n.mLaneHoldNs = nil, nil
 		return
 	}
 	n.mInjected = reg.Counter("net_injected")
@@ -231,6 +301,14 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 	n.mAcquires = reg.Counter("net_channel_acquires")
 	n.mHoldNs = reg.Histogram("net_channel_hold_ns")
 	n.mBlockNs = reg.Histogram("net_block_time_ns")
+	if n.nlanes > 1 {
+		n.mLaneAcq = make([]*metrics.Counter, n.nlanes)
+		n.mLaneHoldNs = make([]*metrics.Counter, n.nlanes)
+		for l := 0; l < n.nlanes; l++ {
+			n.mLaneAcq[l] = reg.Counter(fmt.Sprintf("net_lane%d_acquires", l))
+			n.mLaneHoldNs[l] = reg.Counter(fmt.Sprintf("net_lane%d_hold_ns", l))
+		}
+	}
 }
 
 // SetTracer installs a channel-event observer (nil disables tracing).
@@ -247,16 +325,34 @@ func New(q *event.Queue, cube topology.Cube, cfg Config) *Network {
 	return n
 }
 
-// initChannels sizes the channel table for n.cube.
+// initChannels sizes the channel table for n.cube and the lane shape of
+// n.cfg.
 func (n *Network) initChannels() {
 	n.dim = n.cube.Dim()
-	if total := n.cube.Nodes() * n.dim; total <= maxDenseChannels {
+	n.nlanes = n.cfg.lanes()
+	n.policy = n.cfg.Policy
+	n.multi = n.nlanes > 1 || ForceVC
+	if total := n.cube.Nodes() * n.dim * n.nlanes; total <= maxDenseChannels {
 		n.dense = make([]channel, total)
 		n.sparse = nil
-		return
+		n.sparseAlloc = nil
+		n.alloc = nil
+		if n.multi {
+			n.alloc = make([]vc.ArcState, n.cube.Nodes()*n.dim)
+		}
+	} else {
+		n.dense = nil
+		n.alloc = nil
+		n.sparse = make(map[topology.Arc][]channel)
+		n.sparseAlloc = nil
+		if n.multi {
+			n.sparseAlloc = make(map[topology.Arc]*vc.ArcState)
+		}
 	}
-	n.dense = nil
-	n.sparse = make(map[topology.Arc]*channel)
+	n.laneStats = nil
+	if n.multi {
+		n.laneStats = make([]LaneStat, n.nlanes)
+	}
 }
 
 // Reset returns the network to its freshly constructed state for cube and
@@ -272,16 +368,28 @@ func (n *Network) Reset(q *event.Queue, cube topology.Cube, cfg Config) {
 	// channel on its way out, so the table needs no sweep; an aborted or
 	// wedged run leaves owners and waiters behind and must be scrubbed.
 	dirty := n.inflight != 0
-	sameShape := n.dense != nil && cube.Nodes()*cube.Dim() == len(n.dense)
+	lanes := cfg.lanes()
+	multi := lanes > 1 || ForceVC
+	sameShape := n.dense != nil && cube.Nodes()*cube.Dim()*lanes == len(n.dense) &&
+		lanes == n.nlanes && multi == n.multi
 	n.q, n.cube, n.cfg = q, cube, cfg
 	if !sameShape {
 		n.initChannels()
 	} else {
 		n.dim = cube.Dim()
+		n.policy = cfg.Policy
 		if dirty {
 			for i := range n.dense {
 				n.dense[i].reset()
 			}
+		}
+		// Policy scratch and lane aggregates must not leak across pooled
+		// runs even when the channel table itself is clean.
+		for i := range n.alloc {
+			n.alloc[i] = vc.ArcState{}
+		}
+		for i := range n.laneStats {
+			n.laneStats[i] = LaneStat{}
 		}
 	}
 	n.tracer, n.faults = nil, nil
@@ -324,38 +432,45 @@ func (n *Network) InFlight() int { return n.inflight }
 // high-water mark under multi-source traffic.
 func (n *Network) MaxInFlight() int { return n.maxInflight }
 
-// HeldChannel describes one busy channel for diagnostics: the arc, the
-// unicast holding it, and how many headers are queued behind it.
+// HeldChannel describes one busy lane for diagnostics: the arc and lane,
+// the unicast holding it, and how many headers are queued at the arc.
 type HeldChannel struct {
 	Arc      topology.Arc
 	From, To topology.NodeID
-	Waiters  int
+	// Lane is the virtual channel held; always 0 on single-lane networks.
+	Lane int
+	// Waiters is the arc's arbitration-queue depth (shared by its lanes).
+	Waiters int
 	// Wedged marks channels held by a message stalled on a failed link.
 	Wedged bool
 }
 
-// forEachChannel visits every materialized channel with its arc, in no
-// particular order. Diagnostics-only: the dense walk touches every slot.
-func (n *Network) forEachChannel(fn func(a topology.Arc, ch *channel)) {
+// forEachChannel visits every materialized lane with its arc and lane
+// index, in no particular order. Diagnostics-only: the dense walk touches
+// every slot.
+func (n *Network) forEachChannel(fn func(a topology.Arc, lane int, ch *channel)) {
 	if n.dense != nil {
 		for i := range n.dense {
-			fn(topology.Arc{From: topology.NodeID(i / n.dim), Dim: i % n.dim}, &n.dense[i])
+			arc := i / n.nlanes
+			fn(topology.Arc{From: topology.NodeID(arc / n.dim), Dim: arc % n.dim}, i%n.nlanes, &n.dense[i])
 		}
 		return
 	}
-	for a, ch := range n.sparse {
-		fn(a, ch)
+	for a, ls := range n.sparse {
+		for l := range ls {
+			fn(a, l, &ls[l])
+		}
 	}
 }
 
-// Held snapshots every busy channel, in deterministic arc order.
+// Held snapshots every busy lane, in deterministic arc-then-lane order.
 func (n *Network) Held() []HeldChannel {
 	wedgedSet := make(map[*message]bool, len(n.wedged))
 	for _, m := range n.wedged {
 		wedgedSet[m] = true
 	}
 	var out []HeldChannel
-	n.forEachChannel(func(a topology.Arc, ch *channel) {
+	n.forEachChannel(func(a topology.Arc, lane int, ch *channel) {
 		if !ch.busy || ch.owner == nil {
 			return
 		}
@@ -363,7 +478,8 @@ func (n *Network) Held() []HeldChannel {
 			Arc:     a,
 			From:    ch.owner.from,
 			To:      ch.owner.to,
-			Waiters: len(ch.waiters),
+			Lane:    lane,
+			Waiters: len(n.channel(a).waiters),
 			Wedged:  wedgedSet[ch.owner],
 		})
 	})
@@ -371,7 +487,10 @@ func (n *Network) Held() []HeldChannel {
 		if out[i].Arc.From != out[j].Arc.From {
 			return out[i].Arc.From < out[j].Arc.From
 		}
-		return out[i].Arc.Dim < out[j].Arc.Dim
+		if out[i].Arc.Dim != out[j].Arc.Dim {
+			return out[i].Arc.Dim < out[j].Arc.Dim
+		}
+		return out[i].Lane < out[j].Lane
 	})
 	return out
 }
@@ -388,7 +507,11 @@ func (n *Network) Diagnose() string {
 		if h.Wedged {
 			state = " [wedged on failed link]"
 		}
-		s += fmt.Sprintf("\n  %v held by %v->%v, %d queued%s", h.Arc, h.From, h.To, h.Waiters, state)
+		lane := ""
+		if n.nlanes > 1 {
+			lane = fmt.Sprintf(" lane %d", h.Lane)
+		}
+		s += fmt.Sprintf("\n  %v%s held by %v->%v, %d queued%s", h.Arc, lane, h.From, h.To, h.Waiters, state)
 	}
 	return s
 }
@@ -428,6 +551,7 @@ func (n *Network) SendTracked(from, to topology.NodeID, bytes int, done func(Del
 	m.from, m.to, m.bytes = from, to, bytes
 	m.path = n.cube.AppendPathArcs(m.path[:0], from, to)
 	m.idx = 0
+	m.lanes = m.lanes[:0]
 	m.injected = n.q.Now()
 	m.blocked, m.waitFrom = 0, 0
 	m.done = done
@@ -456,16 +580,54 @@ func (n *Network) drain(bytes int) event.Time {
 	return event.Time(bytes) * n.cfg.TByte
 }
 
+// channel returns the head (lane-0) entry of arc a — on a single-lane
+// network, the channel itself.
 func (n *Network) channel(a topology.Arc) *channel {
 	if n.dense != nil {
-		return &n.dense[int(a.From)*n.dim+a.Dim]
+		return &n.dense[(int(a.From)*n.dim+a.Dim)*n.nlanes]
 	}
-	ch, ok := n.sparse[a]
+	return &n.arcLanes(a)[0]
+}
+
+// arcLanes returns the lane slice of arc a (length n.nlanes), materializing
+// the sparse entry on first touch.
+func (n *Network) arcLanes(a topology.Arc) []channel {
+	if n.dense != nil {
+		base := (int(a.From)*n.dim + a.Dim) * n.nlanes
+		return n.dense[base : base+n.nlanes]
+	}
+	ls, ok := n.sparse[a]
 	if !ok {
-		ch = &channel{}
-		n.sparse[a] = ch
+		ls = make([]channel, n.nlanes)
+		n.sparse[a] = ls
 	}
-	return ch
+	return ls
+}
+
+// allocState returns the lane-policy scratch of arc a (multi-lane paths
+// only).
+func (n *Network) allocState(a topology.Arc) *vc.ArcState {
+	if n.alloc != nil {
+		return &n.alloc[int(a.From)*n.dim+a.Dim]
+	}
+	st, ok := n.sparseAlloc[a]
+	if !ok {
+		st = new(vc.ArcState)
+		n.sparseAlloc[a] = st
+	}
+	return st
+}
+
+// LaneStats snapshots the per-lane aggregates of a multi-lane network,
+// indexed by lane. It returns nil for single-lane networks (including
+// ForceVC runs, so equivalence tests see identical outputs).
+func (n *Network) LaneStats() []LaneStat {
+	if n.nlanes <= 1 {
+		return nil
+	}
+	out := make([]LaneStat, n.nlanes)
+	copy(out, n.laneStats)
+	return out
 }
 
 // recycle returns a finished message to the pool. Every structure that
@@ -508,29 +670,63 @@ func (n *Network) tryAcquire(m *message) {
 		}
 		return
 	}
-	ch := n.channel(arc)
-	if ch.busy {
-		m.waitFrom = n.q.Now()
-		ch.waiters = append(ch.waiters, m)
-		if len(ch.waiters) > n.maxQueueLen {
-			n.maxQueueLen = len(ch.waiters)
+	if !n.multi {
+		ch := n.channel(arc)
+		if ch.busy {
+			n.park(m, ch, arc)
+			return
 		}
-		if n.tracer != nil {
-			n.tracer.HeaderBlocked(arc, m.from, m.to, n.q.Now())
-		}
-		if n.mBlocks != nil {
-			n.mBlocks.Inc()
-		}
+		n.claim(m, ch, 0)
 		return
 	}
-	n.claim(m, ch)
+	lanes := n.arcLanes(arc)
+	var free uint8
+	for l := 0; l < n.nlanes; l++ {
+		if !lanes[l].busy {
+			free |= 1 << l
+		}
+	}
+	st := n.allocState(arc)
+	pick := vc.Pick(n.policy, st, n.nlanes, free)
+	if pick < 0 {
+		// Every lane busy: queue FIFO at the arc (the lane-0 entry holds
+		// the arc's arbitration queue).
+		n.park(m, &lanes[0], arc)
+		return
+	}
+	vc.Claimed(n.policy, st, n.nlanes, pick)
+	n.claim(m, &lanes[pick], pick)
 }
 
-// claim marks the channel owned by m and advances the header one hop.
-func (n *Network) claim(m *message, ch *channel) {
+// park queues m's header on the arc's arbitration FIFO (head is the arc's
+// lane-0 channel entry).
+func (n *Network) park(m *message, head *channel, arc topology.Arc) {
+	m.waitFrom = n.q.Now()
+	head.waiters = append(head.waiters, m)
+	if len(head.waiters) > n.maxQueueLen {
+		n.maxQueueLen = len(head.waiters)
+	}
+	if n.tracer != nil {
+		n.tracer.HeaderBlocked(arc, m.from, m.to, n.q.Now())
+	}
+	if n.mBlocks != nil {
+		n.mBlocks.Inc()
+	}
+}
+
+// claim marks lane `lane` of the message's next arc owned by m and advances
+// the header one hop. Multi-lane callers must have run vc.Claimed first.
+func (n *Network) claim(m *message, ch *channel, lane int) {
 	ch.busy = true
 	ch.owner = m
 	ch.since = n.q.Now()
+	if n.multi {
+		m.lanes = append(m.lanes, int8(lane))
+		n.laneStats[lane].Acquires++
+		if n.mLaneAcq != nil {
+			n.mLaneAcq[lane].Inc()
+		}
+	}
 	if n.tracer != nil {
 		n.tracer.ChannelAcquired(m.path[m.idx], m.from, m.to, n.q.Now())
 	}
@@ -572,32 +768,63 @@ func (n *Network) releaseAll(m *message) { n.releasePrefix(m, len(m.path)) }
 
 // releasePrefix frees the first upto channels of m's path — all of them
 // when the tail drains, or just the acquired prefix when the fault model
-// destroys the message mid-path.
+// destroys the message mid-path. A freed lane with headers queued at its
+// arc is handed directly to the queue head, which inherits the lane.
 func (n *Network) releasePrefix(m *message, upto int) {
-	for _, a := range m.path[:upto] {
-		ch := n.channel(a)
+	for i, a := range m.path[:upto] {
+		lane := 0
+		var ch, head *channel
+		if !n.multi {
+			ch = n.channel(a)
+			head = ch
+		} else {
+			ls := n.arcLanes(a)
+			lane = int(m.lanes[i])
+			ch = &ls[lane]
+			head = &ls[0]
+		}
 		if n.tracer != nil {
 			n.tracer.ChannelReleased(a, n.q.Now())
 		}
+		hold := n.q.Now() - ch.since
 		if n.mHoldNs != nil {
-			n.mHoldNs.Observe(int64(n.q.Now() - ch.since))
+			n.mHoldNs.Observe(int64(hold))
 		}
-		if len(ch.waiters) == 0 {
+		if n.multi {
+			n.laneStats[lane].HoldNS += int64(hold)
+			if n.mLaneHoldNs != nil {
+				n.mLaneHoldNs[lane].Add(int64(hold))
+			}
+		}
+		if len(head.waiters) == 0 {
 			ch.busy = false
 			ch.owner = nil
 			continue
 		}
-		next := ch.waiters[0]
-		copy(ch.waiters, ch.waiters[1:])
-		ch.waiters[len(ch.waiters)-1] = nil
-		ch.waiters = ch.waiters[:len(ch.waiters)-1]
-		next.blocked += n.q.Now() - next.waitFrom
+		next := head.waiters[0]
+		copy(head.waiters, head.waiters[1:])
+		head.waiters[len(head.waiters)-1] = nil
+		head.waiters = head.waiters[:len(head.waiters)-1]
+		wait := n.q.Now() - next.waitFrom
+		next.blocked += wait
 		if n.mBlockNs != nil {
-			n.mBlockNs.Observe(int64(n.q.Now() - next.waitFrom))
+			n.mBlockNs.Observe(int64(wait))
 		}
-		// Channel stays busy; ownership transfers to the waiter.
+		// Lane stays busy; ownership transfers to the waiter, and the
+		// waiter's blocked time is attributed to the lane it was granted.
 		ch.owner = next
 		ch.since = n.q.Now()
+		if n.multi {
+			vc.Claimed(n.policy, n.allocState(a), n.nlanes, lane)
+			next.lanes = append(next.lanes, int8(lane))
+			ls := &n.laneStats[lane]
+			ls.Acquires++
+			ls.Blocks++
+			ls.BlockedNS += int64(wait)
+			if n.mLaneAcq != nil {
+				n.mLaneAcq[lane].Inc()
+			}
+		}
 		if n.tracer != nil {
 			n.tracer.ChannelAcquired(a, next.from, next.to, n.q.Now())
 		}
@@ -650,7 +877,7 @@ func (n *Network) complete(m *message) {
 // after Run completes; useful as a leak check in tests.
 func (n *Network) Idle() bool {
 	idle := true
-	n.forEachChannel(func(_ topology.Arc, ch *channel) {
+	n.forEachChannel(func(_ topology.Arc, _ int, ch *channel) {
 		if ch.busy || len(ch.waiters) > 0 {
 			idle = false
 		}

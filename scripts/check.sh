@@ -96,6 +96,19 @@ for f in chaos_delivered chaos_inflation chaos_retry; do
 	cmp "$chaosdir/run1/$f.csv" "$chaosdir/run2/$f.csv"
 done
 
+echo '== lane spectrum (smoke + determinism)'
+# The port×lane sweeper twice at one seed: the shared Poisson trace and
+# the lane-allocation policies are deterministic, so the spectrum
+# surfaces must render byte-identically.
+lanedir=$(mktemp -d)
+go run ./cmd/lanespec -n 4 -ops 8 -lanes 1,2 -rates 0.5,4 -dir "$lanedir/run1" > /dev/null
+go run ./cmd/lanespec -n 4 -ops 8 -lanes 1,2 -rates 0.5,4 -dir "$lanedir/run2" > /dev/null
+for f in lanes_blocked lanes_sojourn lanes_util; do
+	cmp "$lanedir/run1/$f.txt" "$lanedir/run2/$f.txt"
+	cmp "$lanedir/run1/$f.csv" "$lanedir/run2/$f.csv"
+done
+go run ./cmd/lanespec -n 4 -ops 6 -lanes 1,2 -rates 1 -policy escape -csv > /dev/null
+
 echo '== bench harness + metrics JSON (smoke)'
 obsdir=$(mktemp -d)
 go run ./cmd/bench -smoke -date 1993-01-01 -dir "$obsdir" > /dev/null
